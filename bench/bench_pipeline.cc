@@ -1,0 +1,113 @@
+// Fig. 8: Request latency for processing pipelines under the three composition models —
+// star (centralized), fast-star (centralized control, direct data), chain (fully
+// distributed). Consecutive stages on different nodes.
+//
+// Paper shape (I/O-bound workload): star vs fast-star ~1.6x at 64 KiB (data optimization
+// dominates for large transfers); fast-star vs chain ~1.45x at <=4 KiB (control-flow
+// optimization dominates for small transfers).
+//
+// Includes the congestion-window ablation from DESIGN.md.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/baselines/pipeline.h"
+
+namespace fractos {
+namespace {
+
+using bench::Table;
+using bench::fmt;
+using bench::fmt_size;
+using bench::fmt_us;
+
+struct PipelineBench {
+  System sys;
+  uint32_t client_node = 0;
+  Controller* cc = nullptr;
+  std::vector<std::unique_ptr<PipelineStage>> stages;
+
+  PipelineBench(int n_stages, Loc ctrl_loc, SystemConfig cfg = {}) : sys(cfg) {
+    client_node = sys.add_node("client");
+    cc = &sys.add_controller(client_node, ctrl_loc);
+    for (int i = 0; i < n_stages; ++i) {
+      const uint32_t node = sys.add_node("stage" + std::to_string(i));
+      Controller& c = sys.add_controller(node, ctrl_loc);
+      stages.push_back(
+          std::make_unique<PipelineStage>(&sys, node, c, 1 << 20, Duration::micros(1)));
+    }
+  }
+
+  double latency_us(PipelineMode mode, uint64_t payload, int iters = 20) {
+    std::vector<PipelineStage*> ptrs;
+    for (auto& s : stages) {
+      ptrs.push_back(s.get());
+    }
+    PipelineRunner runner(&sys, client_node, *cc, ptrs, payload, mode);
+    // Warm-up.
+    FRACTOS_CHECK(sys.await(runner.run_once()).ok());
+    Summary s;
+    for (int i = 0; i < iters; ++i) {
+      const Time start = sys.loop().now();
+      FRACTOS_CHECK(sys.await(runner.run_once()).ok());
+      s.add(sys.loop().now() - start);
+    }
+    return s.mean();
+  }
+};
+
+}  // namespace
+}  // namespace fractos
+
+int main() {
+  using namespace fractos;
+  std::printf("Fig. 8: pipeline latency — star vs fast-star vs chain\n");
+  std::printf("(paper: star/fast-star ~1.6x at 64KiB; fast-star/chain ~1.45x at <=4KiB)\n");
+
+  for (const Loc loc : {Loc::kHost, Loc::kSnic}) {
+    const char* loc_name = loc == Loc::kHost ? "CPU" : "sNIC";
+    for (const int stages : {2, 4, 8}) {
+      Table t(std::string("Fig. 8 — ") + std::to_string(stages) + " stages, Controllers on " +
+                  loc_name,
+              {"payload", "star", "fast-star", "chain", "star/fast", "fast/chain"});
+      for (const uint64_t payload : {4096ull, 16384ull, 65536ull}) {
+        PipelineBench b(stages, loc);
+        const double star = b.latency_us(PipelineMode::kStar, payload);
+        const double fast = b.latency_us(PipelineMode::kFastStar, payload);
+        const double chain = b.latency_us(PipelineMode::kChain, payload);
+        t.row({fmt_size(payload), fmt_us(star), fmt_us(fast), fmt_us(chain),
+               fmt(star / fast, 2) + "x", fmt(fast / chain, 2) + "x"});
+      }
+      t.print();
+    }
+  }
+
+  // Ablation: the congestion window (max unacknowledged deliveries per Process, Section 4).
+  // A 64-invocation burst against one echo service: small windows throttle delivery — the
+  // Controller queues deliveries until acks return — lengthening the burst makespan.
+  Table ab("Ablation — congestion window, 64-invocation burst against one service",
+           {"window", "burst makespan", "deliveries queued at ctrl"});
+  for (const uint32_t window : {1u, 2u, 4u, 16u, 64u}) {
+    SystemConfig cfg;
+    cfg.congestion_window = window;
+    System sys(cfg);
+    const uint32_t n0 = sys.add_node("n0");
+    const uint32_t n1 = sys.add_node("n1");
+    Controller& c0 = sys.add_controller(n0, Loc::kHost);
+    Controller& c1 = sys.add_controller(n1, Loc::kHost);
+    Process& svc = sys.spawn("svc", n1, c1);
+    Process& client = sys.spawn("client", n0, c0);
+    int handled = 0;
+    const CapId ep = sys.await_ok(svc.serve({}, [&handled](Process::Received) { ++handled; }));
+    const CapId ep_c = sys.bootstrap_grant(svc, ep, client).value();
+    const Time start = sys.loop().now();
+    for (int i = 0; i < 64; ++i) {
+      client.request_invoke(ep_c);
+    }
+    sys.loop().run_until([&handled]() { return handled == 64; });
+    ab.row({std::to_string(window), fmt_us((sys.loop().now() - start).to_us()),
+            std::to_string(c1.deliveries_queued())});
+  }
+  ab.print();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared helpers for the benchmark harness: aligned table printing (the benches regenerate
+// the paper's tables/figures as text) and measurement loops over simulated time.
+//
+// Absolute numbers are simulated microseconds from the calibrated model (see
+// src/fabric/params.h and src/core/costs.h); the reproduction target is the SHAPE of each
+// figure — who wins, by what factor, where the crossovers are. EXPERIMENTS.md records
+// paper-vs-measured for every row.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace fractos {
+namespace bench {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      widths[i] = columns_[i].size();
+    }
+    for (const auto& r : rows_) {
+      for (size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], r[i].size());
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string();
+        std::printf("  %-*s", static_cast<int>(widths[i]), c.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    size_t total = 2;
+    for (size_t w : widths) {
+      total += w + 2;
+    }
+    std::printf("  %s\n", std::string(total - 2, '-').c_str());
+    for (const auto& r : rows_) {
+      print_row(r);
+    }
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_us(double us) { return fmt(us, 2) + " us"; }
+
+inline std::string fmt_mbps(double bytes_per_us) {
+  // bytes/us == MB/s
+  return fmt(bytes_per_us, 1) + " MB/s";
+}
+
+inline std::string fmt_size(uint64_t bytes) {
+  if (bytes >= (1 << 20) && bytes % (1 << 20) == 0) {
+    return std::to_string(bytes >> 20) + " MiB";
+  }
+  if (bytes >= 1024 && bytes % 1024 == 0) {
+    return std::to_string(bytes >> 10) + " KiB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+}  // namespace bench
+}  // namespace fractos
+
+#endif  // BENCH_BENCH_UTIL_H_

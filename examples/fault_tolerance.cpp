@@ -1,0 +1,94 @@
+// Failure translation and resource management (Section 3.6): the GPU-service pattern.
+//
+// "The GPU service will create one Request capability for each client, call monitor_delegate
+// on it, and then delegate that Request. If the client stops using the service and revokes
+// that capability, the service will notice it via monitor_delegate_cb and act accordingly."
+// Failures are translated into the SAME revocation events — a dead client looks like a
+// revoke, a dead service looks like a revoke, and monitors fire either way.
+//
+// Run: build/examples/fault_tolerance
+
+#include <cstdio>
+
+#include "src/core/system.h"
+
+using namespace fractos;
+
+int main() {
+  System sys;
+  const uint32_t svc_node = sys.add_node("service-node");
+  const uint32_t cli_node = sys.add_node("client-node");
+  Controller& cs = sys.add_controller(svc_node, Loc::kHost);
+  Controller& cc = sys.add_controller(cli_node, Loc::kHost);
+
+  Process& service = sys.spawn("gpu-service", svc_node, cs);
+  Process& client_a = sys.spawn("client-a", cli_node, cc);
+  Process& client_b = sys.spawn("client-b", cli_node, cc);
+
+  // The service endpoint plus per-client "session" Requests, each monitor_delegate'd: the
+  // callback fires when a client's delegated capabilities are all gone.
+  int sessions_reclaimed = 0;
+  service.set_monitor_handler([&](uint64_t callback_id, bool delegate_mode) {
+    std::printf("[service] monitor fired: callback_id=%llu (%s) -> freeing session resources\n",
+                static_cast<unsigned long long>(callback_id),
+                delegate_mode ? "monitor_delegate_cb" : "monitor_receive_cb");
+    ++sessions_reclaimed;
+  });
+
+  int handled = 0;
+  const CapId ep = sys.await_ok(service.serve({}, [&](Process::Received) { ++handled; }));
+
+  // One session Request per client (revocation-tree children of the endpoint), monitored.
+  const CapId session_a = sys.await_ok(service.cap_create_revtree(ep));
+  const CapId session_b = sys.await_ok(service.cap_create_revtree(ep));
+  FRACTOS_CHECK(sys.await(service.monitor_delegate(session_a, /*callback_id=*/1001)).ok());
+  FRACTOS_CHECK(sys.await(service.monitor_delegate(session_b, /*callback_id=*/1002)).ok());
+
+  // Delegate the sessions through the normal invoke path so the owner-side interception
+  // creates the tracked per-delegation children.
+  auto hand_out = [&](Process& client) -> CapId {
+    CapId got = kInvalidCap;
+    const CapId inbox = sys.await_ok(client.serve({}, [&got](Process::Received r) {
+      got = r.cap(0);
+    }));
+    const CapId inbox_at_svc = sys.bootstrap_grant(client, inbox, service).value();
+    FRACTOS_CHECK(sys.await(service.request_invoke(
+                                inbox_at_svc,
+                                Process::Args{}.cap(&client == &client_a ? session_a : session_b)))
+                      .ok());
+    sys.loop().run_until([&got]() { return got != kInvalidCap; });
+    return got;
+  };
+  const CapId a_session = hand_out(client_a);
+  const CapId b_session = hand_out(client_b);
+  std::printf("sessions delegated to client-a and client-b\n");
+
+  FRACTOS_CHECK(sys.await(client_a.request_invoke(a_session)).ok());
+  FRACTOS_CHECK(sys.await(client_b.request_invoke(b_session)).ok());
+  sys.loop().run();
+  std::printf("both clients used the service (%d requests handled)\n", handled);
+
+  // client-a politely revokes its session: resource management, not failure.
+  FRACTOS_CHECK(sys.await(client_a.cap_revoke(a_session)).ok());
+  sys.loop().run();
+  std::printf("client-a revoked its session -> reclaimed=%d\n", sessions_reclaimed);
+
+  // client-b CRASHES: its Controller severs the channel and translates the failure into
+  // revocations of everything it held — the service sees exactly the same event.
+  sys.fail_process(client_b);
+  sys.loop().run();
+  std::printf("client-b crashed -> reclaimed=%d\n", sessions_reclaimed);
+
+  // The reverse direction: a client watches the service with monitor_receive and learns of
+  // the service's death through the stale-capability machinery.
+  Process& client_c = sys.spawn("client-c", cli_node, cc);
+  const CapId ep_at_c = sys.bootstrap_grant(service, ep, client_c).value();
+  bool service_lost = false;
+  client_c.set_monitor_handler([&](uint64_t, bool) { service_lost = true; });
+  FRACTOS_CHECK(sys.await(client_c.monitor_receive(ep_at_c, 42)).ok());
+  sys.fail_process(service);
+  sys.loop().run();
+  std::printf("service crashed -> client-c %s via monitor_receive_cb\n",
+              service_lost ? "was notified" : "was NOT notified (bug!)");
+  return 0;
+}

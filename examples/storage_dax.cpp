@@ -1,0 +1,88 @@
+// The two-tier storage stack (Section 5 / Fig. 4): the same file accessed through FS mode
+// (every byte mediated by the FS Process) and DAX mode (the FS hands out revocation-tree
+// children of the block adaptor's Requests, so data flows storage -> client directly) —
+// and what revocation does when the file is closed and unlinked.
+//
+// Run: build/examples/storage_dax
+
+#include <cstdio>
+
+#include "src/services/block_adaptor.h"
+#include "src/services/fs.h"
+
+using namespace fractos;
+
+int main() {
+  System sys;
+  const uint32_t client_node = sys.add_node("client-node");
+  const uint32_t fs_node = sys.add_node("fs-node");
+  const uint32_t storage_node = sys.add_node("storage-node");
+  Controller& cc = sys.add_controller(client_node, Loc::kHost);
+  Controller& cf = sys.add_controller(fs_node, Loc::kHost);
+  Controller& cs = sys.add_controller(storage_node, Loc::kHost);
+
+  SimNvme nvme(&sys.loop());
+  BlockAdaptor block(&sys, storage_node, cs, &nvme);
+  auto fs = FsService::bootstrap(&sys, fs_node, cf, block.process(), block.mgmt_endpoint());
+  Process& client = sys.spawn("client", client_node, cc);
+  const CapId create_ep = sys.bootstrap_grant(fs->process(), fs->create_endpoint(), client).value();
+  const CapId open_ep = sys.bootstrap_grant(fs->process(), fs->open_endpoint(), client).value();
+  const CapId unlink_ep = sys.bootstrap_grant(fs->process(), fs->unlink_endpoint(), client).value();
+
+  // Create a file and write a recognizable pattern through FS mode.
+  const uint64_t kSize = 256 << 10;
+  FRACTOS_CHECK(sys.await(FsClient::create(client, create_ep, "report.bin", kSize)).ok());
+  const uint64_t buf_addr = client.alloc(kSize);
+  std::vector<uint8_t> content(kSize);
+  for (size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<uint8_t>(i * 31);
+  }
+  client.write_mem(buf_addr, content);
+  const CapId buf = sys.await_ok(client.memory_create(buf_addr, kSize, Perms::kReadWrite));
+
+  auto fw = sys.await_ok(FsClient::open(client, open_ep, "report.bin", /*rw=*/true, /*dax=*/false));
+  Time t0 = sys.loop().now();
+  FRACTOS_CHECK(sys.await(FsClient::write(client, fw, 0, kSize, buf)).ok());
+  std::printf("FS-mode write of 256 KiB: %.1f us\n", (sys.loop().now() - t0).to_us());
+
+  // Read it back both ways and compare latency + wire traffic.
+  client.write_mem(buf_addr, std::vector<uint8_t>(kSize, 0));
+  sys.net().reset_counters();
+  t0 = sys.loop().now();
+  FRACTOS_CHECK(sys.await(FsClient::read(client, fw, 0, kSize, buf)).ok());
+  const double fs_us = (sys.loop().now() - t0).to_us();
+  const uint64_t fs_bytes = sys.net().counters().total_cross_bytes();
+  FRACTOS_CHECK(client.read_mem(buf_addr, kSize) == content);
+  std::printf("FS-mode  read: %8.1f us, %8llu bytes on the wire (SSD -> FS -> client)\n", fs_us,
+              static_cast<unsigned long long>(fs_bytes));
+
+  auto fd = sys.await_ok(FsClient::open(client, open_ep, "report.bin", /*rw=*/false, /*dax=*/true));
+  client.write_mem(buf_addr, std::vector<uint8_t>(kSize, 0));
+  sys.net().reset_counters();
+  t0 = sys.loop().now();
+  FRACTOS_CHECK(sys.await(FsClient::read(client, fd, 0, kSize, buf)).ok());
+  const double dax_us = (sys.loop().now() - t0).to_us();
+  const uint64_t dax_bytes = sys.net().counters().total_cross_bytes();
+  FRACTOS_CHECK(client.read_mem(buf_addr, kSize) == content);
+  std::printf("DAX-mode read: %8.1f us, %8llu bytes on the wire (SSD -> client, direct)\n",
+              dax_us, static_cast<unsigned long long>(dax_bytes));
+  std::printf("DAX cuts the data path: %.2fx faster, %.2fx fewer bytes — without the FS giving\n"
+              "up control: the client holds revocation-tree children, not the raw volume.\n",
+              fs_us / dax_us, static_cast<double>(fs_bytes) / static_cast<double>(dax_bytes));
+
+  // Close: the FS revokes the DAX children; the client's capabilities die.
+  FRACTOS_CHECK(sys.await(FsClient::close(client, fd)).ok());
+  sys.loop().run();
+  const bool after_close = sys.await(FsClient::read(client, fd, 0, 4096, buf)).ok();
+  std::printf("after close, the old DAX capability is %s\n", after_close ? "ALIVE (bug!)" : "dead");
+
+  // Unlink: the block adaptor revokes the per-volume Requests — even an OPEN DAX handle dies
+  // (use-after-free prevention on freed blocks, Section 3.5).
+  auto fd2 = sys.await_ok(FsClient::open(client, open_ep, "report.bin", false, true));
+  FRACTOS_CHECK(sys.await(FsClient::read(client, fd2, 0, 4096, buf)).ok());
+  FRACTOS_CHECK(sys.await(FsClient::unlink(client, unlink_ep, "report.bin")).ok());
+  sys.loop().run();
+  const bool after_unlink = sys.await(FsClient::read(client, fd2, 0, 4096, buf)).ok();
+  std::printf("after unlink, the open DAX handle is %s\n", after_unlink ? "ALIVE (bug!)" : "dead");
+  return 0;
+}

@@ -1,0 +1,467 @@
+#include "src/apps/face_verify.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/assert.h"
+#include "src/sim/rng.h"
+
+namespace fractos {
+
+std::vector<uint8_t> face_image(uint32_t batch, uint32_t index, uint64_t image_bytes) {
+  Rng rng(0x9000ull + batch * 1315423911ull + index);
+  std::vector<uint8_t> img(image_bytes);
+  for (auto& b : img) {
+    b = rng.next_byte();
+  }
+  return img;
+}
+
+SimGpu::Kernel make_face_verify_kernel(Duration per_image_compute) {
+  return [per_image_compute](std::vector<uint8_t>& mem, const std::vector<uint64_t>& args) {
+    FRACTOS_CHECK(args.size() >= 5);
+    const uint64_t probe = args[0];
+    const uint64_t db = args[1];
+    const uint64_t result = args[2];
+    const uint64_t n = args[3];
+    const uint64_t image_bytes = args[4];
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t p = probe + i * image_bytes;
+      const uint64_t d = db + i * image_bytes;
+      const bool match = std::equal(mem.begin() + static_cast<ptrdiff_t>(p),
+                                    mem.begin() + static_cast<ptrdiff_t>(p + image_bytes),
+                                    mem.begin() + static_cast<ptrdiff_t>(d));
+      mem[result + i] = match ? 1 : 0;
+    }
+    return per_image_compute * static_cast<double>(n);
+  };
+}
+
+FaceVerifyCluster FaceVerifyCluster::build(System* sys) {
+  FaceVerifyCluster c;
+  c.frontend_node = sys->add_node("frontend");
+  c.fs_node = sys->add_node("fs");
+  c.storage_node = sys->add_node("storage");
+  c.gpu_node = sys->add_node("gpu");
+  c.nvme = std::make_unique<SimNvme>(&sys->loop());
+  c.gpu = std::make_unique<SimGpu>(&sys->net(), c.gpu_node);
+  return c;
+}
+
+// --- FractOS deployment ---------------------------------------------------------------------
+
+FaceVerifyFractos::FaceVerifyFractos(System* sys, FaceVerifyCluster* cluster, Loc ctrl_loc,
+                                     FaceVerifyParams params, Controller* shared_controller)
+    : sys_(sys), cluster_(cluster), params_(params) {
+  const uint64_t batch_bytes = params_.image_bytes * params_.images_per_batch;
+
+  Controller* c_front;
+  Controller* c_fs;
+  Controller* c_storage;
+  Controller* c_gpu;
+  if (shared_controller != nullptr) {
+    c_front = c_fs = c_storage = c_gpu = shared_controller;
+  } else {
+    c_front = &sys->add_controller(cluster->frontend_node, ctrl_loc);
+    c_fs = &sys->add_controller(cluster->fs_node, ctrl_loc);
+    c_storage = &sys->add_controller(cluster->storage_node, ctrl_loc);
+    c_gpu = &sys->add_controller(cluster->gpu_node, ctrl_loc);
+  }
+
+  BlockAdaptor::Params bp;
+  bp.slot_bytes = std::max<uint64_t>(2 << 20, batch_bytes);
+  block_ = std::make_unique<BlockAdaptor>(sys, cluster->storage_node, *c_storage,
+                                          cluster->nvme.get(), bp);
+  FsService::Params fp;
+  fp.extent_bytes = std::max<uint64_t>(4 << 20, batch_bytes);
+  fp.slot_bytes = bp.slot_bytes;
+  fs_ = FsService::bootstrap(sys, cluster->fs_node, *c_fs, block_->process(),
+                             block_->mgmt_endpoint(), fp);
+  gpu_adaptor_ = std::make_unique<GpuAdaptor>(sys, *c_gpu, cluster->gpu.get());
+  gpu_adaptor_->register_kernel("face_verify",
+                                make_face_verify_kernel(params_.per_image_compute));
+
+  const uint64_t heap =
+      (batch_bytes * 2 + 8192) * params_.pool_slots + batch_bytes + (2 << 20);
+  frontend_ = &sys->spawn("frontend", cluster->frontend_node, *c_front, heap);
+  fs_create_ = sys->bootstrap_grant(fs_->process(), fs_->create_endpoint(), *frontend_).value();
+  fs_open_ = sys->bootstrap_grant(fs_->process(), fs_->open_endpoint(), *frontend_).value();
+  const CapId gpu_init =
+      sys->bootstrap_grant(gpu_adaptor_->process(), gpu_adaptor_->init_endpoint(), *frontend_)
+          .value();
+
+  setup_gpu(ctrl_loc);
+  (void)gpu_init;
+
+  // GPU session + per-slot buffers and pre-derived kernel Requests ("a small pool of
+  // pre-allocated GPU memory buffers").
+  session_ = sys->await_ok(GpuClient::init(*frontend_, gpu_init));
+  const CapId kernel_ep = sys->await_ok(GpuClient::load(*frontend_, session_, "face_verify"));
+
+  const uint64_t result_bytes = params_.images_per_batch;
+  slots_.resize(params_.pool_slots);
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    Slot& slot = slots_[s];
+    auto probe = sys->await_ok(GpuClient::alloc(*frontend_, session_, batch_bytes));
+    auto db = sys->await_ok(GpuClient::alloc(*frontend_, session_, batch_bytes));
+    auto res = sys->await_ok(GpuClient::alloc(*frontend_, session_, 4096));
+    slot.gpu_probe_addr = probe.device_addr;
+    slot.gpu_db_addr = db.device_addr;
+    slot.gpu_result_addr = res.device_addr;
+    slot.gpu_probe_mem = probe.mem;
+    slot.gpu_db_mem = db.mem;
+
+    slot.probe_addr = frontend_->alloc(batch_bytes);
+    slot.probe_mem =
+        sys->await_ok(frontend_->memory_create(slot.probe_addr, batch_bytes, Perms::kRead));
+    slot.result_addr = frontend_->alloc(4096);
+    slot.result_mem =
+        sys->await_ok(frontend_->memory_create(slot.result_addr, 4096, Perms::kReadWrite));
+
+    slot.respond_ep = sys->await_ok(frontend_->serve({}, [this, s](Process::Received) {
+      Slot& sl = slots_[s];
+      if (sl.completion) {
+        auto done = std::move(sl.completion);
+        sl.completion = nullptr;
+        done(ok_status());
+      }
+    }));
+    slot.error_ep = sys->await_ok(frontend_->serve({}, [this, s](Process::Received r) {
+      Slot& sl = slots_[s];
+      if (sl.completion) {
+        auto done = std::move(sl.completion);
+        sl.completion = nullptr;
+        done(Status(static_cast<ErrorCode>(
+            r.imm_u64(0).value_or(static_cast<uint64_t>(ErrorCode::kInternal)))));
+      }
+    }));
+
+    // The pre-derived kernel Request: args baked in, result copy-back pair + success/error
+    // continuations attached. The storage adaptor will invoke it verbatim (step b of Fig. 2).
+    Process::Args kargs = GpuClient::pack_args({slot.gpu_probe_addr, slot.gpu_db_addr,
+                                                slot.gpu_result_addr, params_.images_per_batch,
+                                                params_.image_bytes});
+    kargs.cap(res.mem).cap(slot.result_mem).cap(slot.respond_ep).cap(slot.error_ep);
+    slot.kernel_req = sys->await_ok(frontend_->request_derive(kernel_ep, std::move(kargs)));
+  }
+}
+
+void FaceVerifyFractos::setup_gpu(Loc ctrl_loc) { (void)ctrl_loc; }
+
+void FaceVerifyFractos::ingest_database() {
+  const uint64_t batch_bytes = params_.image_bytes * params_.images_per_batch;
+  const uint64_t stage_addr = frontend_->alloc(batch_bytes);
+  const CapId stage =
+      sys_->await_ok(frontend_->memory_create(stage_addr, batch_bytes, Perms::kReadWrite));
+  for (uint32_t b = 0; b < params_.num_batches; ++b) {
+    const std::string name = "batch_" + std::to_string(b);
+    FRACTOS_CHECK(sys_->await(FsClient::create(*frontend_, fs_create_, name, batch_bytes)).ok());
+    std::vector<uint8_t> content;
+    content.reserve(batch_bytes);
+    for (uint32_t i = 0; i < params_.images_per_batch; ++i) {
+      const auto img = face_image(b, i, params_.image_bytes);
+      content.insert(content.end(), img.begin(), img.end());
+    }
+    frontend_->write_mem(stage_addr, content);
+    auto f = sys_->await_ok(FsClient::open(*frontend_, fs_open_, name, true, false));
+    FRACTOS_CHECK(sys_->await(FsClient::write(*frontend_, f, 0, batch_bytes, stage)).ok());
+    FRACTOS_CHECK(sys_->await(FsClient::close(*frontend_, f)).ok());
+  }
+}
+
+void FaceVerifyFractos::with_slot(std::function<void(size_t)> fn) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].busy) {
+      slots_[i].busy = true;
+      fn(i);
+      return;
+    }
+  }
+  waiting_.push_back(std::move(fn));
+}
+
+void FaceVerifyFractos::release_slot(size_t i) {
+  if (!waiting_.empty()) {
+    auto fn = std::move(waiting_.front());
+    waiting_.pop_front();
+    fn(i);
+    return;
+  }
+  slots_[i].busy = false;
+}
+
+Future<Result<bool>> FaceVerifyFractos::verify(uint32_t batch, bool tamper) {
+  Promise<Result<bool>> promise;
+  with_slot([this, batch, tamper, promise](size_t slot) {
+    run_on_slot(slot, batch, tamper, promise);
+  });
+  return promise.future();
+}
+
+void FaceVerifyFractos::run_on_slot(size_t s, uint32_t batch, bool tamper,
+                                    Promise<Result<bool>> promise) {
+  Slot& slot = slots_[s];
+  const uint64_t batch_bytes = params_.image_bytes * params_.images_per_batch;
+
+  // Compose the probe (the client-supplied photos); a tampered probe must NOT verify.
+  std::vector<uint8_t> probe;
+  probe.reserve(batch_bytes);
+  for (uint32_t i = 0; i < params_.images_per_batch; ++i) {
+    const auto img = face_image(batch, i, params_.image_bytes);
+    probe.insert(probe.end(), img.begin(), img.end());
+  }
+  if (tamper) {
+    probe[params_.image_bytes / 2] ^= 0xff;
+  }
+  frontend_->write_mem(slot.probe_addr, probe);
+
+  // Completion: the GPU adaptor copied the verdict bytes into our result buffer and invoked
+  // the respond Request.
+  slot.completion = [this, s, tamper, promise](Status st) {
+    Slot& sl = slots_[s];
+    if (!st.ok()) {
+      release_slot(s);
+      promise.set(st.error());
+      return;
+    }
+    const auto verdicts = frontend_->read_mem(sl.result_addr, params_.images_per_batch);
+    bool all = true;
+    for (uint32_t i = 0; i < params_.images_per_batch; ++i) {
+      const bool expected = !(tamper && i == 0);
+      if ((verdicts[i] == 1) != expected) {
+        all = false;
+      }
+    }
+    release_slot(s);
+    promise.set(all);
+  };
+
+  // Probe upload and file open proceed in parallel; the storage read is invoked when both
+  // are done. From there the execution is fully decentralized: storage -> GPU -> frontend.
+  struct Join {
+    int remaining = 2;
+    Status failure = ok_status();
+    Result<FsClient::OpenFile> open_result = ErrorCode::kInternal;
+  };
+  auto join = std::make_shared<Join>();
+  auto maybe_go = [this, s, join, batch_bytes]() {
+    if (--join->remaining > 0) {
+      return;
+    }
+    Slot& sl = slots_[s];
+    if (!join->failure.ok() || !join->open_result.ok()) {
+      if (sl.completion) {
+        auto done = std::move(sl.completion);
+        sl.completion = nullptr;
+        done(join->failure.ok() ? Status(join->open_result.error()) : join->failure);
+      }
+      return;
+    }
+    const auto& f = join->open_result.value();
+    if (f.read_eps.empty()) {
+      auto done = std::move(sl.completion);
+      sl.completion = nullptr;
+      done(Status(ErrorCode::kInternal));
+      return;
+    }
+    // Step a of Fig. 2: invoke the storage read with the GPU buffer as destination and the
+    // (pre-derived) kernel Request as continuation.
+    frontend_
+        ->request_invoke(f.read_eps[0], Process::Args{}
+                                            .imm_u64(0, 0)
+                                            .imm_u64(8, batch_bytes)
+                                            .cap(sl.gpu_db_mem)
+                                            .cap(sl.kernel_req))
+        .on_ready([this, s](Status st) {
+          if (!st.ok()) {
+            Slot& sl = slots_[s];
+            if (sl.completion) {
+              auto done = std::move(sl.completion);
+              sl.completion = nullptr;
+              done(st);
+            }
+          }
+        });
+  };
+
+  frontend_->memory_copy(slot.probe_mem, slot.gpu_probe_mem, batch_bytes)
+      .on_ready([join, maybe_go](Status st) {
+        if (!st.ok()) {
+          join->failure = st;
+        }
+        maybe_go();
+      });
+  FsClient::open(*frontend_, fs_open_, "batch_" + std::to_string(batch), false, /*dax=*/true)
+      .on_ready([join, maybe_go](Result<FsClient::OpenFile>&& f) {
+        join->open_result = std::move(f);
+        maybe_go();
+      });
+}
+
+// --- Baseline deployment ----------------------------------------------------------------------
+
+FaceVerifyBaseline::FaceVerifyBaseline(System* sys, FaceVerifyCluster* cluster,
+                                       FaceVerifyParams params)
+    : sys_(sys), cluster_(cluster), params_(params) {
+  nvmeof_target_ =
+      std::make_unique<NvmeofTarget>(&sys->net(), cluster->storage_node, cluster->nvme.get());
+  nvmeof_ =
+      std::make_unique<NvmeofInitiator>(&sys->net(), cluster->fs_node, nvmeof_target_.get());
+  PageCache::Params cp;
+  cp.capacity_pages = params_.baseline_cache_pages;
+  cache_ = std::make_unique<PageCache>(&sys->loop(), nvmeof_.get(), cp);
+  nfs_server_ = std::make_unique<NfsServer>(&sys->net(), cluster->fs_node, cache_.get());
+  nfs_ = std::make_unique<NfsClient>(&sys->net(), cluster->frontend_node, nfs_server_.get());
+  rcuda_daemon_ = std::make_unique<RcudaDaemon>(&sys->net(), cluster->gpu.get());
+  rcuda_daemon_->register_kernel("face_verify",
+                                 make_face_verify_kernel(params_.per_image_compute));
+  rcuda_ =
+      std::make_unique<RcudaClient>(&sys->net(), cluster->frontend_node, rcuda_daemon_.get());
+
+  kernel_fn_ = sys->await_ok(rcuda_->cu_module_get_function("face_verify"));
+  const uint64_t batch_bytes = params_.image_bytes * params_.images_per_batch;
+  slots_.resize(params_.pool_slots);
+  for (auto& slot : slots_) {
+    slot.gpu_probe_addr = sys->await_ok(rcuda_->cu_mem_alloc(batch_bytes));
+    slot.gpu_db_addr = sys->await_ok(rcuda_->cu_mem_alloc(batch_bytes));
+    slot.gpu_result_addr = sys->await_ok(rcuda_->cu_mem_alloc(4096));
+  }
+}
+
+void FaceVerifyBaseline::ingest_database() {
+  const uint64_t batch_bytes = params_.image_bytes * params_.images_per_batch;
+  for (uint32_t b = 0; b < params_.num_batches; ++b) {
+    const std::string name = "batch_" + std::to_string(b);
+    FRACTOS_CHECK(nfs_server_->create_file(name, batch_bytes).ok());
+    std::vector<uint8_t> content;
+    content.reserve(batch_bytes);
+    for (uint32_t i = 0; i < params_.images_per_batch; ++i) {
+      const auto img = face_image(b, i, params_.image_bytes);
+      content.insert(content.end(), img.begin(), img.end());
+    }
+    auto f = sys_->await_ok(nfs_->open(name));
+    FRACTOS_CHECK(sys_->await(nfs_->write(f, 0, std::move(content))).ok());
+  }
+}
+
+void FaceVerifyBaseline::with_slot(std::function<void(size_t)> fn) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].busy) {
+      slots_[i].busy = true;
+      fn(i);
+      return;
+    }
+  }
+  waiting_.push_back(std::move(fn));
+}
+
+void FaceVerifyBaseline::release_slot(size_t i) {
+  if (!waiting_.empty()) {
+    auto fn = std::move(waiting_.front());
+    waiting_.pop_front();
+    fn(i);
+    return;
+  }
+  slots_[i].busy = false;
+}
+
+Future<Result<bool>> FaceVerifyBaseline::verify(uint32_t batch, bool tamper) {
+  Promise<Result<bool>> promise;
+  with_slot([this, batch, tamper, promise](size_t slot) {
+    run_on_slot(slot, batch, tamper, promise);
+  });
+  return promise.future();
+}
+
+void FaceVerifyBaseline::run_on_slot(size_t s, uint32_t batch, bool tamper,
+                                     Promise<Result<bool>> promise) {
+  const Slot& slot = slots_[s];
+  const uint64_t batch_bytes = params_.image_bytes * params_.images_per_batch;
+  const uint32_t n = params_.images_per_batch;
+
+  auto fail = [this, s, promise](ErrorCode e) {
+    release_slot(s);
+    promise.set(e);
+  };
+
+  std::vector<uint8_t> probe;
+  probe.reserve(batch_bytes);
+  for (uint32_t i = 0; i < n; ++i) {
+    const auto img = face_image(batch, i, params_.image_bytes);
+    probe.insert(probe.end(), img.begin(), img.end());
+  }
+  if (tamper) {
+    probe[params_.image_bytes / 2] ^= 0xff;
+  }
+
+  // The centralized star: every step returns to the frontend before the next one starts.
+  nfs_->open("batch_" + std::to_string(batch))
+      .on_ready([this, s, slot, batch_bytes, n, tamper, probe = std::move(probe), promise,
+                 fail](Result<NfsClient::FileHandle>&& f) mutable {
+        if (!f.ok()) {
+          fail(f.error());
+          return;
+        }
+        nfs_->read(f.value(), 0, batch_bytes)
+            .on_ready([this, s, slot, n, tamper, probe = std::move(probe), promise,
+                       fail](Result<std::vector<uint8_t>>&& data) mutable {
+              if (!data.ok()) {
+                fail(data.error());
+                return;
+              }
+              rcuda_->cu_memcpy_htod(slot.gpu_db_addr, std::move(data).value())
+                  .on_ready([this, s, slot, n, tamper, probe = std::move(probe), promise,
+                             fail](Status st) mutable {
+                    if (!st.ok()) {
+                      fail(st.error());
+                      return;
+                    }
+                    rcuda_->cu_memcpy_htod(slot.gpu_probe_addr, std::move(probe))
+                        .on_ready([this, s, slot, n, tamper, promise, fail](Status st2) {
+                          if (!st2.ok()) {
+                            fail(st2.error());
+                            return;
+                          }
+                          rcuda_
+                              ->cu_launch_kernel(kernel_fn_,
+                                                 {slot.gpu_probe_addr, slot.gpu_db_addr,
+                                                  slot.gpu_result_addr, n,
+                                                  params_.image_bytes})
+                              .on_ready([this, s, slot, n, tamper, promise, fail](Status st3) {
+                                if (!st3.ok()) {
+                                  fail(st3.error());
+                                  return;
+                                }
+                                rcuda_->cu_ctx_synchronize().on_ready([this, s, slot, n, tamper,
+                                                                       promise,
+                                                                       fail](Status st4) {
+                                  if (!st4.ok()) {
+                                    fail(st4.error());
+                                    return;
+                                  }
+                                  rcuda_->cu_memcpy_dtoh(slot.gpu_result_addr, n)
+                                      .on_ready([this, s, n, tamper, promise,
+                                                 fail](Result<std::vector<uint8_t>>&& v) {
+                                        if (!v.ok()) {
+                                          fail(v.error());
+                                          return;
+                                        }
+                                        bool all = true;
+                                        for (uint32_t i = 0; i < n; ++i) {
+                                          const bool expected = !(tamper && i == 0);
+                                          if ((v.value()[i] == 1) != expected) {
+                                            all = false;
+                                          }
+                                        }
+                                        release_slot(s);
+                                        promise.set(all);
+                                      });
+                                });
+                              });
+                        });
+                  });
+            });
+      });
+}
+
+}  // namespace fractos

@@ -1,0 +1,38 @@
+// Lightweight run-time check macros used across FractOS.
+//
+// FRACTOS_CHECK is always on: it guards invariants whose violation means memory corruption or a
+// protocol bug that must never be shipped past. FRACTOS_DCHECK compiles out in NDEBUG builds.
+
+#ifndef SRC_BASE_ASSERT_H_
+#define SRC_BASE_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FRACTOS_CHECK(cond)                                                          \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "FRACTOS_CHECK failed: %s at %s:%d\n", #cond, __FILE__,   \
+                   __LINE__);                                                        \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#define FRACTOS_CHECK_MSG(cond, msg)                                                 \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "FRACTOS_CHECK failed: %s (%s) at %s:%d\n", #cond, (msg), \
+                   __FILE__, __LINE__);                                              \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define FRACTOS_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define FRACTOS_DCHECK(cond) FRACTOS_CHECK(cond)
+#endif
+
+#endif  // SRC_BASE_ASSERT_H_

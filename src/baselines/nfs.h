@@ -1,0 +1,82 @@
+// NFS-style remote file access: the frontend-to-file-server leg of the paper's end-to-end
+// baseline (Section 6.5: "a frontend node that fetches files from a remote ext4 file system
+// via NFS. The file system is backed by NVMe-over-Fabrics storage").
+//
+// The server keeps a flat extent table ("ext4") over any BlockDevice — in the baseline
+// composition that device is an NVMe-oF initiator wrapped in a PageCache, giving the kernel
+// cache behaviour of the real stack. Each client call is one network round trip; file data
+// rides the reply/request.
+
+#ifndef SRC_BASELINES_NFS_H_
+#define SRC_BASELINES_NFS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/baselines/block_device.h"
+#include "src/fabric/queue_pair.h"
+#include "src/futures/future.h"
+
+namespace fractos {
+
+class NfsServer {
+ public:
+  struct Params {
+    // Per-RPC server-side processing (VFS + NFS daemon).
+    Duration rpc_cost = Duration::micros(4.0);
+  };
+
+  NfsServer(Network* net, uint32_t node, BlockDevice* device);
+  NfsServer(Network* net, uint32_t node, BlockDevice* device, Params params);
+
+  uint32_t node() const { return node_; }
+  // Server-side file creation (the exported directory's content).
+  Status create_file(const std::string& name, uint64_t size);
+
+  QueuePair& accept(Endpoint client_ep);
+
+ private:
+  struct File {
+    uint64_t base = 0;
+    uint64_t size = 0;
+  };
+  void on_rpc(QueuePair* qp, std::vector<uint8_t> bytes);
+
+  Network* net_;
+  uint32_t node_;
+  BlockDevice* device_;
+  Params params_;
+  std::unordered_map<std::string, File> files_;
+  std::unordered_map<uint64_t, File> handles_;
+  uint64_t next_handle_ = 1;
+  uint64_t next_base_ = 0;
+  std::vector<std::unique_ptr<QueuePair>> connections_;
+};
+
+class NfsClient {
+ public:
+  struct FileHandle {
+    uint64_t fh = 0;
+    uint64_t size = 0;
+  };
+
+  NfsClient(Network* net, uint32_t node, NfsServer* server);
+
+  Future<Result<FileHandle>> open(const std::string& name);
+  Future<Result<std::vector<uint8_t>>> read(const FileHandle& f, uint64_t off, uint64_t size);
+  Future<Status> write(const FileHandle& f, uint64_t off, std::vector<uint8_t> data);
+
+ private:
+  Future<Result<std::vector<uint8_t>>> call(std::vector<uint8_t> request, Traffic category);
+  void on_reply(std::vector<uint8_t> bytes);
+
+  Network* net_;
+  QueuePair qp_;
+  uint64_t next_seq_ = 1;
+  std::unordered_map<uint64_t, Promise<Result<std::vector<uint8_t>>>> pending_;
+};
+
+}  // namespace fractos
+
+#endif  // SRC_BASELINES_NFS_H_

@@ -1,0 +1,282 @@
+#include "src/baselines/rcuda.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+#include "src/wire/buffer.h"
+
+namespace fractos {
+
+namespace {
+enum CallOp : uint8_t {
+  kMemAlloc = 0,
+  kMemFree = 1,
+  kMemcpyHtoD = 2,
+  kMemcpyDtoH = 3,
+  kGetFunction = 4,
+  kLaunchKernel = 5,
+  kSynchronize = 6,
+  kReply = 7,
+};
+}  // namespace
+
+RcudaDaemon::RcudaDaemon(Network* net, SimGpu* gpu) : RcudaDaemon(net, gpu, Params{}) {}
+
+RcudaDaemon::RcudaDaemon(Network* net, SimGpu* gpu, Params params)
+    : net_(net), gpu_(gpu), params_(params) {
+  ctx_ = gpu_->create_context();
+}
+
+void RcudaDaemon::register_kernel(const std::string& name, SimGpu::Kernel kernel) {
+  functions_[name] = gpu_->load_kernel(name, std::move(kernel));
+}
+
+QueuePair& RcudaDaemon::accept(Endpoint client_ep) {
+  (void)client_ep;
+  connections_.push_back(std::make_unique<QueuePair>(net_, Endpoint{node(), Loc::kHost}));
+  QueuePair* qp = connections_.back().get();
+  qp->set_receive_handler([this, qp](std::vector<uint8_t> bytes) {
+    on_call(qp, std::move(bytes));
+  });
+  return *qp;
+}
+
+void RcudaDaemon::on_call(QueuePair* qp, std::vector<uint8_t> bytes) {
+  Decoder d(bytes);
+  const uint8_t op = d.get_u8();
+  const uint64_t seq = d.get_u64();
+
+  auto respond = [qp, seq](uint8_t status, std::vector<uint8_t> payload, Traffic cat) {
+    Encoder e;
+    e.put_u8(kReply);
+    e.put_u64(seq);
+    e.put_u8(status);
+    e.put_bytes(payload);
+    qp->send(cat, e.take());
+  };
+
+  ExecContext& cpu = net_->node(node()).host();
+  switch (op) {
+    case kMemAlloc: {
+      const uint64_t size = d.get_u64();
+      cpu.run(params_.call_cost, [this, size, respond]() {
+        auto addr = gpu_->alloc(ctx_, size);
+        if (!addr.ok()) {
+          respond(1, {}, Traffic::kControl);
+          return;
+        }
+        Encoder e;
+        e.put_u64(addr.value());
+        respond(0, e.take(), Traffic::kControl);
+      });
+      break;
+    }
+    case kMemFree: {
+      const uint64_t addr = d.get_u64();
+      cpu.run(params_.call_cost, [this, addr, respond]() {
+        respond(gpu_->free(ctx_, addr).ok() ? 0 : 1, {}, Traffic::kControl);
+      });
+      break;
+    }
+    case kMemcpyHtoD: {
+      const uint64_t addr = d.get_u64();
+      std::vector<uint8_t> data = d.get_bytes();
+      // Staging copy through daemon host memory, then DMA into the GPU.
+      const Duration staging =
+          params_.call_cost + transfer_time(data.size(), params_.staging_bandwidth_bpns);
+      cpu.run(staging, [this, addr, data = std::move(data), respond]() {
+        std::vector<uint8_t>& mem = net_->node(node()).pool(gpu_->pool());
+        if (addr + data.size() > mem.size()) {
+          respond(1, {}, Traffic::kControl);
+          return;
+        }
+        std::copy(data.begin(), data.end(), mem.begin() + static_cast<ptrdiff_t>(addr));
+        respond(0, {}, Traffic::kControl);
+      });
+      break;
+    }
+    case kMemcpyDtoH: {
+      const uint64_t addr = d.get_u64();
+      const uint64_t size = d.get_u64();
+      const Duration staging =
+          params_.call_cost + transfer_time(size, params_.staging_bandwidth_bpns);
+      cpu.run(staging, [this, addr, size, respond]() {
+        const std::vector<uint8_t>& mem = net_->node(node()).pool(gpu_->pool());
+        if (addr + size > mem.size()) {
+          respond(1, {}, Traffic::kControl);
+          return;
+        }
+        std::vector<uint8_t> data(mem.begin() + static_cast<ptrdiff_t>(addr),
+                                  mem.begin() + static_cast<ptrdiff_t>(addr + size));
+        respond(0, std::move(data), Traffic::kData);
+      });
+      break;
+    }
+    case kGetFunction: {
+      const std::string name = d.get_string();
+      cpu.run(params_.call_cost, [this, name, respond]() {
+        auto it = functions_.find(name);
+        if (it == functions_.end()) {
+          respond(1, {}, Traffic::kControl);
+          return;
+        }
+        Encoder e;
+        e.put_u64(it->second);
+        respond(0, e.take(), Traffic::kControl);
+      });
+      break;
+    }
+    case kLaunchKernel: {
+      const uint64_t function = d.get_u64();
+      const uint32_t n = d.get_u32();
+      std::vector<uint64_t> args;
+      for (uint32_t i = 0; i < n; ++i) {
+        args.push_back(d.get_u64());
+      }
+      cpu.run(params_.call_cost, [this, function, args = std::move(args), respond]() mutable {
+        // Asynchronous semantics: the call returns once queued; completion is observed via
+        // cuCtxSynchronize.
+        gpu_->launch(static_cast<SimGpu::KernelId>(function), std::move(args), [](Status) {});
+        respond(0, {}, Traffic::kControl);
+      });
+      break;
+    }
+    case kSynchronize: {
+      cpu.run(params_.call_cost, [this, respond]() {
+        // Completes once every queued kernel has drained from the engine.
+        const Time done_at = max(net_->loop()->now(), gpu_->engine_free());
+        net_->loop()->schedule_at(done_at, [respond]() { respond(0, {}, Traffic::kControl); });
+      });
+      break;
+    }
+    default:
+      FRACTOS_CHECK_MSG(false, "unknown rCUDA call");
+  }
+}
+
+RcudaClient::RcudaClient(Network* net, uint32_t node, RcudaDaemon* daemon)
+    : RcudaClient(net, node, daemon, Params{}) {}
+
+RcudaClient::RcudaClient(Network* net, uint32_t node, RcudaDaemon* daemon, Params params)
+    : net_(net), node_(node), params_(params), qp_(net, Endpoint{node, Loc::kHost}) {
+  QueuePair& remote = daemon->accept(qp_.local());
+  QueuePair::connect(qp_, remote);
+  qp_.set_receive_handler([this](std::vector<uint8_t> bytes) { on_reply(std::move(bytes)); });
+}
+
+Future<Result<std::vector<uint8_t>>> RcudaClient::call(std::vector<uint8_t> request,
+                                                       Traffic category) {
+  const uint64_t seq = next_seq_++;
+  Promise<Result<std::vector<uint8_t>>> promise;
+  pending_.emplace(seq, promise);
+  // Client-side interposition cost, then the wire.
+  net_->node(node_).host().run(params_.call_cost,
+                               [this, request = std::move(request), category]() mutable {
+                                 qp_.send(category, std::move(request));
+                               });
+  return promise.future();
+}
+
+void RcudaClient::on_reply(std::vector<uint8_t> bytes) {
+  Decoder d(bytes);
+  const uint8_t op = d.get_u8();
+  const uint64_t seq = d.get_u64();
+  const uint8_t status = d.get_u8();
+  std::vector<uint8_t> payload = d.get_bytes();
+  FRACTOS_CHECK(d.ok() && op == kReply);
+  auto it = pending_.find(seq);
+  FRACTOS_CHECK(it != pending_.end());
+  auto promise = it->second;
+  pending_.erase(it);
+  if (status != 0) {
+    promise.set(ErrorCode::kInternal);
+  } else {
+    promise.set(std::move(payload));
+  }
+}
+
+Future<Result<uint64_t>> RcudaClient::cu_mem_alloc(uint64_t size) {
+  Encoder e;
+  e.put_u8(kMemAlloc);
+  e.put_u64(next_seq_);
+  e.put_u64(size);
+  return call(e.take(), Traffic::kControl)
+      .then([](Result<std::vector<uint8_t>>&& r) -> Result<uint64_t> {
+        if (!r.ok()) {
+          return r.error();
+        }
+        Decoder d(r.value());
+        return d.get_u64();
+      });
+}
+
+Future<Status> RcudaClient::cu_mem_free(uint64_t device_addr) {
+  Encoder e;
+  e.put_u8(kMemFree);
+  e.put_u64(next_seq_);
+  e.put_u64(device_addr);
+  return call(e.take(), Traffic::kControl).then([](Result<std::vector<uint8_t>>&& r) -> Status {
+    return r.ok() ? ok_status() : Status(r.error());
+  });
+}
+
+Future<Status> RcudaClient::cu_memcpy_htod(uint64_t device_addr, std::vector<uint8_t> data) {
+  Encoder e;
+  e.put_u8(kMemcpyHtoD);
+  e.put_u64(next_seq_);
+  e.put_u64(device_addr);
+  e.put_bytes(data);
+  return call(e.take(), Traffic::kData).then([](Result<std::vector<uint8_t>>&& r) -> Status {
+    return r.ok() ? ok_status() : Status(r.error());
+  });
+}
+
+Future<Result<std::vector<uint8_t>>> RcudaClient::cu_memcpy_dtoh(uint64_t device_addr,
+                                                                 uint64_t size) {
+  Encoder e;
+  e.put_u8(kMemcpyDtoH);
+  e.put_u64(next_seq_);
+  e.put_u64(device_addr);
+  e.put_u64(size);
+  return call(e.take(), Traffic::kControl);
+}
+
+Future<Result<uint64_t>> RcudaClient::cu_module_get_function(const std::string& name) {
+  Encoder e;
+  e.put_u8(kGetFunction);
+  e.put_u64(next_seq_);
+  e.put_string(name);
+  return call(e.take(), Traffic::kControl)
+      .then([](Result<std::vector<uint8_t>>&& r) -> Result<uint64_t> {
+        if (!r.ok()) {
+          return r.error();
+        }
+        Decoder d(r.value());
+        return d.get_u64();
+      });
+}
+
+Future<Status> RcudaClient::cu_launch_kernel(uint64_t function, std::vector<uint64_t> args) {
+  Encoder e;
+  e.put_u8(kLaunchKernel);
+  e.put_u64(next_seq_);
+  e.put_u64(function);
+  e.put_u32(static_cast<uint32_t>(args.size()));
+  for (uint64_t a : args) {
+    e.put_u64(a);
+  }
+  return call(e.take(), Traffic::kControl).then([](Result<std::vector<uint8_t>>&& r) -> Status {
+    return r.ok() ? ok_status() : Status(r.error());
+  });
+}
+
+Future<Status> RcudaClient::cu_ctx_synchronize() {
+  Encoder e;
+  e.put_u8(kSynchronize);
+  e.put_u64(next_seq_);
+  return call(e.take(), Traffic::kControl).then([](Result<std::vector<uint8_t>>&& r) -> Status {
+    return r.ok() ? ok_status() : Status(r.error());
+  });
+}
+
+}  // namespace fractos

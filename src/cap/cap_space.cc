@@ -1,0 +1,63 @@
+#include "src/cap/cap_space.h"
+
+#include <algorithm>
+
+namespace fractos {
+
+CapSpace::CapSpace(uint32_t quota) : quota_(quota) {}
+
+Result<CapId> CapSpace::install(CapEntry entry) {
+  if (live_ >= quota_) {
+    return ErrorCode::kResourceExhausted;
+  }
+  // cids are NEVER reused: a stale cid held after revocation/purge must not silently alias a
+  // newer capability (the confused-deputy hazard of POSIX fd reuse).
+  const CapId cid = next_cid_++;
+  slots_.emplace(cid, entry);
+  ++live_;
+  return cid;
+}
+
+Result<CapEntry> CapSpace::get(CapId cid) const {
+  auto it = slots_.find(cid);
+  if (it == slots_.end()) {
+    return ErrorCode::kInvalidCapability;
+  }
+  return it->second;
+}
+
+Status CapSpace::remove(CapId cid) {
+  if (slots_.erase(cid) == 0) {
+    return ErrorCode::kInvalidCapability;
+  }
+  --live_;
+  return ok_status();
+}
+
+size_t CapSpace::purge_refs(const std::vector<ObjectRef>& revoked) {
+  size_t purged = 0;
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    const ObjectRef& ref = it->second.ref;
+    const bool hit = std::any_of(revoked.begin(), revoked.end(),
+                                 [&ref](const ObjectRef& r) { return r == ref; });
+    if (hit) {
+      it = slots_.erase(it);
+      --live_;
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+std::vector<CapEntry> CapSpace::all_entries() const {
+  std::vector<CapEntry> out;
+  out.reserve(live_);
+  for (const auto& [cid, entry] : slots_) {
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace fractos

@@ -1,0 +1,401 @@
+#include "src/cap/object_table.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+ObjectTable::ObjectTable(ControllerAddr owner, uint32_t reboot_count)
+    : owner_(owner), reboot_count_(reboot_count) {}
+
+ObjectIndex ObjectTable::insert(Object obj) {
+  const ObjectIndex idx = next_index_++;
+  objects_.emplace(idx, std::move(obj));
+  return idx;
+}
+
+Result<const ObjectTable::Object*> ObjectTable::lookup(ObjectIndex idx,
+                                                       uint32_t ref_reboot) const {
+  if (ref_reboot != reboot_count_) {
+    return ErrorCode::kStaleCapability;
+  }
+  auto it = objects_.find(idx);
+  if (it == objects_.end()) {
+    return ErrorCode::kInvalidCapability;
+  }
+  if (it->second.invalidated) {
+    return ErrorCode::kRevoked;
+  }
+  return &it->second;
+}
+
+ObjectTable::Object* ObjectTable::mutable_lookup(ObjectIndex idx) {
+  auto it = objects_.find(idx);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Result<ObjectIndex> ObjectTable::create_memory(ProcessId creator, MemoryDesc desc, Perms perms) {
+  if (desc.size == 0) {
+    return ErrorCode::kInvalidArgument;
+  }
+  Object obj;
+  obj.kind = ObjectKind::kMemory;
+  obj.creator = creator;
+  obj.mem = desc;
+  obj.mem_perms = perms;
+  return insert(std::move(obj));
+}
+
+Result<ObjectIndex> ObjectTable::derive_memory(ProcessId creator, ObjectIndex base,
+                                               uint64_t offset, uint64_t size,
+                                               Perms drop_perms) {
+  auto base_obj = lookup(base, reboot_count_);
+  if (!base_obj.ok()) {
+    return base_obj.error();
+  }
+  const Object& b = *base_obj.value();
+  if (b.kind != ObjectKind::kMemory) {
+    return ErrorCode::kWrongObjectKind;
+  }
+  if (offset > b.mem.size || size > b.mem.size - offset || size == 0) {
+    return ErrorCode::kOutOfRange;
+  }
+  Object obj;
+  obj.kind = ObjectKind::kMemory;
+  obj.creator = creator;
+  obj.parent = base;
+  obj.mem = b.mem;
+  obj.mem.addr += offset;
+  obj.mem.size = size;
+  obj.mem_perms = perms_drop(b.mem_perms, drop_perms);
+  const ObjectIndex idx = insert(std::move(obj));
+  mutable_lookup(base)->children.push_back(idx);
+  return idx;
+}
+
+Result<ObjectIndex> ObjectTable::create_request_root(ProcessId provider, CapId endpoint_cid,
+                                                     RequestArgs args) {
+  if (provider == kInvalidProcess) {
+    return ErrorCode::kInvalidArgument;
+  }
+  if (Status s = check_imm_overlap({}, args.imms); !s.ok()) {
+    return s.error();
+  }
+  Object obj;
+  obj.kind = ObjectKind::kRequest;
+  obj.creator = provider;
+  obj.is_root = true;
+  obj.provider = provider;
+  obj.endpoint_cid = endpoint_cid;
+  obj.args = std::move(args);
+  return insert(std::move(obj));
+}
+
+Status ObjectTable::set_endpoint_cid(ObjectIndex idx, CapId endpoint_cid) {
+  Object* o = mutable_lookup(idx);
+  if (o == nullptr || !o->is_root) {
+    return ErrorCode::kInvalidArgument;
+  }
+  o->endpoint_cid = endpoint_cid;
+  return ok_status();
+}
+
+Result<ObjectIndex> ObjectTable::derive_request_local(ProcessId creator, ObjectIndex base,
+                                                      RequestArgs refinement) {
+  auto base_obj = lookup(base, reboot_count_);
+  if (!base_obj.ok()) {
+    return base_obj.error();
+  }
+  if (base_obj.value()->kind != ObjectKind::kRequest) {
+    return ErrorCode::kWrongObjectKind;
+  }
+  // Collect the existing imm extents along the chain to validate immutability locally.
+  std::vector<ImmExtent> existing;
+  for (ObjectIndex cur = base; cur != kInvalidObject;) {
+    const Object* o = &objects_.at(cur);
+    existing.insert(existing.end(), o->args.imms.begin(), o->args.imms.end());
+    cur = o->parent;
+  }
+  if (Status s = check_imm_overlap(existing, refinement.imms); !s.ok()) {
+    return s.error();
+  }
+  Object obj;
+  obj.kind = ObjectKind::kRequest;
+  obj.creator = creator;
+  obj.parent = base;
+  obj.args = std::move(refinement);
+  const ObjectIndex idx = insert(std::move(obj));
+  mutable_lookup(base)->children.push_back(idx);
+  return idx;
+}
+
+Result<ObjectIndex> ObjectTable::create_revtree_child(ProcessId creator, ObjectIndex base) {
+  auto base_obj = lookup(base, reboot_count_);
+  if (!base_obj.ok()) {
+    return base_obj.error();
+  }
+  const Object& b = *base_obj.value();
+  Object obj;
+  obj.kind = b.kind;
+  obj.creator = creator;
+  obj.parent = base;
+  obj.indirection = true;
+  if (b.kind == ObjectKind::kMemory) {
+    obj.mem = b.mem;
+    obj.mem_perms = b.mem_perms;
+  }
+  const ObjectIndex idx = insert(std::move(obj));
+  mutable_lookup(base)->children.push_back(idx);
+  return idx;
+}
+
+Result<ObjectTable::ResolvedMemory> ObjectTable::resolve_memory(ObjectIndex idx,
+                                                                uint32_t ref_reboot) const {
+  auto obj = lookup(idx, ref_reboot);
+  if (!obj.ok()) {
+    return obj.error();
+  }
+  const Object& o = *obj.value();
+  if (o.kind != ObjectKind::kMemory) {
+    return ErrorCode::kWrongObjectKind;
+  }
+  // Derived memory objects carry their effective extent, so no chain walk is needed; parents
+  // were already checked live at derivation time and invalidate their subtree on revoke.
+  return ResolvedMemory{o.mem, o.mem_perms};
+}
+
+Result<ObjectTable::ResolvedRequest> ObjectTable::resolve_request(ObjectIndex idx,
+                                                                  uint32_t ref_reboot) const {
+  auto obj = lookup(idx, ref_reboot);
+  if (!obj.ok()) {
+    return obj.error();
+  }
+  if (obj.value()->kind != ObjectKind::kRequest) {
+    return ErrorCode::kWrongObjectKind;
+  }
+  // Walk the local derivation chain to its head, collecting refinement layers.
+  std::vector<const Object*> chain;
+  ObjectIndex cur = idx;
+  const Object* head = nullptr;
+  while (cur != kInvalidObject) {
+    auto it = objects_.find(cur);
+    FRACTOS_CHECK(it != objects_.end());
+    if (it->second.invalidated) {
+      return ErrorCode::kRevoked;
+    }
+    chain.push_back(&it->second);
+    head = &it->second;
+    cur = it->second.parent;
+  }
+
+  ResolvedRequest out;
+  if (!head->is_root) {
+    return ErrorCode::kInternal;  // derivation is always at the owner, so heads are roots
+  }
+  out.provider = head->provider;
+  out.endpoint_cid = head->endpoint_cid;
+  // Merge args base-first (chain was collected leaf-to-head).
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const Object* layer = *it;
+    out.args.imms.insert(out.args.imms.end(), layer->args.imms.begin(), layer->args.imms.end());
+    out.args.caps.insert(out.args.caps.end(), layer->args.caps.begin(), layer->args.caps.end());
+  }
+  if (Status s = check_imm_overlap({}, out.args.imms); !s.ok()) {
+    return s.error();
+  }
+  return out;
+}
+
+void ObjectTable::invalidate_subtree(ObjectIndex idx, RevokeResult& out) {
+  Object* o = mutable_lookup(idx);
+  if (o == nullptr || o->invalidated) {
+    return;
+  }
+  o->invalidated = true;
+  out.invalidated.push_back(idx);
+  for (const MonitorSub& sub : o->receive_subs) {
+    out.fires.push_back(MonitorFire{sub, /*delegate_mode=*/false});
+  }
+  o->receive_subs.clear();
+  // A delegated ("delegatee") child decrements its parent's outstanding-delegation counter;
+  // at zero the parent's monitor_delegate callback fires (Section 3.6).
+  if (o->is_delegatee_child && o->parent != kInvalidObject) {
+    Object* parent = mutable_lookup(o->parent);
+    if (parent != nullptr && parent->monitor_delegator && parent->delegatee_count > 0) {
+      if (--parent->delegatee_count == 0 && !parent->invalidated) {
+        out.fires.push_back(MonitorFire{parent->delegate_sub, /*delegate_mode=*/true});
+      }
+    }
+  }
+  for (ObjectIndex child : o->children) {
+    invalidate_subtree(child, out);
+  }
+}
+
+Result<ObjectTable::RevokeResult> ObjectTable::revoke(ObjectIndex idx, uint32_t ref_reboot) {
+  auto obj = lookup(idx, ref_reboot);
+  if (!obj.ok()) {
+    return obj.error();
+  }
+  RevokeResult out;
+  invalidate_subtree(idx, out);
+  return out;
+}
+
+ObjectTable::RevokeResult ObjectTable::revoke_all_of(ProcessId creator) {
+  RevokeResult out;
+  // Collect first: invalidate_subtree mutates the table while walking.
+  std::vector<ObjectIndex> owned;
+  for (const auto& [idx, obj] : objects_) {
+    if (obj.creator == creator && !obj.invalidated) {
+      owned.push_back(idx);
+    }
+  }
+  for (ObjectIndex idx : owned) {
+    invalidate_subtree(idx, out);
+  }
+  return out;
+}
+
+size_t ObjectTable::sweep_invalidated() {
+  size_t swept = 0;
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (it->second.invalidated) {
+      it = objects_.erase(it);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  if (swept > 0) {
+    // Drop dangling child links of surviving objects.
+    for (auto& [idx, obj] : objects_) {
+      std::erase_if(obj.children, [this](ObjectIndex c) { return !objects_.contains(c); });
+      if (obj.parent != kInvalidObject && !objects_.contains(obj.parent)) {
+        obj.parent = kInvalidObject;
+      }
+    }
+  }
+  return swept;
+}
+
+size_t ObjectTable::erase_objects(const std::vector<ObjectIndex>& indices) {
+  size_t erased = 0;
+  for (ObjectIndex idx : indices) {
+    auto it = objects_.find(idx);
+    if (it != objects_.end() && it->second.invalidated) {
+      objects_.erase(it);
+      ++erased;
+    }
+  }
+  if (erased > 0) {
+    for (auto& [idx, obj] : objects_) {
+      std::erase_if(obj.children, [this](ObjectIndex c) { return !objects_.contains(c); });
+      if (obj.parent != kInvalidObject && !objects_.contains(obj.parent)) {
+        obj.parent = kInvalidObject;
+      }
+    }
+  }
+  return erased;
+}
+
+Status ObjectTable::monitor_delegate(ObjectIndex idx, uint32_t ref_reboot, MonitorSub sub) {
+  auto obj = lookup(idx, ref_reboot);
+  if (!obj.ok()) {
+    return obj.error();
+  }
+  Object* o = mutable_lookup(idx);
+  if (!o->children.empty()) {
+    return ErrorCode::kInvalidArgument;  // paper footnote 1: must have no children yet
+  }
+  if (o->monitor_delegator) {
+    return ErrorCode::kAlreadyExists;
+  }
+  o->monitor_delegator = true;
+  o->delegate_sub = sub;
+  o->delegatee_count = 0;
+  return ok_status();
+}
+
+Status ObjectTable::monitor_receive(ObjectIndex idx, uint32_t ref_reboot, MonitorSub sub) {
+  auto obj = lookup(idx, ref_reboot);
+  if (!obj.ok()) {
+    return obj.error();
+  }
+  mutable_lookup(idx)->receive_subs.push_back(sub);
+  return ok_status();
+}
+
+Result<ObjectIndex> ObjectTable::prepare_delegation(ObjectIndex idx) {
+  auto obj = lookup(idx, reboot_count_);
+  if (!obj.ok()) {
+    return obj.error();
+  }
+  if (!obj.value()->monitor_delegator) {
+    return idx;
+  }
+  auto child = create_revtree_child(obj.value()->creator, idx);
+  if (!child.ok()) {
+    return child.error();
+  }
+  Object* c = mutable_lookup(child.value());
+  c->is_delegatee_child = true;
+  mutable_lookup(idx)->delegatee_count++;
+  return child.value();
+}
+
+void ObjectTable::reboot() {
+  objects_.clear();
+  next_index_ = 1;
+  ++reboot_count_;
+}
+
+ObjectRef ObjectTable::ref_of(ObjectIndex idx) const {
+  FRACTOS_DCHECK(objects_.contains(idx));
+  return ObjectRef{owner_, idx, reboot_count_};
+}
+
+bool ObjectTable::is_invalidated(ObjectIndex idx) const {
+  auto it = objects_.find(idx);
+  return it == objects_.end() || it->second.invalidated;
+}
+
+size_t ObjectTable::live_count() const {
+  size_t n = 0;
+  for (const auto& [idx, obj] : objects_) {
+    if (!obj.invalidated) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+ObjectKind ObjectTable::kind_of(ObjectIndex idx) const {
+  auto it = objects_.find(idx);
+  FRACTOS_CHECK(it != objects_.end());
+  return it->second.kind;
+}
+
+Status check_imm_overlap(const std::vector<ImmExtent>& existing,
+                         const std::vector<ImmExtent>& added) {
+  auto overlaps = [](const ImmExtent& a, const ImmExtent& b) {
+    return a.offset < b.end() && b.offset < a.end();
+  };
+  for (size_t i = 0; i < added.size(); ++i) {
+    for (const auto& e : existing) {
+      if (overlaps(added[i], e)) {
+        return ErrorCode::kArgumentOverlap;
+      }
+    }
+    for (size_t j = i + 1; j < added.size(); ++j) {
+      if (overlaps(added[i], added[j])) {
+        return ErrorCode::kArgumentOverlap;
+      }
+    }
+  }
+  return ok_status();
+}
+
+}  // namespace fractos

@@ -1,0 +1,202 @@
+// The per-Controller object table: the authoritative registry of Memory and Request objects.
+//
+// This implements the paper's distributed capability management protocol (Section 3.5):
+//
+//  * Objects "can only be used by contacting the owner of the object — the Controller with
+//    which it is registered", so revocation is a LOCAL invalidation at the owner: immediate
+//    and global, with no delegation tracking.
+//  * Derivation (memory_diminish, Request refinement, cap_create_revtree) creates a child
+//    object linked under its base; revoking any object invalidates its whole subtree
+//    recursively. Delegation, by contrast, shares the object — that asymmetry is the paper's
+//    optimization over classic per-delegation capability trees (compared in Fig. 7).
+//  * cap_create_revtree() children are pure indirection objects (Redell's caretaker pattern):
+//    same payload as the base, independently revocable.
+//  * Stale capabilities from before a Controller failure are detected by comparing the
+//    reboot counter embedded in every ObjectRef with the table's current counter.
+//  * monitor_delegate / monitor_receive (Section 3.6) hang subscriptions off objects; revoke
+//    reports which callbacks fired so the Controller can route monitor messages.
+
+#ifndef SRC_CAP_OBJECT_TABLE_H_
+#define SRC_CAP_OBJECT_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/cap/types.h"
+#include "src/wire/message.h"
+
+namespace fractos {
+
+// Immediates + capabilities of a Request (initial args or one refinement layer).
+struct RequestArgs {
+  std::vector<ImmExtent> imms;
+  std::vector<WireCap> caps;
+
+  bool empty() const { return imms.empty() && caps.empty(); }
+};
+
+// A monitor subscription: who to notify (their Controller routes to the Process).
+struct MonitorSub {
+  ControllerAddr controller = kInvalidController;
+  ProcessId process = kInvalidProcess;
+  uint64_t callback_id = 0;
+};
+
+class ObjectTable {
+ public:
+  ObjectTable(ControllerAddr owner, uint32_t reboot_count = 1);
+
+  ControllerAddr owner() const { return owner_; }
+  uint32_t reboot_count() const { return reboot_count_; }
+
+  // --- creation & derivation ---------------------------------------------------------------
+  // Every create/derive records the `creator` Process, so that a Process failure can be
+  // translated into revocation of everything it registered (Section 3.6).
+
+  Result<ObjectIndex> create_memory(ProcessId creator, MemoryDesc desc, Perms perms);
+
+  // memory_diminish: child object with a sub-extent and/or fewer permissions.
+  Result<ObjectIndex> derive_memory(ProcessId creator, ObjectIndex base, uint64_t offset,
+                                    uint64_t size, Perms drop_perms);
+
+  // New root Request: `provider` (a Process managed by this Controller) serves it;
+  // `endpoint_cid` is the provider's own cid, echoed back in deliveries for dispatch.
+  Result<ObjectIndex> create_request_root(ProcessId provider, CapId endpoint_cid,
+                                          RequestArgs args);
+
+  // Fixes up the endpoint cid after the capability has been installed (the cid is only known
+  // once the object exists).
+  Status set_endpoint_cid(ObjectIndex idx, CapId endpoint_cid);
+
+  // Derived Request. Derivation always happens at the base's owner ("Creating or revoking
+  // capabilities requires a single message to the owning Controller"), so the base is always
+  // in this same table and derivation chains never cross Controllers.
+  Result<ObjectIndex> derive_request_local(ProcessId creator, ObjectIndex base,
+                                           RequestArgs refinement);
+
+  // cap_create_revtree: pure indirection child, independently revocable.
+  Result<ObjectIndex> create_revtree_child(ProcessId creator, ObjectIndex base);
+
+  // --- resolution (use-time validation) ----------------------------------------------------
+
+  struct ResolvedMemory {
+    MemoryDesc desc;
+    Perms perms = Perms::kNone;
+  };
+  Result<ResolvedMemory> resolve_memory(ObjectIndex idx, uint32_t ref_reboot) const;
+
+  struct ResolvedRequest {
+    ProcessId provider = kInvalidProcess;
+    CapId endpoint_cid = kInvalidCap;
+    // Args merged base-first along the derivation chain.
+    RequestArgs args;
+  };
+  Result<ResolvedRequest> resolve_request(ObjectIndex idx, uint32_t ref_reboot) const;
+
+  // --- revocation --------------------------------------------------------------------------
+
+  struct MonitorFire {
+    MonitorSub sub;
+    bool delegate_mode = false;  // true: monitor_delegate_cb, false: monitor_receive_cb
+  };
+  struct RevokeResult {
+    std::vector<ObjectIndex> invalidated;  // the whole subtree, for the cleanup broadcast
+    std::vector<MonitorFire> fires;
+  };
+  Result<RevokeResult> revoke(ObjectIndex idx, uint32_t ref_reboot);
+
+  // Failure translation: revokes every live object created by `creator` (and, transitively,
+  // everything derived from them).
+  RevokeResult revoke_all_of(ProcessId creator);
+
+  // Cleanup step: physically removes invalidated objects (run after the broadcast; "neither
+  // security nor performance critical"). Returns how many were reclaimed.
+  size_t sweep_invalidated();
+
+  // Targeted cleanup: erases exactly these (invalidated) objects, once every peer has
+  // acknowledged the revocation broadcast.
+  size_t erase_objects(const std::vector<ObjectIndex>& indices);
+
+  // --- monitors (Section 3.6) --------------------------------------------------------------
+
+  // monitor_delegate: fire when the object's delegated children are all gone. The object must
+  // not already have children (paper, footnote 1).
+  Status monitor_delegate(ObjectIndex idx, uint32_t ref_reboot, MonitorSub sub);
+
+  // monitor_receive: fire when the object is revoked.
+  Status monitor_receive(ObjectIndex idx, uint32_t ref_reboot, MonitorSub sub);
+
+  // Called by the Controller when delegating a capability to this object: if the object is
+  // monitor_delegate'd, a tracked child object is created (and its index returned) so that
+  // the delegatee's capability is independently revocable and counted. Otherwise returns
+  // `idx` unchanged.
+  Result<ObjectIndex> prepare_delegation(ObjectIndex idx);
+
+  // --- failure handling --------------------------------------------------------------------
+
+  // Simulates a Controller crash+restart: every object is lost and the reboot counter bumps,
+  // so all outstanding capabilities become stale.
+  void reboot();
+
+  // --- introspection -----------------------------------------------------------------------
+
+  ObjectRef ref_of(ObjectIndex idx) const;
+  bool is_invalidated(ObjectIndex idx) const;
+  bool exists(ObjectIndex idx) const { return objects_.contains(idx); }
+  size_t live_count() const;
+  size_t total_count() const { return objects_.size(); }
+  ObjectKind kind_of(ObjectIndex idx) const;
+
+ private:
+  struct Object {
+    ObjectKind kind = ObjectKind::kMemory;
+    bool invalidated = false;
+
+    // Derivation/revocation tree (local to this table).
+    ObjectIndex parent = kInvalidObject;
+    std::vector<ObjectIndex> children;
+
+    // Memory payload (kind == kMemory): the effective extent/perms of this view.
+    MemoryDesc mem;
+    Perms mem_perms = Perms::kNone;
+
+    // Request payload (kind == kRequest).
+    bool is_root = false;
+    ProcessId provider = kInvalidProcess;
+    CapId endpoint_cid = kInvalidCap;
+    RequestArgs args;          // this layer's refinement (roots: initial args)
+    bool indirection = false;  // revtree child: adds no args of its own
+
+    // Creating Process, used to translate a Process failure into revocations.
+    ProcessId creator = kInvalidProcess;
+
+    // Monitors.
+    bool monitor_delegator = false;
+    MonitorSub delegate_sub;
+    uint32_t delegatee_count = 0;
+    bool is_delegatee_child = false;  // decrements parent's counter on revoke
+    std::vector<MonitorSub> receive_subs;
+  };
+
+  Result<const Object*> lookup(ObjectIndex idx, uint32_t ref_reboot) const;
+  Object* mutable_lookup(ObjectIndex idx);
+  ObjectIndex insert(Object obj);
+  void invalidate_subtree(ObjectIndex idx, RevokeResult& out);
+
+  ControllerAddr owner_;
+  uint32_t reboot_count_;
+  ObjectIndex next_index_ = 1;
+  std::unordered_map<ObjectIndex, Object> objects_;
+};
+
+// Validates that refinement extents do not overlap already-written extents or each other
+// (the paper's immutability rule: "Request arguments that have already been initialized
+// cannot be changed"). `existing` is checked against `added`, and `added` against itself.
+Status check_imm_overlap(const std::vector<ImmExtent>& existing,
+                         const std::vector<ImmExtent>& added);
+
+}  // namespace fractos
+
+#endif  // SRC_CAP_OBJECT_TABLE_H_

@@ -1,0 +1,69 @@
+// Envelope-typed message channel: a QueuePair that encodes/decodes FractOS protocol
+// envelopes. Used both for Process<->Controller request/response queues and for
+// Controller<->Controller links.
+
+#ifndef SRC_CORE_CHANNEL_H_
+#define SRC_CORE_CHANNEL_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/fabric/queue_pair.h"
+#include "src/wire/message.h"
+
+namespace fractos {
+
+class Channel {
+ public:
+  using Handler = std::function<void(Envelope)>;
+  using SeveredHandler = std::function<void()>;
+
+  Channel(Network* net, Endpoint local) : qp_(net, local) {
+    qp_.set_receive_handler([this](std::vector<uint8_t> bytes) { on_bytes(std::move(bytes)); });
+  }
+
+  static void connect(Channel& a, Channel& b) { QueuePair::connect(a.qp_, b.qp_); }
+
+  Endpoint local() const { return qp_.local(); }
+  Endpoint remote() const { return qp_.remote(); }
+  bool severed() const { return qp_.severed(); }
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+  void set_severed_handler(SeveredHandler handler) {
+    qp_.set_severed_handler(std::move(handler));
+  }
+
+  void send(Traffic category, const Envelope& env) {
+    qp_.send(category, encode_envelope(env));
+  }
+
+  void sever() { qp_.sever(); }
+
+  uint64_t malformed_dropped() const { return malformed_dropped_; }
+
+  // Test hook: feeds raw bytes to the receive path as if they arrived on the wire (the
+  // Process API always encodes, so hostile raw frames can only be injected this way).
+  void inject_raw_for_test(std::vector<uint8_t> bytes) { on_bytes(std::move(bytes)); }
+
+ private:
+  void on_bytes(std::vector<uint8_t> bytes) {
+    auto env = decode_envelope(bytes);
+    if (!env.ok()) {
+      // Bytes on a channel come from an UNTRUSTED Process (or a peer with a bug): a trusted
+      // Controller must never abort on malformed input — drop it and count it.
+      ++malformed_dropped_;
+      return;
+    }
+    if (handler_ != nullptr) {
+      handler_(std::move(env).value());
+    }
+  }
+
+  QueuePair qp_;
+  Handler handler_;
+  uint64_t malformed_dropped_ = 0;
+};
+
+}  // namespace fractos
+
+#endif  // SRC_CORE_CHANNEL_H_

@@ -1,0 +1,1165 @@
+#include "src/core/controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+Controller::Controller(Network* net, Config config)
+    : net_(net), config_(config), table_(config.addr) {
+  FRACTOS_CHECK(net != nullptr);
+  exec_ = &net_->node(config_.endpoint.node).context(config_.endpoint.loc);
+  name_ = "ctrl-" + std::to_string(config_.addr);
+}
+
+// --- wiring ----------------------------------------------------------------------------------
+
+Channel& Controller::attach_process(ProcessId pid, uint32_t proc_node, PoolId heap_pool) {
+  FRACTOS_CHECK(!procs_.contains(pid));
+  auto state = std::make_unique<ProcState>(config_.cap_quota);
+  state->pid = pid;
+  state->node = proc_node;
+  state->heap_pool = heap_pool;
+  state->chan = std::make_unique<Channel>(net_, config_.endpoint);
+  Channel& chan = *state->chan;
+  chan.set_handler([this, pid](Envelope env) { on_process_msg(pid, std::move(env)); });
+  chan.set_severed_handler([this, pid]() {
+    // "A Process failure is detected by the owner Controller when their channel is severed."
+    if (!failed_) {
+      process_failed(pid);
+    }
+  });
+  procs_.emplace(pid, std::move(state));
+  return chan;
+}
+
+Channel& Controller::connect_peer(ControllerAddr peer, Endpoint peer_ep) {
+  FRACTOS_CHECK(!peers_.contains(peer));
+  Peer p;
+  p.endpoint = peer_ep;
+  p.chan = std::make_unique<Channel>(net_, config_.endpoint);
+  Channel& chan = *p.chan;
+  chan.set_handler([this, peer](Envelope env) { on_peer_msg(peer, std::move(env)); });
+  peers_.emplace(peer, std::move(p));
+  return chan;
+}
+
+Result<CapId> Controller::bootstrap_install(ProcessId pid, CapEntry entry) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end() || !it->second->alive) {
+    return ErrorCode::kNotFound;
+  }
+  return it->second->caps.install(entry);
+}
+
+Result<CapEntry> Controller::inspect_cap(ProcessId pid, CapId cid) const {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) {
+    return ErrorCode::kNotFound;
+  }
+  return it->second->caps.get(cid);
+}
+
+size_t Controller::cap_space_size(ProcessId pid) const {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? 0 : it->second->caps.size();
+}
+
+// --- RDMA authorization ------------------------------------------------------------------------
+
+Status Controller::check_rdma(const RdmaKey& key, PoolId pool, uint64_t addr, uint64_t size,
+                              bool is_write) const {
+  if (failed_) {
+    return ErrorCode::kChannelClosed;
+  }
+  auto resolved = table_.resolve_memory(key.object, key.generation);
+  if (!resolved.ok()) {
+    return resolved.error();
+  }
+  const auto& mem = resolved.value();
+  if (mem.desc.pool != pool || addr < mem.desc.addr || addr + size > mem.desc.addr + mem.desc.size) {
+    return ErrorCode::kOutOfRange;
+  }
+  if (!perms_allow(mem.perms, is_write ? Perms::kWrite : Perms::kRead)) {
+    return ErrorCode::kPermissionDenied;
+  }
+  return ok_status();
+}
+
+// --- dispatch ----------------------------------------------------------------------------------
+
+Duration Controller::cost_of(const Envelope& env) const {
+  const ControllerCosts& c = config_.costs;
+  switch (env.type) {
+    case MsgType::kNullOp:
+      return c.null_op;
+    case MsgType::kMemoryCopy:
+      return c.memcopy_setup;
+    case MsgType::kRequestInvoke: {
+      const auto& m = std::get<RequestInvokeMsg>(env.body);
+      return c.request_traversal + c.cap_install * static_cast<double>(m.caps.size());
+    }
+    case MsgType::kRemoteInvoke: {
+      const auto& m = std::get<RemoteInvokeMsg>(env.body);
+      const double n = static_cast<double>(m.caps.size());
+      return c.net_deserialize + c.request_traversal + (c.cap_deserialize + c.cap_install) * n;
+    }
+    case MsgType::kRemoteDerive: {
+      const auto& m = std::get<RemoteDeriveMsg>(env.body);
+      return c.syscall_base + c.cap_deserialize * static_cast<double>(m.caps.size());
+    }
+    case MsgType::kDeliverAck:
+      return Duration::nanos(50);
+    default:
+      return c.syscall_base;
+  }
+}
+
+void Controller::on_process_msg(ProcessId pid, Envelope env) {
+  if (failed_) {
+    return;
+  }
+  // Evaluate the cost before the capture list moves `env` (argument order is unspecified).
+  const Duration cost = cost_of(env);
+  exec_->run(cost, [this, pid, env = std::move(env)]() mutable {
+    auto it = procs_.find(pid);
+    if (it == procs_.end() || !it->second->alive || failed_) {
+      return;
+    }
+    handle_syscall(*it->second, env);
+  });
+}
+
+void Controller::on_peer_msg(ControllerAddr peer, Envelope env) {
+  if (failed_) {
+    return;
+  }
+  const Duration cost = cost_of(env);
+  exec_->run(cost, [this, peer, env = std::move(env)]() mutable {
+    if (failed_) {
+      return;
+    }
+    switch (env.type) {
+      case MsgType::kRemoteInvoke:
+        peer_remote_invoke(peer, std::get<RemoteInvokeMsg>(env.body));
+        break;
+      case MsgType::kRemoteDerive:
+        peer_remote_derive(peer, std::get<RemoteDeriveMsg>(env.body));
+        break;
+      case MsgType::kPeerReply:
+        peer_reply(std::get<PeerReplyMsg>(env.body));
+        break;
+      case MsgType::kRevokeBroadcast:
+        peer_revoke_broadcast(peer, std::get<RevokeBroadcastMsg>(env.body));
+        break;
+      case MsgType::kRevokeAck:
+        peer_revoke_ack(std::get<RevokeAckMsg>(env.body));
+        break;
+      case MsgType::kRegisterMonitor:
+        peer_register_monitor(peer, env.seq, std::get<RegisterMonitorMsg>(env.body));
+        break;
+      case MsgType::kMonitorFired:
+        peer_monitor_fired(std::get<MonitorFiredMsg>(env.body));
+        break;
+      case MsgType::kRemoteInvokeError:
+        peer_invoke_error(std::get<RemoteInvokeErrorMsg>(env.body));
+        break;
+      default:
+        FRACTOS_CHECK_MSG(false, "unexpected message on peer channel");
+    }
+  });
+}
+
+void Controller::charge(Duration cost, std::function<void()> fn) {
+  exec_->run(cost, std::move(fn));
+}
+
+// --- syscall handlers ----------------------------------------------------------------------------
+
+void Controller::handle_syscall(ProcState& p, const Envelope& env) {
+  ++stats_.syscalls;
+  if (net_->loop()->tracing() && env.type != MsgType::kDeliverAck) {
+    net_->loop()->trace(name_, std::string("syscall ") + msg_type_name(env.type) + " from pid " +
+                                   std::to_string(p.pid));
+  }
+  switch (env.type) {
+    case MsgType::kNullOp:
+      reply(p, env.seq, ErrorCode::kOk);
+      break;
+    case MsgType::kMemoryCreate:
+      sc_memory_create(p, env.seq, std::get<MemoryCreateMsg>(env.body));
+      break;
+    case MsgType::kMemoryDiminish:
+      sc_memory_diminish(p, env.seq, std::get<MemoryDiminishMsg>(env.body));
+      break;
+    case MsgType::kMemoryCopy:
+      sc_memory_copy(p, env.seq, std::get<MemoryCopyMsg>(env.body));
+      break;
+    case MsgType::kRequestCreate:
+      sc_request_create(p, env.seq, std::get<RequestCreateMsg>(env.body));
+      break;
+    case MsgType::kRequestInvoke:
+      sc_request_invoke(p, env.seq, std::get<RequestInvokeMsg>(env.body));
+      break;
+    case MsgType::kCapCreateRevtree:
+      sc_cap_create_revtree(p, env.seq, std::get<CapCreateRevtreeMsg>(env.body));
+      break;
+    case MsgType::kCapRevoke:
+      sc_cap_revoke(p, env.seq, std::get<CapRevokeMsg>(env.body));
+      break;
+    case MsgType::kMonitorDelegate:
+      sc_monitor(p, env.seq, std::get<MonitorMsg>(env.body), /*delegate_mode=*/true);
+      break;
+    case MsgType::kMonitorReceive:
+      sc_monitor(p, env.seq, std::get<MonitorMsg>(env.body), /*delegate_mode=*/false);
+      break;
+    case MsgType::kDeliverAck: {
+      if (p.outstanding > 0) {
+        --p.outstanding;
+      }
+      drain_deliveries(p);
+      break;
+    }
+    default:
+      FRACTOS_CHECK_MSG(false, "unexpected message on process channel");
+  }
+}
+
+void Controller::reply(ProcState& p, uint64_t seq, ErrorCode status, CapId cid) {
+  SyscallReplyMsg m;
+  m.call_seq = seq;
+  m.status = status;
+  m.cid = cid;
+  p.chan->send(Traffic::kControl, make_envelope(next_seq_++, m));
+}
+
+void Controller::sc_memory_create(ProcState& p, uint64_t seq, const MemoryCreateMsg& m) {
+  // The Process registers memory it physically owns: a pool on its own node.
+  Node& node = net_->node(p.node);
+  if (Status s = node.check_extent(m.pool, m.addr, m.size); !s.ok()) {
+    reply(p, seq, s.error());
+    return;
+  }
+  MemoryDesc desc{p.node, m.pool, m.addr, m.size};
+  auto idx = table_.create_memory(p.pid, desc, m.perms);
+  if (!idx.ok()) {
+    reply(p, seq, idx.error());
+    return;
+  }
+  CapEntry entry;
+  entry.ref = table_.ref_of(idx.value());
+  entry.kind = ObjectKind::kMemory;
+  entry.perms = m.perms;
+  entry.mem = desc;
+  auto cid = p.caps.install(entry);
+  if (!cid.ok()) {
+    reply(p, seq, cid.error());
+    return;
+  }
+  reply(p, seq, ErrorCode::kOk, cid.value());
+}
+
+void Controller::sc_memory_diminish(ProcState& p, uint64_t seq, const MemoryDiminishMsg& m) {
+  auto entry = p.caps.get(m.cid);
+  if (!entry.ok()) {
+    reply(p, seq, entry.error());
+    return;
+  }
+  const CapEntry& e = entry.value();
+  if (e.kind != ObjectKind::kMemory) {
+    reply(p, seq, ErrorCode::kWrongObjectKind);
+    return;
+  }
+  if (e.ref.owner == addr()) {
+    auto idx = table_.derive_memory(p.pid, e.ref.index, m.offset, m.size, m.drop_perms);
+    if (!idx.ok()) {
+      reply(p, seq, idx.error());
+      return;
+    }
+    auto resolved = table_.resolve_memory(idx.value(), table_.reboot_count());
+    FRACTOS_CHECK(resolved.ok());
+    CapEntry derived;
+    derived.ref = table_.ref_of(idx.value());
+    derived.kind = ObjectKind::kMemory;
+    derived.perms = resolved.value().perms;
+    derived.mem = resolved.value().desc;
+    auto cid = p.caps.install(derived);
+    reply(p, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+    return;
+  }
+  // Derivation at the owner: single message to the owning Controller (Section 3.5).
+  RemoteDeriveMsg rd;
+  rd.op_id = next_op_id_++;
+  rd.base = e.ref;
+  rd.op = RemoteDeriveMsg::Op::kMemoryDiminish;
+  rd.requester = p.pid;
+  rd.offset = m.offset;
+  rd.size = m.size;
+  rd.drop_perms = m.drop_perms;
+  const ProcessId pid = p.pid;
+  start_peer_op(e.ref.owner, rd.op_id, [this, pid, seq](const PeerReplyMsg& r) {
+    auto it = procs_.find(pid);
+    if (it == procs_.end() || !it->second->alive) {
+      return;
+    }
+    ProcState& proc = *it->second;
+    if (r.status != ErrorCode::kOk) {
+      reply(proc, seq, r.status);
+      return;
+    }
+    CapEntry derived{r.result.ref, r.result.kind, r.result.perms, r.result.mem,
+                     r.result.tracked};
+    auto cid = proc.caps.install(derived);
+    reply(proc, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+  });
+  send_peer(e.ref.owner, make_envelope(rd.op_id, std::move(rd)));
+}
+
+void Controller::sc_memory_copy(ProcState& p, uint64_t seq, const MemoryCopyMsg& m) {
+  auto src = p.caps.get(m.src);
+  auto dst = p.caps.get(m.dst);
+  if (!src.ok() || !dst.ok()) {
+    reply(p, seq, ErrorCode::kInvalidCapability);
+    return;
+  }
+  if (src.value().kind != ObjectKind::kMemory || dst.value().kind != ObjectKind::kMemory) {
+    reply(p, seq, ErrorCode::kWrongObjectKind);
+    return;
+  }
+  if (!perms_allow(src.value().perms, Perms::kRead) ||
+      !perms_allow(dst.value().perms, Perms::kWrite)) {
+    reply(p, seq, ErrorCode::kPermissionDenied);
+    return;
+  }
+  // Resolve the sub-range views. length == 0 means the whole overlap (min of both views) —
+  // this lets services point one fixed staging-window capability at variable-sized client
+  // buffers without deriving a fresh Memory object per operation.
+  CapEntry src_view = src.value();
+  CapEntry dst_view = dst.value();
+  if (m.src_off > src_view.mem.size || m.dst_off > dst_view.mem.size) {
+    reply(p, seq, ErrorCode::kOutOfRange);
+    return;
+  }
+  src_view.mem.addr += m.src_off;
+  src_view.mem.size -= m.src_off;
+  dst_view.mem.addr += m.dst_off;
+  dst_view.mem.size -= m.dst_off;
+  const uint64_t length =
+      m.length == 0 ? std::min(src_view.mem.size, dst_view.mem.size) : m.length;
+  if (length > src_view.mem.size || length > dst_view.mem.size) {
+    reply(p, seq, ErrorCode::kOutOfRange);
+    return;
+  }
+  src_view.mem.size = length;
+  dst_view.mem.size = length;
+  do_copy(p, seq, src_view, dst_view);
+}
+
+void Controller::do_copy(ProcState& p, uint64_t seq, const CapEntry& src, const CapEntry& dst) {
+  const uint64_t total = src.mem.size;
+  ++stats_.copies;
+  stats_.copy_bytes += total;
+  const ProcessId pid = p.pid;
+  auto done = [this, pid, seq](Status s) {
+    auto it = procs_.find(pid);
+    if (it == procs_.end() || !it->second->alive) {
+      return;
+    }
+    reply(*it->second, seq, s.ok() ? ErrorCode::kOk : s.error());
+  };
+  if (config_.hw_third_party_copies) {
+    Network::RdmaSide s{src.mem.node, key_of(src.ref), src.mem.pool, src.mem.addr};
+    Network::RdmaSide d{dst.mem.node, key_of(dst.ref), dst.mem.pool, dst.mem.addr};
+    net_->rdma_third_party(config_.endpoint, s, d, total, std::move(done));
+    return;
+  }
+  bounce_copy_chunked(config_.endpoint, src, dst, total, std::move(done));
+}
+
+void Controller::bounce_copy_chunked(Endpoint self, CapEntry src, CapEntry dst, uint64_t total,
+                                     std::function<void(Status)> done) {
+  // "FractOS uses double buffering for buffers larger than 16 KB" (Fig. 5): below the
+  // threshold the copy is one read followed by one write through the Controller's bounce
+  // buffers; above it, fixed-size chunks are pipelined with up to two reads in flight, so a
+  // chunk's write overlaps the next chunk's read.
+  struct CopyState {
+    Network* net;
+    Endpoint self;
+    CapEntry src;
+    CapEntry dst;
+    uint64_t total = 0;
+    uint64_t chunk = 0;
+    uint64_t next_read = 0;
+    uint64_t written = 0;
+    uint32_t reads_in_flight = 0;
+    bool failed = false;
+    std::function<void(Status)> done;
+  };
+  auto st = std::make_shared<CopyState>();
+  st->net = net_;
+  st->self = self;
+  st->src = src;
+  st->dst = dst;
+  st->total = total;
+  st->chunk = total <= config_.double_buffer_threshold ? total : config_.copy_chunk_bytes;
+  st->done = std::move(done);
+  if (total == 0) {
+    net_->loop()->post([st]() { st->done(ok_status()); });
+    return;
+  }
+
+  // Recursive lambda via a shared function object. The self-capture is WEAK: pending RDMA
+  // callbacks hold the function strongly, so it lives exactly as long as the copy is in
+  // flight and is reclaimed afterwards (a strong self-capture would leak one CopyState per
+  // operation).
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [st, weak_pump = std::weak_ptr<std::function<void()>>(pump)]() {
+    auto pump = weak_pump.lock();
+    if (!pump) {
+      return;
+    }
+    while (!st->failed && st->next_read < st->total && st->reads_in_flight < 2) {
+      const uint64_t off = st->next_read;
+      const uint64_t len = std::min(st->chunk, st->total - off);
+      st->next_read += len;
+      ++st->reads_in_flight;
+      st->net->rdma_read(
+          st->self, st->src.mem.node, RdmaKey{st->src.ref.owner, st->src.ref.index,
+                                              st->src.ref.reboot_count},
+          st->src.mem.pool, st->src.mem.addr + off, len,
+          [st, pump, off, len](Result<std::vector<uint8_t>> data) {
+            --st->reads_in_flight;
+            if (st->failed) {
+              return;
+            }
+            if (!data.ok()) {
+              st->failed = true;
+              st->done(data.error());
+              return;
+            }
+            st->net->rdma_write(
+                st->self, st->dst.mem.node,
+                RdmaKey{st->dst.ref.owner, st->dst.ref.index, st->dst.ref.reboot_count},
+                st->dst.mem.pool, st->dst.mem.addr + off, std::move(data).value(),
+                [st, len](Status ws) {
+                  if (st->failed) {
+                    return;
+                  }
+                  if (!ws.ok()) {
+                    st->failed = true;
+                    st->done(ws);
+                    return;
+                  }
+                  st->written += len;
+                  if (st->written == st->total) {
+                    st->done(ok_status());
+                  }
+                });
+            (*pump)();
+          });
+    }
+  };
+  (*pump)();
+}
+
+void Controller::note_peer_generation(ControllerAddr peer, uint32_t reboot_count) {
+  uint32_t& gen = peer_gens_[peer];
+  if (reboot_count > gen) {
+    gen = reboot_count;
+  }
+}
+
+bool Controller::is_stale(const ObjectRef& ref) const {
+  if (ref.owner == addr()) {
+    return ref.reboot_count != table_.reboot_count();
+  }
+  auto it = peer_gens_.find(ref.owner);
+  return it != peer_gens_.end() && ref.reboot_count < it->second;
+}
+
+Duration Controller::cap_serialize_cost(const std::vector<WireCap>& caps) {
+  Duration total = Duration::zero();
+  for (const WireCap& wc : caps) {
+    const uint64_t key = (static_cast<uint64_t>(wc.ref.owner) << 48) ^ wc.ref.index;
+    if (config_.cache_serialized_requests && serialized_cache_.contains(key)) {
+      total += config_.costs.cap_serialize * config_.serialized_cache_discount;
+    } else {
+      total += config_.costs.cap_serialize;
+      if (config_.cache_serialized_requests) {
+        serialized_cache_.insert(key);
+      }
+    }
+  }
+  return total;
+}
+
+void Controller::node_failed(uint32_t node) {
+  std::vector<ProcessId> victims;
+  for (auto& [pid, proc] : procs_) {
+    if (proc->alive && proc->node == node) {
+      victims.push_back(pid);
+    }
+  }
+  for (ProcessId pid : victims) {
+    process_failed(pid);
+  }
+}
+
+Result<WireCap> Controller::make_wire_cap(ProcState& p, CapId cid) {
+  auto entry = p.caps.get(cid);
+  if (!entry.ok()) {
+    return entry.error();
+  }
+  const CapEntry& e = entry.value();
+  if (is_stale(e.ref)) {
+    return ErrorCode::kStaleCapability;
+  }
+  WireCap wc;
+  wc.ref = e.ref;
+  wc.kind = e.kind;
+  wc.perms = e.perms;
+  wc.mem = e.mem;
+  wc.tracked = e.tracked;
+  if (e.ref.owner == addr()) {
+    // Owner-side monitor interception: delegating a monitor_delegate'd object creates a
+    // tracked per-delegation child (Section 3.6).
+    auto prepared = table_.prepare_delegation(e.ref.index);
+    if (!prepared.ok()) {
+      return prepared.error();
+    }
+    if (prepared.value() != e.ref.index) {
+      wc.ref = table_.ref_of(prepared.value());
+      wc.tracked = true;
+    }
+  }
+  return wc;
+}
+
+Result<std::vector<WireCap>> Controller::make_wire_caps(ProcState& p,
+                                                        const std::vector<CapId>& cids) {
+  std::vector<WireCap> out;
+  out.reserve(cids.size());
+  for (CapId cid : cids) {
+    auto wc = make_wire_cap(p, cid);
+    if (!wc.ok()) {
+      return wc.error();
+    }
+    out.push_back(wc.value());
+  }
+  return out;
+}
+
+void Controller::sc_request_create(ProcState& p, uint64_t seq, const RequestCreateMsg& m) {
+  auto caps = make_wire_caps(p, m.caps);
+  if (!caps.ok()) {
+    reply(p, seq, caps.error());
+    return;
+  }
+  RequestArgs args;
+  args.imms = m.imms;
+  args.caps = std::move(caps).value();
+
+  if (!m.has_base) {
+    auto idx = table_.create_request_root(p.pid, kInvalidCap, std::move(args));
+    if (!idx.ok()) {
+      reply(p, seq, idx.error());
+      return;
+    }
+    CapEntry entry;
+    entry.ref = table_.ref_of(idx.value());
+    entry.kind = ObjectKind::kRequest;
+    auto cid = p.caps.install(entry);
+    if (!cid.ok()) {
+      reply(p, seq, cid.error());
+      return;
+    }
+    FRACTOS_CHECK(table_.set_endpoint_cid(idx.value(), cid.value()).ok());
+    reply(p, seq, ErrorCode::kOk, cid.value());
+    return;
+  }
+
+  auto base = p.caps.get(m.base);
+  if (!base.ok()) {
+    reply(p, seq, base.error());
+    return;
+  }
+  if (base.value().kind != ObjectKind::kRequest) {
+    reply(p, seq, ErrorCode::kWrongObjectKind);
+    return;
+  }
+  if (base.value().ref.owner == addr()) {
+    auto idx = table_.derive_request_local(p.pid, base.value().ref.index, std::move(args));
+    if (!idx.ok()) {
+      reply(p, seq, idx.error());
+      return;
+    }
+    CapEntry entry;
+    entry.ref = table_.ref_of(idx.value());
+    entry.kind = ObjectKind::kRequest;
+    auto cid = p.caps.install(entry);
+    reply(p, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+    return;
+  }
+
+  // Derivation at the owner; capability arguments are delegated (serialized) on the way.
+  RemoteDeriveMsg rd;
+  rd.op_id = next_op_id_++;
+  rd.base = base.value().ref;
+  rd.op = RemoteDeriveMsg::Op::kRequestRefine;
+  rd.requester = p.pid;
+  rd.imms = std::move(args.imms);
+  rd.caps = std::move(args.caps);
+  const ProcessId pid = p.pid;
+  const ControllerAddr owner = base.value().ref.owner;
+  const Duration extra = cap_serialize_cost(rd.caps);
+  start_peer_op(owner, rd.op_id, [this, pid, seq](const PeerReplyMsg& r) {
+    auto it = procs_.find(pid);
+    if (it == procs_.end() || !it->second->alive) {
+      return;
+    }
+    ProcState& proc = *it->second;
+    if (r.status != ErrorCode::kOk) {
+      reply(proc, seq, r.status);
+      return;
+    }
+    CapEntry entry{r.result.ref, r.result.kind, r.result.perms, r.result.mem, r.result.tracked};
+    auto cid = proc.caps.install(entry);
+    reply(proc, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+  });
+  charge(extra, [this, owner, rd = std::move(rd)]() mutable {
+    const uint64_t op_id = rd.op_id;
+    send_peer(owner, make_envelope(op_id, std::move(rd)));
+  });
+}
+
+void Controller::sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvokeMsg& m) {
+  auto entry = p.caps.get(m.cid);
+  if (!entry.ok()) {
+    reply(p, seq, entry.error());
+    return;
+  }
+  const CapEntry& e = entry.value();
+  if (e.kind != ObjectKind::kRequest) {
+    reply(p, seq, ErrorCode::kWrongObjectKind);
+    return;
+  }
+  auto caps = make_wire_caps(p, m.caps);
+  if (!caps.ok()) {
+    reply(p, seq, caps.error());
+    return;
+  }
+
+  if (is_stale(e.ref)) {
+    reply(p, seq, ErrorCode::kStaleCapability);
+    return;
+  }
+  if (e.ref.owner == addr()) {
+    ++stats_.invokes_local;
+    const ErrorCode status = deliver_by_ref(e.ref, m.imms, caps.value());
+    reply(p, seq, status);
+    return;
+  }
+  ++stats_.invokes_forwarded;
+
+  // Forward to the owning Controller; the invoke-time refinement and the delegated
+  // capabilities ride along, so a pre-arranged RPC is exactly one cross-node message.
+  RemoteInvokeMsg ri;
+  ri.target = e.ref;
+  ri.imms = m.imms;
+  ri.caps = std::move(caps).value();
+  ri.origin = addr();
+  ri.invoke_id = next_op_id_++;
+  pending_invokes_[ri.invoke_id] = p.pid;
+  const ControllerAddr owner = e.ref.owner;
+  const Duration extra = config_.costs.net_serialize + cap_serialize_cost(ri.caps);
+  reply(p, seq, ErrorCode::kOk);  // accepted; remote failures surface via the error channel
+  charge(extra, [this, owner, ri = std::move(ri)]() mutable {
+    send_peer(owner, make_envelope(next_seq_++, std::move(ri)));
+  });
+}
+
+void Controller::sc_cap_create_revtree(ProcState& p, uint64_t seq,
+                                       const CapCreateRevtreeMsg& m) {
+  auto entry = p.caps.get(m.cid);
+  if (!entry.ok()) {
+    reply(p, seq, entry.error());
+    return;
+  }
+  const CapEntry& e = entry.value();
+  if (e.ref.owner == addr()) {
+    auto idx = table_.create_revtree_child(p.pid, e.ref.index);
+    if (!idx.ok()) {
+      reply(p, seq, idx.error());
+      return;
+    }
+    CapEntry child = e;  // same payload view, independently revocable object
+    child.ref = table_.ref_of(idx.value());
+    auto cid = p.caps.install(child);
+    reply(p, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+    return;
+  }
+  RemoteDeriveMsg rd;
+  rd.op_id = next_op_id_++;
+  rd.base = e.ref;
+  rd.op = RemoteDeriveMsg::Op::kRevtreeChild;
+  rd.requester = p.pid;
+  const ProcessId pid = p.pid;
+  start_peer_op(e.ref.owner, rd.op_id, [this, pid, seq](const PeerReplyMsg& r) {
+    auto it = procs_.find(pid);
+    if (it == procs_.end() || !it->second->alive) {
+      return;
+    }
+    ProcState& proc = *it->second;
+    if (r.status != ErrorCode::kOk) {
+      reply(proc, seq, r.status);
+      return;
+    }
+    CapEntry entry{r.result.ref, r.result.kind, r.result.perms, r.result.mem, r.result.tracked};
+    auto cid = proc.caps.install(entry);
+    reply(proc, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+  });
+  send_peer(e.ref.owner, make_envelope(rd.op_id, std::move(rd)));
+}
+
+void Controller::sc_cap_revoke(ProcState& p, uint64_t seq, const CapRevokeMsg& m) {
+  auto entry = p.caps.get(m.cid);
+  if (!entry.ok()) {
+    reply(p, seq, entry.error());
+    return;
+  }
+  const CapEntry& e = entry.value();
+  if (e.ref.owner == addr()) {
+    auto result = table_.revoke(e.ref.index, e.ref.reboot_count);
+    if (!result.ok()) {
+      reply(p, seq, result.error());
+      return;
+    }
+    apply_revoke(result.value());
+    reply(p, seq, ErrorCode::kOk);
+    return;
+  }
+  RemoteDeriveMsg rd;
+  rd.op_id = next_op_id_++;
+  rd.base = e.ref;
+  rd.op = RemoteDeriveMsg::Op::kRevoke;
+  rd.requester = p.pid;
+  const ProcessId pid = p.pid;
+  start_peer_op(e.ref.owner, rd.op_id, [this, pid, seq](const PeerReplyMsg& r) {
+    auto it = procs_.find(pid);
+    if (it != procs_.end() && it->second->alive) {
+      reply(*it->second, seq, r.status);
+    }
+  });
+  send_peer(e.ref.owner, make_envelope(rd.op_id, std::move(rd)));
+}
+
+void Controller::sc_monitor(ProcState& p, uint64_t seq, const MonitorMsg& m,
+                            bool delegate_mode) {
+  auto entry = p.caps.get(m.cid);
+  if (!entry.ok()) {
+    reply(p, seq, entry.error());
+    return;
+  }
+  const CapEntry& e = entry.value();
+  const MonitorSub sub{addr(), p.pid, m.callback_id};
+  if (e.ref.owner == addr()) {
+    const Status s = delegate_mode
+                         ? table_.monitor_delegate(e.ref.index, e.ref.reboot_count, sub)
+                         : table_.monitor_receive(e.ref.index, e.ref.reboot_count, sub);
+    reply(p, seq, s.ok() ? ErrorCode::kOk : s.error());
+    return;
+  }
+  RegisterMonitorMsg rm;
+  rm.target = e.ref;
+  rm.delegate_mode = delegate_mode;
+  rm.callback_id = m.callback_id;
+  rm.subscriber_controller = addr();
+  rm.subscriber_process = p.pid;
+  const uint64_t op_id = next_op_id_++;
+  const ProcessId pid = p.pid;
+  start_peer_op(e.ref.owner, op_id, [this, pid, seq](const PeerReplyMsg& r) {
+    auto it = procs_.find(pid);
+    if (it != procs_.end() && it->second->alive) {
+      reply(*it->second, seq, r.status);
+    }
+  });
+  send_peer(e.ref.owner, make_envelope(op_id, rm));
+}
+
+// --- delivery ------------------------------------------------------------------------------------
+
+ErrorCode Controller::deliver_locally(ObjectIndex idx, const std::vector<ImmExtent>& extra_imms,
+                                      const std::vector<WireCap>& extra_caps) {
+  // deliver_locally is called with a ref whose owner is this Controller; the generation was
+  // checked when building the ObjectRef view.
+  auto resolved = table_.resolve_request(idx, table_.reboot_count());
+  if (!resolved.ok()) {
+    return resolved.error();
+  }
+  auto& req = resolved.value();
+  if (Status s = check_imm_overlap(req.args.imms, extra_imms); !s.ok()) {
+    return s.error();
+  }
+  auto pit = procs_.find(req.provider);
+  if (pit == procs_.end() || !pit->second->alive) {
+    return ErrorCode::kChannelClosed;
+  }
+  ProcState& provider = *pit->second;
+
+  DeliverRequestMsg d;
+  d.endpoint_cid = req.endpoint_cid;
+  d.imms = std::move(req.args.imms);
+  d.imms.insert(d.imms.end(), extra_imms.begin(), extra_imms.end());
+  std::vector<WireCap> all_caps = std::move(req.args.caps);
+  all_caps.insert(all_caps.end(), extra_caps.begin(), extra_caps.end());
+  for (const WireCap& wc : all_caps) {
+    CapEntry entry{wc.ref, wc.kind, wc.perms, wc.mem, wc.tracked};
+    auto cid = provider.caps.install(entry);
+    if (!cid.ok()) {
+      return cid.error();
+    }
+    d.caps.push_back(DeliveredCap{cid.value(), wc.kind, wc.perms, wc.mem.size});
+  }
+  push_delivery(provider, std::move(d));
+  return ErrorCode::kOk;
+}
+
+ErrorCode Controller::deliver_by_ref(const ObjectRef& target,
+                                     const std::vector<ImmExtent>& extra_imms,
+                                     const std::vector<WireCap>& extra_caps) {
+  if (target.owner != addr()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  if (target.reboot_count != table_.reboot_count()) {
+    return ErrorCode::kStaleCapability;
+  }
+  return deliver_locally(target.index, extra_imms, extra_caps);
+}
+
+void Controller::push_delivery(ProcState& p, DeliverRequestMsg msg) {
+  ++stats_.deliveries;
+  if (net_->loop()->tracing()) {
+    net_->loop()->trace(name_, "deliver request to pid " + std::to_string(p.pid) + " (" +
+                                   std::to_string(msg.caps.size()) + " caps)");
+  }
+  if (p.outstanding >= config_.congestion_window) {
+    p.pending.push_back(std::move(msg));
+    ++deliveries_queued_;
+    return;
+  }
+  ++p.outstanding;
+  p.chan->send(Traffic::kControl, make_envelope(next_seq_++, std::move(msg)));
+}
+
+void Controller::drain_deliveries(ProcState& p) {
+  while (!p.pending.empty() && p.outstanding < config_.congestion_window) {
+    DeliverRequestMsg msg = std::move(p.pending.front());
+    p.pending.pop_front();
+    ++p.outstanding;
+    p.chan->send(Traffic::kControl, make_envelope(next_seq_++, std::move(msg)));
+  }
+}
+
+// --- peer handlers --------------------------------------------------------------------------------
+
+void Controller::peer_remote_invoke(ControllerAddr origin, const RemoteInvokeMsg& m) {
+  ++stats_.invokes_received;
+  const ErrorCode status = deliver_by_ref(m.target, m.imms, m.caps);
+  if (status != ErrorCode::kOk) {
+    RemoteInvokeErrorMsg err;
+    err.invoke_id = m.invoke_id;
+    err.status = status;
+    send_peer(origin, make_envelope(next_seq_++, err));
+  }
+}
+
+void Controller::peer_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m) {
+  PeerReplyMsg r;
+  r.op_id = m.op_id;
+  if (m.base.owner != addr() || m.base.reboot_count != table_.reboot_count()) {
+    r.status = m.base.owner != addr() ? ErrorCode::kInvalidArgument : ErrorCode::kStaleCapability;
+    send_peer(origin, make_envelope(next_seq_++, r));
+    return;
+  }
+  ++stats_.derivations;
+  switch (m.op) {
+    case RemoteDeriveMsg::Op::kRequestRefine: {
+      RequestArgs args;
+      args.imms = m.imms;
+      args.caps = m.caps;
+      auto idx = table_.derive_request_local(m.requester, m.base.index, std::move(args));
+      if (!idx.ok()) {
+        r.status = idx.error();
+      } else {
+        r.result.ref = table_.ref_of(idx.value());
+        r.result.kind = ObjectKind::kRequest;
+      }
+      break;
+    }
+    case RemoteDeriveMsg::Op::kMemoryDiminish: {
+      auto idx = table_.derive_memory(m.requester, m.base.index, m.offset, m.size, m.drop_perms);
+      if (!idx.ok()) {
+        r.status = idx.error();
+      } else {
+        auto resolved = table_.resolve_memory(idx.value(), table_.reboot_count());
+        FRACTOS_CHECK(resolved.ok());
+        r.result.ref = table_.ref_of(idx.value());
+        r.result.kind = ObjectKind::kMemory;
+        r.result.perms = resolved.value().perms;
+        r.result.mem = resolved.value().desc;
+      }
+      break;
+    }
+    case RemoteDeriveMsg::Op::kRevtreeChild: {
+      auto idx = table_.create_revtree_child(m.requester, m.base.index);
+      if (!idx.ok()) {
+        r.status = idx.error();
+      } else {
+        r.result.ref = table_.ref_of(idx.value());
+        r.result.kind = table_.kind_of(idx.value());
+        if (r.result.kind == ObjectKind::kMemory) {
+          auto resolved = table_.resolve_memory(idx.value(), table_.reboot_count());
+          FRACTOS_CHECK(resolved.ok());
+          r.result.perms = resolved.value().perms;
+          r.result.mem = resolved.value().desc;
+        }
+      }
+      break;
+    }
+    case RemoteDeriveMsg::Op::kRevoke: {
+      auto result = table_.revoke(m.base.index, m.base.reboot_count);
+      if (!result.ok()) {
+        r.status = result.error();
+      } else {
+        apply_revoke(result.value());
+      }
+      break;
+    }
+  }
+  send_peer(origin, make_envelope(next_seq_++, r));
+}
+
+void Controller::peer_reply(const PeerReplyMsg& m) {
+  auto it = pending_ops_.find(m.op_id);
+  if (it == pending_ops_.end()) {
+    return;
+  }
+  auto cont = std::move(it->second);
+  pending_ops_.erase(it);
+  cont(m);
+}
+
+void Controller::peer_revoke_broadcast(ControllerAddr origin, const RevokeBroadcastMsg& m) {
+  for (auto& [pid, proc] : procs_) {
+    proc->caps.purge_refs(m.revoked);
+  }
+  // Record the revoker's generation (it is embedded in the refs) for eager stale checks.
+  if (!m.revoked.empty()) {
+    note_peer_generation(origin, m.revoked.front().reboot_count);
+  }
+  send_peer(origin, make_envelope(next_seq_++, RevokeAckMsg{m.cleanup_id}));
+}
+
+void Controller::peer_revoke_ack(const RevokeAckMsg& m) {
+  auto it = pending_cleanups_.find(m.cleanup_id);
+  if (it == pending_cleanups_.end()) {
+    return;
+  }
+  if (--it->second.awaiting == 0) {
+    // Every peer purged its references: the invalidated stubs can finally be reclaimed.
+    stats_.objects_reclaimed += table_.erase_objects(it->second.objects);
+    pending_cleanups_.erase(it);
+  }
+}
+
+void Controller::peer_register_monitor(ControllerAddr origin, uint64_t seq,
+                                       const RegisterMonitorMsg& m) {
+  PeerReplyMsg r;
+  r.op_id = seq;  // the subscriber keyed its continuation by the envelope seq
+  const MonitorSub sub{m.subscriber_controller, m.subscriber_process, m.callback_id};
+  Status s(ErrorCode::kInvalidArgument);
+  if (m.target.owner == addr()) {
+    s = m.delegate_mode
+            ? table_.monitor_delegate(m.target.index, m.target.reboot_count, sub)
+            : table_.monitor_receive(m.target.index, m.target.reboot_count, sub);
+  }
+  r.status = s.ok() ? ErrorCode::kOk : s.error();
+  send_peer(origin, make_envelope(next_seq_++, r));
+}
+
+void Controller::peer_monitor_fired(const MonitorFiredMsg& m) {
+  auto it = procs_.find(m.process);
+  if (it == procs_.end() || !it->second->alive) {
+    return;
+  }
+  MonitorCallbackMsg cb;
+  cb.callback_id = m.callback_id;
+  cb.delegate_mode = m.delegate_mode;
+  it->second->chan->send(Traffic::kControl, make_envelope(next_seq_++, cb));
+}
+
+void Controller::peer_invoke_error(const RemoteInvokeErrorMsg& m) {
+  auto it = pending_invokes_.find(m.invoke_id);
+  if (it == pending_invokes_.end()) {
+    return;
+  }
+  const ProcessId pid = it->second;
+  pending_invokes_.erase(it);
+  auto pit = procs_.find(pid);
+  if (pit == procs_.end() || !pit->second->alive) {
+    return;
+  }
+  pit->second->chan->send(Traffic::kControl, make_envelope(next_seq_++, m));
+}
+
+// --- revocation plumbing --------------------------------------------------------------------------
+
+void Controller::apply_revoke(const ObjectTable::RevokeResult& result) {
+  ++stats_.revocations;
+  if (net_->loop()->tracing() && !result.invalidated.empty()) {
+    net_->loop()->trace(name_, "revoked " + std::to_string(result.invalidated.size()) +
+                                   " object(s), " + std::to_string(result.fires.size()) +
+                                   " monitor fire(s)");
+  }
+  if (result.invalidated.empty()) {
+    for (const auto& fire : result.fires) {
+      dispatch_monitor_fire(fire);
+    }
+    return;
+  }
+  RevokeBroadcastMsg bc;
+  bc.cleanup_id = next_op_id_++;
+  bc.revoked.reserve(result.invalidated.size());
+  for (ObjectIndex idx : result.invalidated) {
+    bc.revoked.push_back(ObjectRef{addr(), idx, table_.reboot_count()});
+  }
+  // Local cleanup (the owner is also "a Controller" for the broadcast).
+  for (auto& [pid, proc] : procs_) {
+    proc->caps.purge_refs(bc.revoked);
+  }
+  // Cleanup broadcast to every peer — the prototype's simple algorithm ("the cleanup step of
+  // capability revocation is based on a broadcast", Section 4). Off the critical path; the
+  // invalidated stubs are erased only once every live peer has acknowledged (two-phase
+  // cleanup — "after ensuring no other Controllers have capabilities referencing it").
+  size_t live_peers = 0;
+  for (auto& [peer_addr, peer] : peers_) {
+    if (peer.chan->severed()) {
+      continue;
+    }
+    send_peer(peer_addr, make_envelope(next_seq_++, bc));
+    ++live_peers;
+  }
+  if (live_peers == 0) {
+    stats_.objects_reclaimed += table_.erase_objects(result.invalidated);
+  } else {
+    pending_cleanups_.emplace(bc.cleanup_id,
+                              PendingCleanup{result.invalidated, live_peers});
+  }
+  for (const auto& fire : result.fires) {
+    dispatch_monitor_fire(fire);
+  }
+}
+
+void Controller::dispatch_monitor_fire(const ObjectTable::MonitorFire& fire) {
+  ++stats_.monitor_fires;
+  if (fire.sub.controller == addr()) {
+    auto it = procs_.find(fire.sub.process);
+    if (it == procs_.end() || !it->second->alive) {
+      return;
+    }
+    MonitorCallbackMsg cb;
+    cb.callback_id = fire.sub.callback_id;
+    cb.delegate_mode = fire.delegate_mode;
+    it->second->chan->send(Traffic::kControl, make_envelope(next_seq_++, cb));
+    return;
+  }
+  MonitorFiredMsg mf;
+  mf.process = fire.sub.process;
+  mf.callback_id = fire.sub.callback_id;
+  mf.delegate_mode = fire.delegate_mode;
+  send_peer(fire.sub.controller, make_envelope(next_seq_++, mf));
+}
+
+void Controller::send_peer(ControllerAddr peer, const Envelope& env, Traffic cat) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.chan->severed()) {
+    return;  // peer unreachable; stale capabilities will surface at use
+  }
+  it->second.chan->send(cat, env);
+}
+
+void Controller::start_peer_op(ControllerAddr peer, uint64_t op_id,
+                               std::function<void(const PeerReplyMsg&)> cont) {
+  (void)peer;
+  pending_ops_.emplace(op_id, std::move(cont));
+}
+
+// --- failure handling -----------------------------------------------------------------------------
+
+void Controller::process_failed(ProcessId pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end() || !it->second->alive) {
+    return;
+  }
+  ProcState& p = *it->second;
+  p.alive = false;
+  ++stats_.process_failures;
+  if (net_->loop()->tracing()) {
+    net_->loop()->trace(name_, "process " + std::to_string(pid) + " failed; translating to revocations");
+  }
+  p.chan->sever();
+
+  // Tracked (per-delegation) entries are revoked at their owners — this is what decrements
+  // monitor_delegate counters for services whose client just died (Section 3.6).
+  for (const CapEntry& entry : p.caps.all_entries()) {
+    if (!entry.tracked) {
+      continue;
+    }
+    if (entry.ref.owner == addr()) {
+      auto result = table_.revoke(entry.ref.index, entry.ref.reboot_count);
+      if (result.ok()) {
+        apply_revoke(result.value());
+      }
+    } else {
+      RemoteDeriveMsg rd;
+      rd.op_id = next_op_id_++;
+      rd.base = entry.ref;
+      rd.op = RemoteDeriveMsg::Op::kRevoke;
+      rd.requester = pid;
+      start_peer_op(entry.ref.owner, rd.op_id, [](const PeerReplyMsg&) {});
+      send_peer(entry.ref.owner, make_envelope(rd.op_id, std::move(rd)));
+    }
+  }
+  // Everything the Process registered is invalidated.
+  apply_revoke(table_.revoke_all_of(pid));
+}
+
+void Controller::fail() {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  for (auto& [pid, proc] : procs_) {
+    proc->chan->sever();
+    proc->alive = false;
+  }
+  for (auto& [peer_addr, peer] : peers_) {
+    peer.chan->sever();
+  }
+  pending_ops_.clear();
+  pending_invokes_.clear();
+}
+
+void Controller::restart() {
+  FRACTOS_CHECK(failed_);
+  // All Processes of a failed Controller are considered failed (Section 3.6); the reboot
+  // counter bump makes every capability that references this Controller stale.
+  procs_.clear();
+  peers_.clear();
+  table_.reboot();
+  failed_ = false;
+}
+
+}  // namespace fractos

@@ -1,0 +1,252 @@
+// The FractOS Controller: the trusted OS layer ("Controllers build a distributed OS layer by
+// implementing all trusted mechanisms for RPC, address translation, and message routing",
+// Section 1).
+//
+// A Controller:
+//   * manages the capability spaces of the Processes attached to it, and the object table of
+//     everything those Processes register;
+//   * handles the Table-1 syscall surface arriving on Process channels;
+//   * routes Request invocations: locally to provider Processes, or to the owning peer
+//     Controller via kRemoteInvoke (delegating capability arguments on the way);
+//   * executes memory_copy data movement through RDMA — with intermediate bounce buffers and
+//     double buffering like the prototype, or with third-party RDMA when the "HW copies"
+//     mode of Fig. 5 is enabled;
+//   * performs derivation-at-owner (kRemoteDerive), immediate revocation with broadcast
+//     cleanup, monitor bookkeeping, and failure translation (process death -> revocations).
+//
+// Every operation charges calibrated compute on the Controller's ExecContext, which is a host
+// core or a SmartNIC ARM core depending on deployment (Section 6 evaluates both).
+
+#ifndef SRC_CORE_CONTROLLER_H_
+#define SRC_CORE_CONTROLLER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cap/cap_space.h"
+#include "src/cap/object_table.h"
+#include "src/core/channel.h"
+#include "src/core/costs.h"
+#include "src/fabric/network.h"
+
+namespace fractos {
+
+// Per-Controller operation counters (introspection for benches, debugging, and tests).
+struct ControllerStats {
+  uint64_t syscalls = 0;
+  uint64_t invokes_local = 0;      // invocations delivered to a local provider
+  uint64_t invokes_forwarded = 0;  // invocations forwarded to the owning peer
+  uint64_t invokes_received = 0;   // kRemoteInvoke arrivals
+  uint64_t deliveries = 0;
+  uint64_t derivations = 0;
+  uint64_t revocations = 0;        // revoke operations applied at this owner
+  uint64_t objects_reclaimed = 0;  // stubs erased by the two-phase cleanup
+  uint64_t copies = 0;
+  uint64_t copy_bytes = 0;
+  uint64_t monitor_fires = 0;
+  uint64_t process_failures = 0;
+};
+
+class Controller {
+ public:
+  struct Config {
+    ControllerAddr addr = 0;
+    Endpoint endpoint;
+    ControllerCosts costs;
+    // Congestion control: max unacknowledged deliveries per Process (Section 4).
+    uint32_t congestion_window = 1024;
+    // memory_copy staging: below the threshold the copy is read-then-write; above it, chunks
+    // are pipelined (double buffering), as in Fig. 5.
+    uint64_t double_buffer_threshold = 16 * 1024;
+    uint64_t copy_chunk_bytes = 64 * 1024;
+    // Fig. 5 "HW copies": use third-party RDMA instead of bounce buffers.
+    bool hw_third_party_copies = false;
+    uint32_t cap_quota = 1u << 20;
+    // Optimization suggested by the paper (Section 6.1): cache serialized Requests so that
+    // repeat delegations of the same object pay a fraction of the serialization cost.
+    bool cache_serialized_requests = false;
+    double serialized_cache_discount = 0.25;  // fraction of cap_serialize paid on a hit
+  };
+
+  Controller(Network* net, Config config);
+
+  ControllerAddr addr() const { return config_.addr; }
+  Endpoint endpoint() const { return config_.endpoint; }
+  ObjectTable& table() { return table_; }
+  const Config& config() const { return config_; }
+  bool failed() const { return failed_; }
+
+  // --- wiring (performed by System) ---------------------------------------------------------
+
+  // Creates the controller-side channel for a new Process; System connects it to the
+  // process-side channel.
+  Channel& attach_process(ProcessId pid, uint32_t proc_node, PoolId heap_pool);
+
+  // Creates the controller-side channel toward a peer Controller.
+  Channel& connect_peer(ControllerAddr peer, Endpoint peer_ep);
+
+  // Forgets a (severed) peer link so a restarted Controller can be re-meshed.
+  void drop_peer(ControllerAddr peer) { peers_.erase(peer); }
+
+  // --- trusted bootstrap ---------------------------------------------------------------------
+
+  // Installs a capability directly into a managed Process's space (operator/resource-manager
+  // action at deployment time; no messages modeled).
+  Result<CapId> bootstrap_install(ProcessId pid, CapEntry entry);
+  Result<CapEntry> inspect_cap(ProcessId pid, CapId cid) const;
+  size_t cap_space_size(ProcessId pid) const;
+
+  // --- RDMA authorization ---------------------------------------------------------------------
+
+  // Validates an rkey against this Controller's object table: the object must be live, be
+  // Memory, cover the extent, and permit the access. Called (through the System directory)
+  // by node authorizers — the NIC-rkey model.
+  Status check_rdma(const RdmaKey& key, PoolId pool, uint64_t addr, uint64_t size,
+                    bool is_write) const;
+
+  // --- failure handling ------------------------------------------------------------------------
+
+  // Translates a Process failure into revocations (Section 3.6): everything it registered is
+  // invalidated, monitors fire, the cleanup broadcast goes out.
+  void process_failed(ProcessId pid);
+
+  // Notification from the external monitoring service (Section 3.6, "a node failure is
+  // detected by an external monitoring service such as Zookeeper"): fail every Process this
+  // Controller manages on `node` (matters for remote/shared-Controller deployments, whose
+  // channels to processes on the dead node may sever only much later).
+  void node_failed(uint32_t node);
+
+  // Eager stale-capability detection: records a peer's current reboot generation so that
+  // capabilities minted before it are refused locally, without a round trip (Section 3.6,
+  // "eagerly detect Controller failure-triggered revocations when capabilities are used").
+  void note_peer_generation(ControllerAddr peer, uint32_t reboot_count);
+
+  // Controller crash: severs all channels. restart() empties the object table and bumps the
+  // reboot counter, making every outstanding capability stale.
+  void fail();
+  void restart();
+
+  // --- introspection ----------------------------------------------------------------------------
+
+  ExecContext& exec() { return *exec_; }
+  size_t num_processes() const { return procs_.size(); }
+  uint64_t deliveries_queued() const { return deliveries_queued_; }
+  size_t pending_cleanups() const { return pending_cleanups_.size(); }
+  const ControllerStats& stats() const { return stats_; }
+
+ private:
+  struct ProcState {
+    ProcessId pid = kInvalidProcess;
+    uint32_t node = 0;
+    PoolId heap_pool = 0;
+    std::unique_ptr<Channel> chan;
+    CapSpace caps;
+    bool alive = true;
+    uint32_t outstanding = 0;  // unacked deliveries (congestion control)
+    std::deque<DeliverRequestMsg> pending;
+
+    explicit ProcState(uint32_t quota) : caps(quota) {}
+  };
+
+  // --- dispatch ---
+  void on_process_msg(ProcessId pid, Envelope env);
+  void on_peer_msg(ControllerAddr peer, Envelope env);
+  Duration cost_of(const Envelope& env) const;
+
+  // --- syscall handlers ---
+  void handle_syscall(ProcState& p, const Envelope& env);
+  void sc_memory_create(ProcState& p, uint64_t seq, const MemoryCreateMsg& m);
+  void sc_memory_diminish(ProcState& p, uint64_t seq, const MemoryDiminishMsg& m);
+  void sc_memory_copy(ProcState& p, uint64_t seq, const MemoryCopyMsg& m);
+  void sc_request_create(ProcState& p, uint64_t seq, const RequestCreateMsg& m);
+  void sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvokeMsg& m);
+  void sc_cap_create_revtree(ProcState& p, uint64_t seq, const CapCreateRevtreeMsg& m);
+  void sc_cap_revoke(ProcState& p, uint64_t seq, const CapRevokeMsg& m);
+  void sc_monitor(ProcState& p, uint64_t seq, const MonitorMsg& m, bool delegate_mode);
+
+  // --- peer handlers ---
+  void peer_remote_invoke(ControllerAddr origin, const RemoteInvokeMsg& m);
+  void peer_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m);
+  void peer_reply(const PeerReplyMsg& m);
+  void peer_revoke_broadcast(ControllerAddr origin, const RevokeBroadcastMsg& m);
+  void peer_revoke_ack(const RevokeAckMsg& m);
+  void peer_register_monitor(ControllerAddr origin, uint64_t seq, const RegisterMonitorMsg& m);
+  void peer_monitor_fired(const MonitorFiredMsg& m);
+  void peer_invoke_error(const RemoteInvokeErrorMsg& m);
+
+  // --- helpers ---
+  void reply(ProcState& p, uint64_t seq, ErrorCode status, CapId cid = kInvalidCap);
+  // Refuses capabilities minted before a known peer generation (eager stale detection).
+  bool is_stale(const ObjectRef& ref) const;
+  // Per-capability serialization cost, honoring the serialized-Request cache.
+  Duration cap_serialize_cost(const std::vector<WireCap>& caps);
+  // Resolves a cid into a WireCap for delegation; applies monitor interception
+  // (prepare_delegation) for locally-owned objects.
+  Result<WireCap> make_wire_cap(ProcState& p, CapId cid);
+  Result<std::vector<WireCap>> make_wire_caps(ProcState& p, const std::vector<CapId>& cids);
+  // Installs delegated capabilities and delivers a Request to a local provider.
+  ErrorCode deliver_locally(ObjectIndex idx, const std::vector<ImmExtent>& extra_imms,
+                            const std::vector<WireCap>& extra_caps);
+  // Same, but validates the ObjectRef (ownership + generation) first.
+  ErrorCode deliver_by_ref(const ObjectRef& target, const std::vector<ImmExtent>& extra_imms,
+                           const std::vector<WireCap>& extra_caps);
+  void push_delivery(ProcState& p, DeliverRequestMsg msg);
+  void drain_deliveries(ProcState& p);
+  // Applies a local revocation outcome: monitor fires + cleanup broadcast + local purge.
+  void apply_revoke(const ObjectTable::RevokeResult& result);
+  void dispatch_monitor_fire(const ObjectTable::MonitorFire& fire);
+  void send_peer(ControllerAddr peer, const Envelope& env, Traffic cat = Traffic::kControl);
+  // Issues a RemoteDerive/RegisterMonitor-style op and registers the reply continuation.
+  void start_peer_op(ControllerAddr peer, uint64_t op_id,
+                     std::function<void(const PeerReplyMsg&)> cont);
+  // The memory_copy data path.
+  void do_copy(ProcState& p, uint64_t seq, const CapEntry& src, const CapEntry& dst);
+  void bounce_copy_chunked(Endpoint self, CapEntry src, CapEntry dst, uint64_t total,
+                           std::function<void(Status)> done);
+  // Charges additional compute, then runs `fn`.
+  void charge(Duration cost, std::function<void()> fn);
+
+  static RdmaKey key_of(const ObjectRef& ref) {
+    return RdmaKey{ref.owner, ref.index, ref.reboot_count};
+  }
+
+  Network* net_;
+  Config config_;
+  ExecContext* exec_;
+  ObjectTable table_;
+  std::unordered_map<ProcessId, std::unique_ptr<ProcState>> procs_;
+  struct Peer {
+    std::unique_ptr<Channel> chan;
+    Endpoint endpoint;
+  };
+  std::unordered_map<ControllerAddr, Peer> peers_;
+  std::unordered_map<uint64_t, std::function<void(const PeerReplyMsg&)>> pending_ops_;
+  std::unordered_map<uint64_t, ProcessId> pending_invokes_;
+  // Two-phase revocation cleanup: invalidated objects are erased only after every peer has
+  // acknowledged the broadcast (the distributed-GC "cleanup step" of Section 3.5).
+  struct PendingCleanup {
+    std::vector<ObjectIndex> objects;
+    size_t awaiting = 0;
+  };
+  std::unordered_map<uint64_t, PendingCleanup> pending_cleanups_;
+  // Peers' known reboot generations (eager stale detection).
+  std::unordered_map<ControllerAddr, uint32_t> peer_gens_;
+  // Serialized-Request cache (cost model only; see Config::cache_serialized_requests).
+  std::unordered_set<uint64_t> serialized_cache_;
+  uint64_t next_op_id_ = 1;
+  uint64_t next_seq_ = 1;
+  uint64_t deliveries_queued_ = 0;
+  bool failed_ = false;
+  ControllerStats stats_;
+  std::string name_;  // "ctrl-<addr>", for trace lines
+};
+
+}  // namespace fractos
+
+#endif  // SRC_CORE_CONTROLLER_H_

@@ -1,0 +1,103 @@
+#include "src/core/node_monitor.h"
+
+namespace fractos {
+
+NodeMonitor::NodeMonitor(System* sys, uint32_t monitor_node)
+    : NodeMonitor(sys, monitor_node, Params{}) {}
+
+NodeMonitor::NodeMonitor(System* sys, uint32_t monitor_node, Params params)
+    : sys_(sys), monitor_node_(monitor_node), params_(params) {}
+
+void NodeMonitor::watch(uint32_t node) {
+  auto w = std::make_unique<Watched>();
+  w->node = node;
+  w->agent = std::make_unique<QueuePair>(&sys_->net(), Endpoint{node, Loc::kHost});
+  w->receiver = std::make_unique<QueuePair>(&sys_->net(), Endpoint{monitor_node_, Loc::kHost});
+  QueuePair::connect(*w->agent, *w->receiver);
+  w->agent->set_receive_handler([](std::vector<uint8_t>) {});
+  Watched* raw = w.get();
+  w->receiver->set_receive_handler([this, raw](std::vector<uint8_t>) {
+    raw->last_beat = sys_->loop().now();
+  });
+  w->last_beat = sys_->loop().now();
+  watched_.push_back(std::move(w));
+  if (running_) {
+    beat(watched_.size() - 1);
+  }
+}
+
+void NodeMonitor::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ++epoch_;
+  for (size_t i = 0; i < watched_.size(); ++i) {
+    beat(i);
+  }
+  const uint64_t epoch = epoch_;
+  sys_->loop().schedule_after(params_.check_interval, [this, epoch]() {
+    if (running_ && epoch == epoch_) {
+      check();
+    }
+  });
+}
+
+void NodeMonitor::stop() { running_ = false; }
+
+void NodeMonitor::beat(size_t idx) {
+  if (!running_) {
+    return;
+  }
+  Watched& w = *watched_[idx];
+  // A dead node's agent cannot send (the fabric drops its messages); the send below is what
+  // a live node's heartbeat daemon would do.
+  if (!sys_->net().node(w.node).failed()) {
+    w.agent->send(Traffic::kControl, std::vector<uint8_t>(8, 0xbe));
+  }
+  const uint64_t epoch = epoch_;
+  sys_->loop().schedule_after(params_.heartbeat_interval, [this, idx, epoch]() {
+    if (running_ && epoch == epoch_) {
+      beat(idx);
+    }
+  });
+}
+
+void NodeMonitor::check() {
+  const Time now = sys_->loop().now();
+  for (auto& w : watched_) {
+    if (!w->reported && now - w->last_beat > params_.failure_timeout) {
+      report_failure(*w);
+    }
+  }
+  const uint64_t epoch = epoch_;
+  sys_->loop().schedule_after(params_.check_interval, [this, epoch]() {
+    if (running_ && epoch == epoch_) {
+      check();
+    }
+  });
+}
+
+void NodeMonitor::report_failure(Watched& w) {
+  w.reported = true;
+  ++failures_detected_;
+  // "we inform the corresponding Controller to fail all Processes running in it" — every
+  // surviving Controller that manages Processes on the dead node translates this into
+  // revocations.
+  for (Controller* c : sys_->controllers()) {
+    if (!c->failed()) {
+      c->node_failed(w.node);
+    }
+  }
+}
+
+bool NodeMonitor::reported(uint32_t node) const {
+  for (const auto& w : watched_) {
+    if (w->node == node) {
+      return w->reported;
+    }
+  }
+  return false;
+}
+
+}  // namespace fractos

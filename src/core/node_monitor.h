@@ -1,0 +1,72 @@
+// External node-monitoring service (the paper's Zookeeper stand-in, Section 3.6):
+// "A node or Controller failure is detected by an external monitoring service such as
+// Zookeeper. After a node failure, we inform the corresponding Controller to fail all
+// Processes running in it."
+//
+// Each watched node runs a heartbeat agent that periodically sends a beat over a queue pair
+// to the monitor's node. The monitor checks for missing beats on a timer; when a node goes
+// quiet past the timeout it notifies every surviving Controller (Controller::node_failed),
+// which translates the failure into Process revocations. This matters for shared/remote
+// Controller deployments, where a dead node's Process channels may never visibly sever.
+//
+// Note: heartbeats keep the event loop non-empty — tests and benches that use a NodeMonitor
+// must drive the loop with run_until()/run_until_time() and call stop() when done.
+
+#ifndef SRC_CORE_NODE_MONITOR_H_
+#define SRC_CORE_NODE_MONITOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/system.h"
+
+namespace fractos {
+
+class NodeMonitor {
+ public:
+  struct Params {
+    Duration heartbeat_interval = Duration::millis(5);
+    Duration failure_timeout = Duration::millis(16);
+    Duration check_interval = Duration::millis(4);
+  };
+
+  NodeMonitor(System* sys, uint32_t monitor_node);
+  NodeMonitor(System* sys, uint32_t monitor_node, Params params);
+
+  // Starts a heartbeat agent on `node` and tracks it.
+  void watch(uint32_t node);
+
+  // Begins periodic failure checks (heartbeat agents start at watch()).
+  void start();
+  // Stops all periodic activity; the event loop can drain again.
+  void stop();
+
+  bool running() const { return running_; }
+  uint32_t failures_detected() const { return failures_detected_; }
+  bool reported(uint32_t node) const;
+
+ private:
+  struct Watched {
+    uint32_t node = 0;
+    std::unique_ptr<QueuePair> agent;    // heartbeat sender on the watched node
+    std::unique_ptr<QueuePair> receiver; // monitor-side end
+    Time last_beat;
+    bool reported = false;
+  };
+
+  void beat(size_t idx);
+  void check();
+  void report_failure(Watched& w);
+
+  System* sys_;
+  uint32_t monitor_node_;
+  Params params_;
+  bool running_ = false;
+  uint64_t epoch_ = 0;  // invalidates scheduled callbacks from a previous start()
+  uint32_t failures_detected_ = 0;
+  std::vector<std::unique_ptr<Watched>> watched_;
+};
+
+}  // namespace fractos
+
+#endif  // SRC_CORE_NODE_MONITOR_H_

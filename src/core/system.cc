@@ -1,0 +1,127 @@
+#include "src/core/system.h"
+
+#include <utility>
+
+namespace fractos {
+
+System::System(SystemConfig config) : config_(config) {
+  net_ = std::make_unique<Network>(&loop_, config_.fabric);
+}
+
+uint32_t System::add_node(const std::string& name, bool with_snic) {
+  const uint32_t id = net_->add_node(name, with_snic);
+  install_authorizer(id);
+  return id;
+}
+
+void System::install_authorizer(uint32_t node) {
+  // NIC-rkey model: resolve the rkey against the owning Controller's object table.
+  net_->node(node).set_rdma_authorizer(
+      [this](const RdmaKey& key, PoolId pool, uint64_t addr, uint64_t size, bool is_write) {
+        Controller* owner = controller_by_addr(key.controller);
+        if (owner == nullptr) {
+          return Status(ErrorCode::kInvalidCapability);
+        }
+        return owner->check_rdma(key, pool, addr, size, is_write);
+      });
+}
+
+Controller& System::add_controller(uint32_t node, Loc loc) {
+  Controller::Config cfg;
+  cfg.addr = next_ctrl_addr_++;
+  cfg.endpoint = Endpoint{node, loc};
+  cfg.costs = loc == Loc::kHost ? config_.host_costs : config_.snic_costs;
+  cfg.congestion_window = config_.congestion_window;
+  cfg.double_buffer_threshold = config_.double_buffer_threshold;
+  cfg.copy_chunk_bytes = config_.copy_chunk_bytes;
+  cfg.hw_third_party_copies = config_.hw_third_party_copies;
+  cfg.cap_quota = config_.cap_quota;
+  cfg.cache_serialized_requests = config_.cache_serialized_requests;
+  controllers_.push_back(std::make_unique<Controller>(net_.get(), cfg));
+  Controller& c = *controllers_.back();
+  by_addr_[c.addr()] = &c;
+  mesh_controller(c);
+  return c;
+}
+
+void System::mesh_controller(Controller& c) {
+  for (auto& other : controllers_) {
+    if (other.get() == &c || other->failed()) {
+      continue;
+    }
+    Channel& mine = c.connect_peer(other->addr(), other->endpoint());
+    Channel& theirs = other->connect_peer(c.addr(), c.endpoint());
+    Channel::connect(mine, theirs);
+    // Exchange reboot generations (the discovery service's job) for eager stale detection.
+    c.note_peer_generation(other->addr(), other->table().reboot_count());
+    other->note_peer_generation(c.addr(), c.table().reboot_count());
+  }
+}
+
+std::vector<Controller*> System::controllers() {
+  std::vector<Controller*> out;
+  out.reserve(controllers_.size());
+  for (auto& c : controllers_) {
+    out.push_back(c.get());
+  }
+  return out;
+}
+
+Process& System::spawn(const std::string& name, uint32_t node, Controller& controller,
+                       uint64_t heap_bytes) {
+  if (heap_bytes == 0) {
+    heap_bytes = config_.default_heap_bytes;
+  }
+  const PoolId heap = net_->node(node).add_pool(heap_bytes);
+  const ProcessId pid = next_pid_++;
+  procs_.push_back(std::make_unique<Process>(net_.get(), pid, name, node, heap,
+                                             controller.endpoint()));
+  Process& p = *procs_.back();
+  Channel& ctrl_side = controller.attach_process(pid, node, heap);
+  Channel::connect(p.channel(), ctrl_side);
+  procs_by_node_[node].push_back(&p);
+  proc_ctrl_[pid] = &controller;
+  return p;
+}
+
+Result<CapId> System::bootstrap_grant(Process& from, CapId cid, Process& to) {
+  Controller* src_ctrl = proc_ctrl_.at(from.pid());
+  Controller* dst_ctrl = proc_ctrl_.at(to.pid());
+  auto entry = src_ctrl->inspect_cap(from.pid(), cid);
+  if (!entry.ok()) {
+    return entry.error();
+  }
+  return dst_ctrl->bootstrap_install(to.pid(), entry.value());
+}
+
+Controller* System::controller_by_addr(ControllerAddr addr) {
+  auto it = by_addr_.find(addr);
+  return it == by_addr_.end() ? nullptr : it->second;
+}
+
+void System::restart_controller(Controller& c) {
+  c.restart();
+  for (auto& other : controllers_) {
+    if (other.get() != &c) {
+      other->drop_peer(c.addr());
+    }
+  }
+  mesh_controller(c);
+}
+
+void System::fail_node(uint32_t node) {
+  net_->node(node).fail();
+  auto it = procs_by_node_.find(node);
+  if (it != procs_by_node_.end()) {
+    for (Process* p : it->second) {
+      p->fail();
+    }
+  }
+  for (auto& c : controllers_) {
+    if (c->endpoint().node == node && !c->failed()) {
+      c->fail();
+    }
+  }
+}
+
+}  // namespace fractos

@@ -1,0 +1,115 @@
+// System: assembles a FractOS cluster — nodes, Controllers (host-CPU, SmartNIC, or shared
+// remote placement), Processes — and provides failure injection and the trusted bootstrap
+// actions of the operator / resource-management service.
+//
+// System also owns the simulation-level "directory" that stands in for distributed NIC rkey
+// state: each node's RDMA authorizer resolves incoming rkeys against the owning Controller's
+// object table at zero simulated cost, which models NICs whose protection state is programmed
+// synchronously by their co-located Controller.
+
+#ifndef SRC_CORE_SYSTEM_H_
+#define SRC_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/core/process.h"
+#include "src/sim/event_loop.h"
+
+namespace fractos {
+
+struct SystemConfig {
+  FabricParams fabric;
+  ControllerCosts host_costs = ControllerCosts::host();
+  ControllerCosts snic_costs = ControllerCosts::snic();
+  uint32_t congestion_window = 1024;
+  uint64_t double_buffer_threshold = 16 * 1024;
+  uint64_t copy_chunk_bytes = 64 * 1024;
+  bool hw_third_party_copies = false;
+  uint64_t default_heap_bytes = 8ull << 20;
+  uint32_t cap_quota = 1u << 20;
+  // Section 6.1's suggested optimization: cache serialized Requests at Controllers.
+  bool cache_serialized_requests = false;
+};
+
+class System {
+ public:
+  explicit System(SystemConfig config = {});
+
+  EventLoop& loop() { return loop_; }
+  Network& net() { return *net_; }
+  const SystemConfig& config() const { return config_; }
+
+  // --- topology ---------------------------------------------------------------------------------
+
+  uint32_t add_node(const std::string& name, bool with_snic = true);
+
+  // Deploys a Controller on `node`, on the host CPU or the SmartNIC. All Controllers are
+  // fully meshed (Controller-to-Controller queue pairs, Section 4).
+  Controller& add_controller(uint32_t node, Loc loc);
+
+  // Spawns a Process on `node`, attached to `controller` (which may be on another node —
+  // the "Shared HAL" deployment of Section 6.5).
+  Process& spawn(const std::string& name, uint32_t node, Controller& controller,
+                 uint64_t heap_bytes = 0);
+
+  // --- trusted bootstrap -----------------------------------------------------------------------
+
+  // Copies a capability held by `from` into `to`'s capability space — the operator's
+  // resource-management service granting initial access at deployment time (no messages).
+  Result<CapId> bootstrap_grant(Process& from, CapId cid, Process& to);
+
+  // --- failure injection ------------------------------------------------------------------------
+
+  void fail_process(Process& p) { p.fail(); }
+  void fail_controller(Controller& c) { c.fail(); }
+  void restart_controller(Controller& c);
+  // Node failure (detected by the external monitoring service, Section 3.6): every Process
+  // and Controller on the node fails.
+  void fail_node(uint32_t node);
+
+  // --- test/bench helpers -----------------------------------------------------------------------
+
+  // Runs the event loop until `f` is ready and returns its value. CHECK-fails if the loop
+  // drains without resolving it (a deadlock in the modeled protocol).
+  template <typename T>
+  T await(Future<T> f) {
+    const bool done = loop_.run_until([&f]() { return f.ready(); });
+    FRACTOS_CHECK_MSG(done, "await: event loop drained before future resolved");
+    return f.take();
+  }
+  // Convenience: await and CHECK-unwrap a Result.
+  template <typename T>
+  T await_ok(Future<Result<T>> f) {
+    Result<T> r = await(std::move(f));
+    FRACTOS_CHECK_MSG(r.ok(), error_code_name(r.error()));
+    return std::move(r).value();
+  }
+  Status await_status(Future<Status> f) { return await(std::move(f)); }
+
+  Controller* controller_by_addr(ControllerAddr addr);
+  const std::vector<std::unique_ptr<Process>>& processes() const { return procs_; }
+  std::vector<Controller*> controllers();
+
+ private:
+  SystemConfig config_;
+  EventLoop loop_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<Controller>> controllers_;
+  std::unordered_map<ControllerAddr, Controller*> by_addr_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::unordered_map<uint32_t, std::vector<Process*>> procs_by_node_;
+  std::unordered_map<ProcessId, Controller*> proc_ctrl_;
+  ControllerAddr next_ctrl_addr_ = 1;
+  ProcessId next_pid_ = 1;
+
+  void install_authorizer(uint32_t node);
+  void mesh_controller(Controller& c);
+};
+
+}  // namespace fractos
+
+#endif  // SRC_CORE_SYSTEM_H_

@@ -1,0 +1,96 @@
+#include "src/devices/gpu.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+SimGpu::SimGpu(Network* net, uint32_t node, Params params)
+    : net_(net), node_(node), params_(params) {
+  pool_ = net_->node(node_).add_pool(params_.memory_bytes);
+}
+
+SimGpu::ContextId SimGpu::create_context() {
+  const ContextId ctx = next_ctx_++;
+  contexts_[ctx] = true;
+  return ctx;
+}
+
+Status SimGpu::destroy_context(ContextId ctx) {
+  if (!contexts_.contains(ctx)) {
+    return ErrorCode::kNotFound;
+  }
+  for (auto it = allocs_.begin(); it != allocs_.end();) {
+    if (it->second.ctx == ctx) {
+      allocated_ -= it->second.size;
+      it = allocs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  contexts_.erase(ctx);
+  return ok_status();
+}
+
+Result<uint64_t> SimGpu::alloc(ContextId ctx, uint64_t size) {
+  if (!contexts_.contains(ctx)) {
+    return ErrorCode::kNotFound;
+  }
+  if (size == 0) {
+    return ErrorCode::kInvalidArgument;
+  }
+  // First fit between existing allocations, 256-byte aligned (CUDA-like).
+  const uint64_t align = 256;
+  uint64_t candidate = 0;
+  for (const auto& [addr, a] : allocs_) {
+    if (candidate + size <= addr) {
+      break;
+    }
+    const uint64_t end = addr + a.size;
+    candidate = (end + align - 1) & ~(align - 1);
+  }
+  if (candidate + size > params_.memory_bytes) {
+    return ErrorCode::kResourceExhausted;
+  }
+  allocs_[candidate] = Allocation{size, ctx};
+  allocated_ += size;
+  return candidate;
+}
+
+Status SimGpu::free(ContextId ctx, uint64_t addr) {
+  auto it = allocs_.find(addr);
+  if (it == allocs_.end() || it->second.ctx != ctx) {
+    return ErrorCode::kNotFound;
+  }
+  allocated_ -= it->second.size;
+  allocs_.erase(it);
+  return ok_status();
+}
+
+SimGpu::KernelId SimGpu::load_kernel(const std::string& name, Kernel kernel) {
+  (void)name;
+  const KernelId id = next_kernel_++;
+  kernels_[id] = std::move(kernel);
+  return id;
+}
+
+void SimGpu::launch(KernelId id, std::vector<uint64_t> args, std::function<void(Status)> done) {
+  auto it = kernels_.find(id);
+  if (it == kernels_.end()) {
+    net_->loop()->post([done = std::move(done)]() { done(ErrorCode::kNotFound); });
+    return;
+  }
+  // Execute the kernel body now (the data transformation is instantaneous from the
+  // simulation's point of view; its COST is what the engine models).
+  std::vector<uint8_t>& mem = net_->node(node_).pool(pool_);
+  const Duration compute = it->second(mem, args);
+  const Duration total = params_.launch_overhead + compute;
+  const Time start = max(net_->loop()->now(), engine_free_);
+  engine_free_ = start + total;
+  busy_ += total;
+  ++launches_;
+  net_->loop()->schedule_at(engine_free_, [done = std::move(done)]() { done(ok_status()); });
+}
+
+}  // namespace fractos

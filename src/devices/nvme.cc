@@ -1,0 +1,117 @@
+#include "src/devices/nvme.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "src/base/assert.h"
+#include "src/fabric/params.h"
+
+namespace fractos {
+
+SimNvme::SimNvme(EventLoop* loop, Params params) : loop_(loop), params_(params) {
+  FRACTOS_CHECK(loop != nullptr);
+  FRACTOS_CHECK(params_.channels > 0);
+  channel_free_.assign(params_.channels, Time{});
+}
+
+Status SimNvme::check_range(uint64_t off, uint64_t size) const {
+  if (off > params_.capacity_bytes || size > params_.capacity_bytes - off) {
+    return ErrorCode::kOutOfRange;
+  }
+  return ok_status();
+}
+
+Time SimNvme::schedule_on_channel(Duration service) {
+  size_t best = 0;
+  for (size_t i = 1; i < channel_free_.size(); ++i) {
+    if (channel_free_[i] < channel_free_[best]) {
+      best = i;
+    }
+  }
+  const Time start = max(loop_->now(), channel_free_[best]);
+  channel_free_[best] = start + service;
+  return channel_free_[best];
+}
+
+std::vector<uint8_t>& SimNvme::block_for(uint64_t block_idx) {
+  auto it = blocks_.find(block_idx);
+  if (it == blocks_.end()) {
+    it = blocks_.emplace(block_idx, std::vector<uint8_t>(params_.block_bytes, 0)).first;
+  }
+  return it->second;
+}
+
+void SimNvme::read_bytes(uint64_t off, uint64_t size, std::vector<uint8_t>& out) const {
+  out.assign(size, 0);
+  uint64_t pos = 0;
+  while (pos < size) {
+    const uint64_t abs = off + pos;
+    const uint64_t block = abs / params_.block_bytes;
+    const uint64_t in_block = abs % params_.block_bytes;
+    const uint64_t n = std::min(size - pos, params_.block_bytes - in_block);
+    auto it = blocks_.find(block);
+    if (it != blocks_.end()) {
+      std::copy_n(it->second.begin() + static_cast<ptrdiff_t>(in_block), n,
+                  out.begin() + static_cast<ptrdiff_t>(pos));
+    }
+    pos += n;
+  }
+}
+
+void SimNvme::write_bytes(uint64_t off, const std::vector<uint8_t>& data) {
+  uint64_t pos = 0;
+  while (pos < data.size()) {
+    const uint64_t abs = off + pos;
+    const uint64_t block = abs / params_.block_bytes;
+    const uint64_t in_block = abs % params_.block_bytes;
+    const uint64_t n = std::min<uint64_t>(data.size() - pos, params_.block_bytes - in_block);
+    std::vector<uint8_t>& blk = block_for(block);
+    std::copy_n(data.begin() + static_cast<ptrdiff_t>(pos), n,
+                blk.begin() + static_cast<ptrdiff_t>(in_block));
+    pos += n;
+  }
+}
+
+void SimNvme::read(uint64_t off, uint64_t size,
+                   std::function<void(Result<std::vector<uint8_t>>)> done) {
+  if (Status s = check_range(off, size); !s.ok()) {
+    loop_->post([done = std::move(done), s]() { done(s.error()); });
+    return;
+  }
+  std::vector<uint8_t> data;
+  read_bytes(off, size, data);
+  const Duration service = params_.read_latency + transfer_time(size, params_.read_bw_bpns);
+  const Time finish = schedule_on_channel(service);
+  ++reads_;
+  loop_->schedule_at(finish, [done = std::move(done), data = std::move(data)]() mutable {
+    done(std::move(data));
+  });
+}
+
+void SimNvme::write(uint64_t off, std::vector<uint8_t> data, std::function<void(Status)> done) {
+  if (Status s = check_range(off, data.size()); !s.ok()) {
+    loop_->post([done = std::move(done), s]() { done(s); });
+    return;
+  }
+  const Duration service =
+      params_.write_latency + transfer_time(data.size(), params_.write_bw_bpns);
+  const Time finish = schedule_on_channel(service);
+  write_bytes(off, data);
+  ++writes_;
+  loop_->schedule_at(finish, [done = std::move(done)]() { done(ok_status()); });
+}
+
+std::vector<uint8_t> SimNvme::peek(uint64_t off, uint64_t size) const {
+  FRACTOS_CHECK(check_range(off, size).ok());
+  std::vector<uint8_t> out;
+  read_bytes(off, size, out);
+  return out;
+}
+
+void SimNvme::poke(uint64_t off, const std::vector<uint8_t>& data) {
+  FRACTOS_CHECK(check_range(off, data.size()).ok());
+  write_bytes(off, data);
+}
+
+}  // namespace fractos

@@ -1,0 +1,185 @@
+#include "src/fabric/network.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+Network::Network(EventLoop* loop, FabricParams params) : loop_(loop), params_(params) {
+  FRACTOS_CHECK(loop != nullptr);
+}
+
+uint32_t Network::add_node(std::string name, bool with_snic) {
+  const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(loop_, id, std::move(name), with_snic));
+  egress_free_.push_back(Time{});
+  ingress_free_.push_back(Time{});
+  local_free_.push_back(Time{});
+  return id;
+}
+
+Node& Network::node(uint32_t id) {
+  FRACTOS_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+Duration Network::wire_latency(Endpoint a, Endpoint b) const {
+  if (a.node != b.node) {
+    return params_.cross_node_oneway;
+  }
+  if (a.loc != b.loc) {
+    return params_.host_snic_oneway;
+  }
+  return params_.loopback_oneway;
+}
+
+Time Network::schedule_transfer(Endpoint src, Endpoint dst, Traffic category,
+                                uint64_t payload_bytes) {
+  const bool cross = src.node != dst.node;
+  const double bw = cross ? params_.wire_bandwidth_bpns : params_.local_bandwidth_bpns;
+  const uint64_t wire_bytes =
+      payload_bytes + params_.header_bytes * segment_count(payload_bytes, params_.mtu_bytes);
+
+  // Cross-node transfers occupy the 10 Gbps wire (sender egress + receiver ingress);
+  // same-node (NIC loopback / PCIe) transfers occupy a separate, faster local path and do
+  // not steal wire bandwidth.
+  const Duration serialization = transfer_time(wire_bytes, bw);
+  Time start;
+  if (cross) {
+    start = max(max(loop_->now(), egress_free_[src.node]), ingress_free_[dst.node]);
+    egress_free_[src.node] = start + serialization;
+    ingress_free_[dst.node] = start + serialization;
+  } else {
+    start = max(loop_->now(), local_free_[src.node]);
+    local_free_[src.node] = start + serialization;
+  }
+
+  const size_t cat = static_cast<size_t>(category);
+  counters_.messages[cat] += 1;
+  counters_.bytes[cat] += wire_bytes;
+  if (cross) {
+    counters_.cross_messages[cat] += 1;
+    counters_.cross_bytes[cat] += wire_bytes;
+  }
+
+  return start + serialization + wire_latency(src, dst);
+}
+
+void Network::send(Endpoint src, Endpoint dst, Traffic category, std::vector<uint8_t> payload,
+                   std::function<void(std::vector<uint8_t>)> deliver,
+                   std::function<void()> dropped) {
+  FRACTOS_CHECK(src.node < nodes_.size() && dst.node < nodes_.size());
+  if (nodes_[src.node]->failed() || nodes_[dst.node]->failed()) {
+    if (dropped != nullptr) {
+      loop_->post(std::move(dropped));
+    }
+    return;
+  }
+  const Time arrival = schedule_transfer(src, dst, category, payload.size());
+  // Failure is re-checked at delivery: a node that failed while the message was in flight
+  // never sees it.
+  const uint32_t dst_node = dst.node;
+  loop_->schedule_at(arrival, [this, dst_node, payload = std::move(payload),
+                               deliver = std::move(deliver), dropped = std::move(dropped)]() mutable {
+    if (nodes_[dst_node]->failed()) {
+      if (dropped != nullptr) {
+        dropped();
+      }
+      return;
+    }
+    deliver(std::move(payload));
+  });
+}
+
+void Network::rdma_read(Endpoint initiator, uint32_t target, const RdmaKey& key, PoolId pool,
+                        uint64_t addr, uint64_t size,
+                        std::function<void(Result<std::vector<uint8_t>>)> done) {
+  FRACTOS_CHECK(initiator.node < nodes_.size() && target < nodes_.size());
+  const Endpoint tgt_ep{target, Loc::kHost};
+
+  // Request leg: a header-only work request to the target NIC.
+  const Time req_arrival = schedule_transfer(initiator, tgt_ep, Traffic::kData, 0);
+  loop_->schedule_at(req_arrival, [this, initiator, target, key, pool, addr, size, tgt_ep,
+                                   done = std::move(done)]() mutable {
+    Node& t = *nodes_[target];
+    const Status auth = t.authorize_rdma(key, pool, addr, size, /*is_write=*/false);
+    if (!auth.ok()) {
+      // NAK: header-only response.
+      const Time nak = schedule_transfer(tgt_ep, initiator, Traffic::kData, 0);
+      loop_->schedule_at(nak, [done = std::move(done), auth]() mutable { done(auth.error()); });
+      return;
+    }
+    const std::vector<uint8_t>& mem = t.pool(pool);
+    std::vector<uint8_t> data(mem.begin() + static_cast<ptrdiff_t>(addr),
+                              mem.begin() + static_cast<ptrdiff_t>(addr + size));
+    // Response leg carries the payload.
+    const Time arrival = schedule_transfer(tgt_ep, initiator, Traffic::kData, size);
+    loop_->schedule_at(arrival, [done = std::move(done), data = std::move(data)]() mutable {
+      done(std::move(data));
+    });
+  });
+}
+
+void Network::rdma_write(Endpoint initiator, uint32_t target, const RdmaKey& key, PoolId pool,
+                         uint64_t addr, std::vector<uint8_t> data,
+                         std::function<void(Status)> done) {
+  FRACTOS_CHECK(initiator.node < nodes_.size() && target < nodes_.size());
+  const Endpoint tgt_ep{target, Loc::kHost};
+  const uint64_t size = data.size();
+
+  // Request leg carries the payload.
+  const Time arrival = schedule_transfer(initiator, tgt_ep, Traffic::kData, size);
+  loop_->schedule_at(arrival, [this, target, key, pool, addr, tgt_ep, initiator,
+                               data = std::move(data), done = std::move(done)]() mutable {
+    Node& t = *nodes_[target];
+    const Status auth = t.authorize_rdma(key, pool, addr, data.size(), /*is_write=*/true);
+    if (auth.ok()) {
+      std::vector<uint8_t>& mem = t.pool(pool);
+      std::copy(data.begin(), data.end(), mem.begin() + static_cast<ptrdiff_t>(addr));
+    }
+    // ACK/NAK: header-only response.
+    const Time ack = schedule_transfer(tgt_ep, initiator, Traffic::kData, 0);
+    loop_->schedule_at(ack, [done = std::move(done), auth]() mutable { done(auth); });
+  });
+}
+
+void Network::rdma_third_party(Endpoint initiator, RdmaSide src, RdmaSide dst, uint64_t size,
+                               std::function<void(Status)> done) {
+  FRACTOS_CHECK(initiator.node < nodes_.size());
+  FRACTOS_CHECK(src.node < nodes_.size() && dst.node < nodes_.size());
+  const Endpoint src_ep{src.node, Loc::kHost};
+  const Endpoint dst_ep{dst.node, Loc::kHost};
+
+  // Work request to the source NIC.
+  const Time req_arrival = schedule_transfer(initiator, src_ep, Traffic::kData, 0);
+  loop_->schedule_at(req_arrival, [this, initiator, src, dst, size, src_ep, dst_ep,
+                                   done = std::move(done)]() mutable {
+    Node& s = *nodes_[src.node];
+    Status auth = s.authorize_rdma(src.key, src.pool, src.addr, size, /*is_write=*/false);
+    if (!auth.ok()) {
+      const Time nak = schedule_transfer(src_ep, initiator, Traffic::kData, 0);
+      loop_->schedule_at(nak, [done = std::move(done), auth]() mutable { done(auth); });
+      return;
+    }
+    const std::vector<uint8_t>& mem = s.pool(src.pool);
+    std::vector<uint8_t> data(mem.begin() + static_cast<ptrdiff_t>(src.addr),
+                              mem.begin() + static_cast<ptrdiff_t>(src.addr + size));
+    // Data leg goes straight to the destination — the initiator never touches it.
+    const Time data_arrival = schedule_transfer(src_ep, dst_ep, Traffic::kData, size);
+    loop_->schedule_at(data_arrival, [this, initiator, dst, dst_ep, data = std::move(data),
+                                      done = std::move(done)]() mutable {
+      Node& t = *nodes_[dst.node];
+      const Status wauth =
+          t.authorize_rdma(dst.key, dst.pool, dst.addr, data.size(), /*is_write=*/true);
+      if (wauth.ok()) {
+        std::vector<uint8_t>& tmem = t.pool(dst.pool);
+        std::copy(data.begin(), data.end(), tmem.begin() + static_cast<ptrdiff_t>(dst.addr));
+      }
+      const Time ack = schedule_transfer(dst_ep, initiator, Traffic::kData, 0);
+      loop_->schedule_at(ack, [done = std::move(done), wauth]() mutable { done(wauth); });
+    });
+  });
+}
+
+}  // namespace fractos

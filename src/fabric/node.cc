@@ -1,0 +1,54 @@
+#include "src/fabric/node.h"
+
+#include <utility>
+
+namespace fractos {
+
+Node::Node(EventLoop* loop, uint32_t id, std::string name, bool with_snic)
+    : id_(id), name_(std::move(name)), host_(loop, name_ + "/host") {
+  if (with_snic) {
+    snic_ = std::make_unique<ExecContext>(loop, name_ + "/snic");
+  }
+}
+
+PoolId Node::add_pool(uint64_t size) {
+  pools_.emplace_back(size, 0);
+  return static_cast<PoolId>(pools_.size() - 1);
+}
+
+std::vector<uint8_t>& Node::pool(PoolId id) {
+  FRACTOS_CHECK(id < pools_.size());
+  return pools_[id];
+}
+
+const std::vector<uint8_t>& Node::pool(PoolId id) const {
+  FRACTOS_CHECK(id < pools_.size());
+  return pools_[id];
+}
+
+Status Node::check_extent(PoolId pool, uint64_t addr, uint64_t size) const {
+  if (pool >= pools_.size()) {
+    return ErrorCode::kNotFound;
+  }
+  const uint64_t pool_size = pools_[pool].size();
+  if (addr > pool_size || size > pool_size - addr) {
+    return ErrorCode::kOutOfRange;
+  }
+  return ok_status();
+}
+
+Status Node::authorize_rdma(const RdmaKey& key, PoolId pool, uint64_t addr, uint64_t size,
+                            bool is_write) const {
+  if (failed_) {
+    return ErrorCode::kChannelClosed;
+  }
+  if (Status s = check_extent(pool, addr, size); !s.ok()) {
+    return s;
+  }
+  if (authorizer_ != nullptr) {
+    return authorizer_(key, pool, addr, size, is_write);
+  }
+  return ok_status();
+}
+
+}  // namespace fractos

@@ -1,0 +1,25 @@
+#include "src/fabric/params.h"
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+Duration transfer_time(uint64_t bytes, double bandwidth_bpns) {
+  FRACTOS_CHECK(bandwidth_bpns > 0.0);
+  if (bytes == 0) {
+    return Duration::zero();
+  }
+  const double ns = static_cast<double>(bytes) / bandwidth_bpns;
+  const int64_t whole = static_cast<int64_t>(ns);
+  return Duration::nanos(whole < 1 ? 1 : whole);
+}
+
+uint64_t segment_count(uint64_t bytes, uint64_t mtu_bytes) {
+  FRACTOS_CHECK(mtu_bytes > 0);
+  if (bytes == 0) {
+    return 1;
+  }
+  return (bytes + mtu_bytes - 1) / mtu_bytes;
+}
+
+}  // namespace fractos

@@ -1,0 +1,61 @@
+// Calibration constants for the simulated data-center fabric.
+//
+// The reproduction has no RoCE hardware, so the network is a latency/bandwidth model whose
+// constants are calibrated against the paper's OWN microbenchmarks (Table 2 environment,
+// Table 3 and Figures 5-7 measurements). Composed experiments (Figures 8-13) then become
+// genuine predictions of the model rather than curve fits.
+//
+// Calibration sources, quoted from the paper:
+//   * Table 2: "10 Gbps fabric and switch", Mellanox BlueField sNIC (ARM @ 800 MHz).
+//   * Table 3: ibv_rc_pingpong loopback RTT 2.42 us (server on CPU), 3.68 us (server on sNIC).
+//   * Fig. 5 text: "1-Byte RDMA takes 3.3 usec"; "double buffering for buffers larger than
+//     16 KB, achieving the full throughput at 256 KB".
+
+#ifndef SRC_FABRIC_PARAMS_H_
+#define SRC_FABRIC_PARAMS_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace fractos {
+
+struct FabricParams {
+  // One-way latency between two host endpoints on the SAME node through the NIC loopback
+  // path. Table 3: raw loopback RTT with server on CPU = 2.42 us, so one way = 1.21 us.
+  Duration loopback_oneway = Duration::micros(1.21);
+
+  // One-way latency between a host endpoint and the sNIC cores of the SAME node.
+  // Table 3: raw loopback RTT with server on sNIC = 3.68 us, so one way = 1.84 us
+  // (the extra 0.63 us per direction is the PCIe crossing the paper describes).
+  Duration host_snic_oneway = Duration::micros(1.84);
+
+  // One-way latency between endpoints on DIFFERENT nodes, through the switch.
+  // Fig. 5 text: a 1-byte RDMA (one round trip) takes 3.3 us, so one way = 1.65 us.
+  Duration cross_node_oneway = Duration::micros(1.65);
+
+  // Link bandwidth: 10 Gbps = 1.25 bytes/ns. Applies to cross-node transfers and charges
+  // both the sender's egress and the receiver's ingress.
+  double wire_bandwidth_bpns = 1.25;
+
+  // Effective bandwidth of the NIC loopback / PCIe path used for same-node transfers
+  // (PCIe Gen3 x8-class, well above the 10 Gbps wire).
+  double local_bandwidth_bpns = 8.0;
+
+  // Fixed per-message wire overhead: Ethernet + IPv4 + UDP + BTH + ICRC of a RoCEv2 frame.
+  uint64_t header_bytes = 66;
+
+  // Maximum payload carried per fabric message; larger transfers are segmented and charge
+  // one header per segment (RoCE MTU 4096).
+  uint64_t mtu_bytes = 4096;
+};
+
+// Transfer time of `bytes` at bandwidth `bpns`, rounded up to 1 ns.
+Duration transfer_time(uint64_t bytes, double bandwidth_bpns);
+
+// Number of MTU segments (and thus headers) a payload of `bytes` occupies.
+uint64_t segment_count(uint64_t bytes, uint64_t mtu_bytes);
+
+}  // namespace fractos
+
+#endif  // SRC_FABRIC_PARAMS_H_

@@ -1,0 +1,64 @@
+#include "src/fabric/queue_pair.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+QueuePair::QueuePair(Network* net, Endpoint local) : net_(net), local_(local) {
+  FRACTOS_CHECK(net != nullptr);
+}
+
+void QueuePair::connect(QueuePair& a, QueuePair& b) {
+  FRACTOS_CHECK(a.peer_ == nullptr && b.peer_ == nullptr);
+  a.peer_ = &b;
+  b.peer_ = &a;
+}
+
+Endpoint QueuePair::remote() const {
+  FRACTOS_CHECK(peer_ != nullptr);
+  return peer_->local_;
+}
+
+void QueuePair::send(Traffic category, std::vector<uint8_t> payload) {
+  FRACTOS_CHECK(peer_ != nullptr);
+  if (severed_) {
+    return;
+  }
+  QueuePair* peer = peer_;
+  net_->send(local_, peer->local_, category, std::move(payload),
+             [peer](std::vector<uint8_t> bytes) { peer->deliver(std::move(bytes)); });
+}
+
+void QueuePair::deliver(std::vector<uint8_t> payload) {
+  if (severed_) {
+    return;
+  }
+  FRACTOS_CHECK_MSG(on_receive_ != nullptr, "QueuePair received with no handler");
+  on_receive_(std::move(payload));
+}
+
+void QueuePair::sever() {
+  if (severed_) {
+    return;
+  }
+  severed_ = true;
+  if (peer_ != nullptr && !peer_->severed_) {
+    QueuePair* peer = peer_;
+    const Duration delay = net_->wire_latency(local_, peer->local_);
+    net_->loop()->schedule_after(delay, [peer]() { peer->peer_severed(); });
+  }
+}
+
+void QueuePair::peer_severed() {
+  if (severed_) {
+    return;
+  }
+  severed_ = true;
+  if (on_severed_ != nullptr) {
+    on_severed_();
+  }
+}
+
+}  // namespace fractos

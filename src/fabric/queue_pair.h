@@ -1,0 +1,62 @@
+// Reliable-connected queue pair: the bidirectional, ordered message channel FractOS uses
+// between a Process and its Controller and between Controllers ("Processes are decoupled from
+// their Controller via an RoCE queue pair, as well as Controllers between themselves",
+// Section 4 of the paper).
+//
+// A QueuePair is one local end; connect() wires two ends together. sever() models a broken
+// channel (process death, node failure): the peer's severed handler fires, which is exactly
+// the event FractOS's failure-translation machinery consumes ("A Process failure is detected
+// by the owner Controller when their channel is severed", Section 3.6).
+
+#ifndef SRC_FABRIC_QUEUE_PAIR_H_
+#define SRC_FABRIC_QUEUE_PAIR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/fabric/network.h"
+
+namespace fractos {
+
+class QueuePair {
+ public:
+  using ReceiveHandler = std::function<void(std::vector<uint8_t>)>;
+  using SeveredHandler = std::function<void()>;
+
+  QueuePair(Network* net, Endpoint local);
+
+  // Wires `a` and `b` as the two ends of one connection. Each end must be unconnected.
+  static void connect(QueuePair& a, QueuePair& b);
+
+  Endpoint local() const { return local_; }
+  Endpoint remote() const;
+  bool connected() const { return peer_ != nullptr; }
+  bool severed() const { return severed_; }
+
+  void set_receive_handler(ReceiveHandler handler) { on_receive_ = std::move(handler); }
+  void set_severed_handler(SeveredHandler handler) { on_severed_ = std::move(handler); }
+
+  // Sends `payload` to the peer; its receive handler runs after the modeled latency.
+  // Sends on a severed pair are silently dropped (the RC connection is gone).
+  void send(Traffic category, std::vector<uint8_t> payload);
+
+  // Tears the connection down from this side. The peer's severed handler fires after one
+  // propagation delay (the transport detecting the broken connection).
+  void sever();
+
+ private:
+  void deliver(std::vector<uint8_t> payload);
+  void peer_severed();
+
+  Network* net_;
+  Endpoint local_;
+  QueuePair* peer_ = nullptr;
+  ReceiveHandler on_receive_;
+  SeveredHandler on_severed_;
+  bool severed_ = false;
+};
+
+}  // namespace fractos
+
+#endif  // SRC_FABRIC_QUEUE_PAIR_H_

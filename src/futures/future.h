@@ -1,0 +1,202 @@
+// Single-threaded promise/future library.
+//
+// The FractOS prototype "pervasively use[s] C++ promises and futures to develop asynchronous
+// code, and build[s its] own promise/future library to optimize per-thread concurrency"
+// (Section 4). This reproduction does the same: all syscalls return futures, and services are
+// written as continuation chains. Because the whole cluster runs on one deterministic event
+// loop, no atomics or locks are needed — exactly the optimization the paper describes (their
+// profiling showed shared_ptr atomics dominating SmartNIC deployments).
+//
+// Semantics:
+//   * single consumer: at most one continuation may be attached to a Future;
+//   * continuations run synchronously when the value is (or becomes) available;
+//   * Future<T>::then() flattens nested futures (then returning Future<U> yields Future<U>);
+//   * void-returning continuations yield Future<Unit>.
+
+#ifndef SRC_FUTURES_FUTURE_H_
+#define SRC_FUTURES_FUTURE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+struct Unit {
+  constexpr bool operator==(const Unit&) const = default;
+};
+
+template <typename T>
+class Future;
+template <typename T>
+class Promise;
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  std::optional<T> value;
+  std::function<void(T&&)> continuation;
+  bool consumed = false;
+};
+
+template <typename T>
+struct IsFuture : std::false_type {};
+template <typename U>
+struct IsFuture<Future<U>> : std::true_type {
+  using value_type = U;
+};
+
+}  // namespace internal
+
+template <typename T>
+class Future {
+ public:
+  using value_type = T;
+
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ != nullptr && state_->value.has_value(); }
+
+  // Peeks at a ready value without consuming it. CHECK-fails if not ready.
+  const T& peek() const {
+    FRACTOS_CHECK(ready());
+    return *state_->value;
+  }
+
+  // Consumes a ready value. CHECK-fails if not ready or already consumed.
+  T take() {
+    FRACTOS_CHECK(ready());
+    FRACTOS_CHECK(!state_->consumed);
+    state_->consumed = true;
+    return std::move(*state_->value);
+  }
+
+  // Attaches the single continuation; runs immediately if the value is already set.
+  void on_ready(std::function<void(T&&)> cb) {
+    FRACTOS_CHECK(state_ != nullptr);
+    FRACTOS_CHECK(!state_->consumed);
+    FRACTOS_CHECK(state_->continuation == nullptr);
+    if (state_->value.has_value()) {
+      state_->consumed = true;
+      cb(std::move(*state_->value));
+    } else {
+      state_->continuation = std::move(cb);
+    }
+  }
+
+  // Chains a continuation. The result is a Future of the continuation's result; futures
+  // returned by the continuation are flattened, void maps to Unit. (Defined after Promise.)
+  template <typename F>
+  auto then(F&& f);
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+
+  Future<T> future() const { return Future<T>(state_); }
+
+  void set(T value) const {
+    FRACTOS_CHECK(!state_->value.has_value());
+    if (state_->continuation != nullptr) {
+      auto cb = std::move(state_->continuation);
+      state_->continuation = nullptr;
+      state_->consumed = true;
+      cb(std::move(value));
+    } else {
+      state_->value = std::move(value);
+    }
+  }
+
+  bool fulfilled() const { return state_->value.has_value() || state_->consumed; }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+template <typename T>
+template <typename F>
+auto Future<T>::then(F&& f) {
+  using R = std::invoke_result_t<F, T&&>;
+  if constexpr (std::is_void_v<R>) {
+    Promise<Unit> p;
+    auto fut = p.future();
+    on_ready([f = std::forward<F>(f), p](T&& v) mutable {
+      f(std::move(v));
+      p.set(Unit{});
+    });
+    return fut;
+  } else if constexpr (internal::IsFuture<R>::value) {
+    using U = typename internal::IsFuture<R>::value_type;
+    Promise<U> p;
+    auto fut = p.future();
+    on_ready([f = std::forward<F>(f), p](T&& v) mutable {
+      f(std::move(v)).on_ready([p](U&& u) mutable { p.set(std::move(u)); });
+    });
+    return fut;
+  } else {
+    Promise<R> p;
+    auto fut = p.future();
+    on_ready([f = std::forward<F>(f), p](T&& v) mutable { p.set(f(std::move(v))); });
+    return fut;
+  }
+}
+
+template <typename T>
+Future<std::decay_t<T>> make_ready_future(T&& value) {
+  Promise<std::decay_t<T>> p;
+  p.set(std::forward<T>(value));
+  return p.future();
+}
+
+inline Future<Unit> make_ready_future() { return make_ready_future(Unit{}); }
+
+// Completes with all results (in input order) once every input future completes.
+template <typename T>
+Future<std::vector<T>> when_all(std::vector<Future<T>> futures) {
+  struct Gather {
+    std::vector<std::optional<T>> slots;
+    size_t remaining;
+    Promise<std::vector<T>> promise;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->slots.resize(futures.size());
+  gather->remaining = futures.size();
+  Promise<std::vector<T>> promise = gather->promise;
+  if (futures.empty()) {
+    promise.set({});
+    return promise.future();
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    futures[i].on_ready([gather, i](T&& v) {
+      gather->slots[i] = std::move(v);
+      if (--gather->remaining == 0) {
+        std::vector<T> out;
+        out.reserve(gather->slots.size());
+        for (auto& slot : gather->slots) {
+          out.push_back(std::move(*slot));
+        }
+        gather->promise.set(std::move(out));
+      }
+    });
+  }
+  return promise.future();
+}
+
+}  // namespace fractos
+
+#endif  // SRC_FUTURES_FUTURE_H_

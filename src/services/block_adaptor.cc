@@ -1,0 +1,412 @@
+#include "src/services/block_adaptor.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+BlockAdaptor::BlockAdaptor(System* sys, uint32_t node, Controller& controller, SimNvme* nvme)
+    : BlockAdaptor(sys, node, controller, nvme, Params{}) {}
+
+BlockAdaptor::BlockAdaptor(System* sys, uint32_t node, Controller& controller, SimNvme* nvme,
+                           Params params)
+    : sys_(sys), nvme_(nvme), params_(params) {
+  const uint64_t heap = params_.staging_slots * params_.slot_bytes + (1 << 20);
+  proc_ = &sys->spawn("block-adaptor", node, controller, heap);
+  for (uint32_t i = 0; i < params_.staging_slots; ++i) {
+    Slot slot;
+    slot.addr = proc_->alloc(params_.slot_bytes);
+    slot.mem =
+        sys->await_ok(proc_->memory_create(slot.addr, params_.slot_bytes, Perms::kReadWrite));
+    free_slots_.push_back(slot);
+  }
+  mgmt_ep_ = sys->await_ok(proc_->serve({}, [this](Process::Received r) {
+    handle_mgmt(std::move(r));
+  }));
+}
+
+void BlockAdaptor::with_slot(std::function<void(Slot)> fn) {
+  if (!free_slots_.empty()) {
+    Slot slot = free_slots_.back();
+    free_slots_.pop_back();
+    fn(slot);
+    return;
+  }
+  waiting_.push_back(std::move(fn));
+}
+
+void BlockAdaptor::release_slot(Slot slot) {
+  if (!waiting_.empty()) {
+    auto fn = std::move(waiting_.front());
+    waiting_.pop_front();
+    fn(slot);
+    return;
+  }
+  free_slots_.push_back(slot);
+}
+
+void BlockAdaptor::fail_op(const Process::Received& r, ErrorCode code) {
+  std::vector<CapId> reqs;
+  for (const auto& c : r.caps) {
+    if (c.kind == ObjectKind::kRequest) {
+      reqs.push_back(c.cid);
+    }
+  }
+  if (reqs.size() >= 2) {
+    proc_->request_invoke(reqs[1], Process::Args{}.imm_u64(0, static_cast<uint64_t>(code)));
+  }
+}
+
+void BlockAdaptor::handle_mgmt(Process::Received r) {
+  if (r.num_caps() < 1) {
+    return;
+  }
+  const CapId reply = r.cap(r.num_caps() - 1);
+  const uint64_t size = r.imm_u64(0).value_or(0);
+  const uint64_t aligned = (size + 4095) & ~4095ull;
+  if (size == 0 || next_lba_ + aligned > nvme_->capacity()) {
+    proc_->request_invoke(reply, Process::Args{}.imm_u64(0, 1));
+    return;
+  }
+  const uint32_t vol_id = next_vol_++;
+  const uint64_t base = next_lba_;
+  next_lba_ += aligned;
+
+  std::vector<Future<Result<CapId>>> eps;
+  eps.push_back(proc_->serve({}, [this, vol_id](Process::Received rr) {
+    handle_read(vol_id, std::move(rr));
+  }));
+  eps.push_back(proc_->serve({}, [this, vol_id](Process::Received rr) {
+    handle_write(vol_id, std::move(rr));
+  }));
+  eps.push_back(proc_->serve({}, [this, vol_id](Process::Received rr) {
+    handle_delete(vol_id, std::move(rr));
+  }));
+  when_all(std::move(eps)).on_ready([this, vol_id, base, size, reply](
+                                        std::vector<Result<CapId>>&& cids) {
+    for (const auto& c : cids) {
+      if (!c.ok()) {
+        proc_->request_invoke(reply, Process::Args{}.imm_u64(0, 1));
+        return;
+      }
+    }
+    Volume v;
+    v.base = base;
+    v.size = size;
+    v.read_ep = cids[0].value();
+    v.write_ep = cids[1].value();
+    v.delete_ep = cids[2].value();
+    volumes_[vol_id] = v;
+    proc_->request_invoke(
+        reply,
+        Process::Args{}.imm_u64(0, 0).cap(v.read_ep).cap(v.write_ep).cap(v.delete_ep));
+  });
+}
+
+void BlockAdaptor::handle_read(uint32_t vol_id, Process::Received r) {
+  auto vit = volumes_.find(vol_id);
+  if (vit == volumes_.end()) {
+    fail_op(r, ErrorCode::kRevoked);
+    return;
+  }
+  const Volume& vol = vit->second;
+  const uint64_t off = r.imm_u64(0).value_or(~0ull);
+  const uint64_t size = r.imm_u64(8).value_or(0);
+  CapId dst = kInvalidCap;
+  uint64_t dst_size = 0;
+  CapId cont = kInvalidCap;
+  for (const auto& c : r.caps) {
+    if (c.kind == ObjectKind::kMemory && dst == kInvalidCap) {
+      dst = c.cid;
+      dst_size = c.mem_size;
+    } else if (c.kind == ObjectKind::kRequest && cont == kInvalidCap) {
+      cont = c.cid;
+    }
+  }
+  if (dst == kInvalidCap || cont == kInvalidCap || size == 0 || size > params_.slot_bytes ||
+      off + size > vol.size || dst_size < size) {
+    fail_op(r, ErrorCode::kInvalidArgument);
+    return;
+  }
+  const uint64_t device_off = vol.base + off;
+  with_slot([this, device_off, size, dst, cont, r](Slot slot) {
+    // Stream the read: device DMA of sub-chunk k+1 overlaps the network copy of sub-chunk k
+    // (each lands at its own offset inside the staging slot).
+    struct ReadState {
+      uint64_t issued = 0;
+      uint64_t copied = 0;
+      uint32_t device_in_flight = 0;  // up to 2: the device has parallel flash channels
+      bool failed = false;
+      ErrorCode error = ErrorCode::kInternal;
+      uint32_t copies_in_flight = 0;
+    };
+    auto rs = std::make_shared<ReadState>();
+    auto pump = std::make_shared<std::function<void()>>();
+    auto finish_check = [this, rs, slot, size, cont, r]() {
+      if (rs->failed) {
+        if (rs->device_in_flight == 0 && rs->copies_in_flight == 0) {
+          rs->failed = false;  // report once
+          release_slot(slot);
+          fail_op(r, rs->error);
+        }
+        return;
+      }
+      if (rs->copied == size) {
+        release_slot(slot);
+        // Invoke the continuation VERBATIM (decentralized control flow).
+        proc_->request_invoke(cont);
+      }
+    };
+    *pump = [this, rs, finish_check, slot, device_off, size, dst,
+             weak_pump = std::weak_ptr<std::function<void()>>(pump)]() {
+      auto pump = weak_pump.lock();
+      if (!pump) {
+        return;
+      }
+      while (!rs->failed && rs->device_in_flight < 2 && rs->issued < size) {
+      const uint64_t sub_off = rs->issued;
+      const uint64_t sub = std::min(params_.stream_chunk, size - sub_off);
+      rs->issued += sub;
+      ++rs->device_in_flight;
+      nvme_->read(device_off + sub_off, sub,
+                  [this, rs, pump, finish_check, slot, sub_off, sub,
+                   dst](Result<std::vector<uint8_t>> data) {
+                    --rs->device_in_flight;
+                    if (!data.ok()) {
+                      rs->failed = true;
+                      rs->error = data.error();
+                      finish_check();
+                      return;
+                    }
+                    // DMA from the device lands in the staging slot...
+                    proc_->write_mem(slot.addr + sub_off, data.value());
+                    // ...and moves on to the destination — which may be GPU memory on
+                    // another node (the b step of Fig. 2) — while the next sub-chunk reads.
+                    ++rs->copies_in_flight;
+                    proc_->memory_copy(slot.mem, dst, sub, sub_off, sub_off)
+                        .on_ready([rs, finish_check, sub](Status cs) {
+                          --rs->copies_in_flight;
+                          if (!cs.ok()) {
+                            rs->failed = true;
+                            rs->error = cs.error();
+                          } else {
+                            rs->copied += sub;
+                          }
+                          finish_check();
+                        });
+                    (*pump)();
+                  });
+      }
+    };
+    (*pump)();
+  });
+}
+
+void BlockAdaptor::handle_write(uint32_t vol_id, Process::Received r) {
+  auto vit = volumes_.find(vol_id);
+  if (vit == volumes_.end()) {
+    fail_op(r, ErrorCode::kRevoked);
+    return;
+  }
+  const Volume& vol = vit->second;
+  const uint64_t off = r.imm_u64(0).value_or(~0ull);
+  const uint64_t size = r.imm_u64(8).value_or(0);
+  CapId src = kInvalidCap;
+  uint64_t src_size = 0;
+  CapId cont = kInvalidCap;
+  for (const auto& c : r.caps) {
+    if (c.kind == ObjectKind::kMemory && src == kInvalidCap) {
+      src = c.cid;
+      src_size = c.mem_size;
+    } else if (c.kind == ObjectKind::kRequest && cont == kInvalidCap) {
+      cont = c.cid;
+    }
+  }
+  if (src == kInvalidCap || cont == kInvalidCap || size == 0 || size > params_.slot_bytes ||
+      off + size > vol.size || src_size < size) {
+    fail_op(r, ErrorCode::kInvalidArgument);
+    return;
+  }
+  const uint64_t device_off = vol.base + off;
+  with_slot([this, device_off, size, src, cont, r](Slot slot) {
+    // Stream the write: the network pull of sub-chunk k+1 overlaps the device program of
+    // sub-chunk k.
+    struct WriteState {
+      uint64_t issued = 0;
+      uint64_t written = 0;
+      bool wire_busy = false;
+      bool failed = false;
+      ErrorCode error = ErrorCode::kInternal;
+      uint32_t writes_in_flight = 0;
+    };
+    auto ws = std::make_shared<WriteState>();
+    auto pump = std::make_shared<std::function<void()>>();
+    auto finish_check = [this, ws, slot, size, cont, r]() {
+      if (ws->failed) {
+        if (!ws->wire_busy && ws->writes_in_flight == 0) {
+          ws->failed = false;
+          release_slot(slot);
+          fail_op(r, ws->error);
+        }
+        return;
+      }
+      if (ws->written == size) {
+        release_slot(slot);
+        proc_->request_invoke(cont);
+      }
+    };
+    *pump = [this, ws, finish_check, slot, device_off, size, src,
+             weak_pump = std::weak_ptr<std::function<void()>>(pump)]() {
+      auto pump = weak_pump.lock();
+      if (!pump) {
+        return;
+      }
+      if (ws->failed || ws->wire_busy || ws->issued >= size) {
+        return;
+      }
+      const uint64_t sub_off = ws->issued;
+      const uint64_t sub = std::min(params_.stream_chunk, size - sub_off);
+      ws->issued += sub;
+      ws->wire_busy = true;
+      // Pull the client data into the staging slot (one network transfer)...
+      proc_->memory_copy(src, slot.mem, sub, sub_off, sub_off)
+          .on_ready([this, ws, pump, finish_check, slot, device_off, sub_off, sub](Status cs) {
+            ws->wire_busy = false;
+            if (!cs.ok()) {
+              ws->failed = true;
+              ws->error = cs.error();
+              finish_check();
+              return;
+            }
+            // ...then DMA it into the device while the next sub-chunk pulls.
+            ++ws->writes_in_flight;
+            nvme_->write(device_off + sub_off, proc_->read_mem(slot.addr + sub_off, sub),
+                         [ws, finish_check, sub](Status st) {
+                           --ws->writes_in_flight;
+                           if (!st.ok()) {
+                             ws->failed = true;
+                             ws->error = st.error();
+                           } else {
+                             ws->written += sub;
+                           }
+                           finish_check();
+                         });
+            (*pump)();
+          });
+    };
+    (*pump)();
+  });
+}
+
+void BlockAdaptor::handle_delete(uint32_t vol_id, Process::Received r) {
+  const CapId reply = r.num_caps() >= 1 ? r.cap(r.num_caps() - 1) : kInvalidCap;
+  auto vit = volumes_.find(vol_id);
+  if (vit == volumes_.end()) {
+    if (reply != kInvalidCap) {
+      proc_->request_invoke(reply, Process::Args{}.imm_u64(0, 1));
+    }
+    return;
+  }
+  const Volume vol = vit->second;
+  volumes_.erase(vit);
+  // "the SSD Process must selectively revoke all capabilities granting access to the freed
+  // block, and must do so as fast as possible" (Section 3.5).
+  proc_->remove_endpoint(vol.read_ep);
+  proc_->remove_endpoint(vol.write_ep);
+  proc_->remove_endpoint(vol.delete_ep);
+  std::vector<Future<Status>> revokes;
+  revokes.push_back(proc_->cap_revoke(vol.read_ep));
+  revokes.push_back(proc_->cap_revoke(vol.write_ep));
+  revokes.push_back(proc_->cap_revoke(vol.delete_ep));
+  when_all(std::move(revokes)).on_ready([this, reply](std::vector<Status>&&) {
+    if (reply != kInvalidCap) {
+      proc_->request_invoke(reply, Process::Args{}.imm_u64(0, 0));
+    }
+  });
+}
+
+// --- client helpers --------------------------------------------------------------------------
+
+Future<Result<BlockClient::Volume>> BlockClient::create_volume(Process& proc, CapId mgmt_ep,
+                                                               uint64_t size) {
+  return proc.call(mgmt_ep, Process::Args{}.imm_u64(0, size))
+      .then([size](Result<Process::Received>&& r) -> Result<Volume> {
+        if (!r.ok()) {
+          return r.error();
+        }
+        if (r.value().imm_u64(0).value_or(1) != 0 || r.value().num_caps() < 3) {
+          return ErrorCode::kResourceExhausted;
+        }
+        Volume v;
+        v.read_ep = r.value().cap(0);
+        v.write_ep = r.value().cap(1);
+        v.delete_ep = r.value().cap(2);
+        v.size = size;
+        return v;
+      });
+}
+
+namespace {
+
+// Shared by read/write: invoke `ep` with [mem, ok, err] continuations and resolve on either.
+Future<Status> block_io(Process& proc, CapId ep, uint64_t off, uint64_t size, CapId mem) {
+  Promise<Status> promise;
+  auto ok_f = proc.request_create({});
+  auto err_f = proc.request_create({});
+  when_all(std::vector<Future<Result<CapId>>>{std::move(ok_f), std::move(err_f)})
+      .on_ready([&proc, ep, off, size, mem, promise](std::vector<Result<CapId>>&& eps) {
+        if (!eps[0].ok() || !eps[1].ok()) {
+          promise.set(Status(ErrorCode::kResourceExhausted));
+          return;
+        }
+        const CapId ok_ep = eps[0].value();
+        const CapId err_ep = eps[1].value();
+        proc.on_endpoint(ok_ep, [&proc, ok_ep, err_ep, promise](Process::Received) {
+          proc.remove_endpoint(ok_ep);
+          proc.remove_endpoint(err_ep);
+          promise.set(ok_status());
+        });
+        proc.on_endpoint(err_ep, [&proc, ok_ep, err_ep, promise](Process::Received rr) {
+          proc.remove_endpoint(ok_ep);
+          proc.remove_endpoint(err_ep);
+          promise.set(Status(static_cast<ErrorCode>(
+              rr.imm_u64(0).value_or(static_cast<uint64_t>(ErrorCode::kInternal)))));
+        });
+        proc.request_invoke(ep, Process::Args{}
+                                    .imm_u64(0, off)
+                                    .imm_u64(8, size)
+                                    .cap(mem)
+                                    .cap(ok_ep)
+                                    .cap(err_ep))
+            .on_ready([promise](Status s) {
+              if (!s.ok()) {
+                promise.set(s);
+              }
+            });
+      });
+  return promise.future();
+}
+
+}  // namespace
+
+Future<Status> BlockClient::read(Process& proc, const Volume& v, uint64_t off, uint64_t size,
+                                 CapId dst_mem) {
+  return block_io(proc, v.read_ep, off, size, dst_mem);
+}
+
+Future<Status> BlockClient::write(Process& proc, const Volume& v, uint64_t off, uint64_t size,
+                                  CapId src_mem) {
+  return block_io(proc, v.write_ep, off, size, src_mem);
+}
+
+Future<Status> BlockClient::destroy(Process& proc, const Volume& v) {
+  return proc.call(v.delete_ep).then([](Result<Process::Received>&& r) -> Status {
+    if (!r.ok()) {
+      return r.error();
+    }
+    return r.value().imm_u64(0).value_or(1) == 0 ? ok_status() : Status(ErrorCode::kNotFound);
+  });
+}
+
+}  // namespace fractos

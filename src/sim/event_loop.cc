@@ -1,0 +1,68 @@
+#include "src/sim/event_loop.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+void EventLoop::schedule_at(Time when, Callback cb) {
+  FRACTOS_DCHECK(cb != nullptr);
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void EventLoop::schedule_after(Duration delay, Callback cb) {
+  FRACTOS_DCHECK(delay >= Duration::zero());
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+void EventLoop::post(Callback cb) { schedule_at(now_, std::move(cb)); }
+
+void EventLoop::fire_next() {
+  // The event must be moved out before running: the callback may schedule new events and
+  // reallocate the queue's storage.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  FRACTOS_DCHECK(ev.when >= now_);
+  now_ = ev.when;
+  ++steps_;
+  ev.cb();
+}
+
+uint64_t EventLoop::run(uint64_t max_steps) {
+  uint64_t processed = 0;
+  while (!queue_.empty() && processed < max_steps) {
+    fire_next();
+    ++processed;
+  }
+  return processed;
+}
+
+bool EventLoop::run_until(const std::function<bool()>& pred, uint64_t max_steps) {
+  if (pred()) {
+    return true;
+  }
+  uint64_t processed = 0;
+  while (!queue_.empty() && processed < max_steps) {
+    fire_next();
+    ++processed;
+    if (pred()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void EventLoop::run_until_time(Time deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    fire_next();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace fractos

@@ -1,0 +1,91 @@
+// Deterministic discrete-event loop.
+//
+// Every latency in the FractOS reproduction — network hops, PCIe crossings, controller compute,
+// device service times — is realized by scheduling a callback at a future simulated Time. Events
+// with equal timestamps fire in submission order (a monotonically increasing sequence number
+// breaks ties), which makes whole-cluster runs bit-for-bit reproducible.
+
+#ifndef SRC_SIM_EVENT_LOOP_H_
+#define SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/sim/trace.h"
+
+namespace fractos {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `when` (clamped to now()).
+  void schedule_at(Time when, Callback cb);
+
+  // Schedules `cb` to run `delay` after now().
+  void schedule_after(Duration delay, Callback cb);
+
+  // Schedules `cb` to run at the current time, after already-pending same-time events.
+  void post(Callback cb);
+
+  // Runs events until the queue is empty or `max_steps` events have fired.
+  // Returns the number of events processed.
+  uint64_t run(uint64_t max_steps = UINT64_MAX);
+
+  // Runs events until `pred()` holds (checked after every event) or the queue drains.
+  // Returns true iff the predicate was satisfied.
+  bool run_until(const std::function<bool()>& pred, uint64_t max_steps = UINT64_MAX);
+
+  // Runs all events scheduled at or before `deadline`, then sets now() to `deadline` if the
+  // simulation has not already advanced past it.
+  void run_until_time(Time deadline);
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+  uint64_t steps() const { return steps_; }
+
+  // --- tracing (see src/sim/trace.h) ---
+  void set_tracer(TraceFn tracer) { tracer_ = std::move(tracer); }
+  bool tracing() const { return tracer_ != nullptr; }
+  void trace(std::string_view actor, std::string_view event) {
+    if (tracer_ != nullptr) {
+      tracer_(now_, actor, event);
+    }
+  }
+
+ private:
+  struct Event {
+    Time when;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void fire_next();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TraceFn tracer_;
+  Time now_;
+  uint64_t next_seq_ = 0;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace fractos
+
+#endif  // SRC_SIM_EVENT_LOOP_H_

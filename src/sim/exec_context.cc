@@ -1,0 +1,25 @@
+#include "src/sim/exec_context.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+ExecContext::ExecContext(EventLoop* loop, std::string name, double speed)
+    : loop_(loop), name_(std::move(name)), speed_(speed) {
+  FRACTOS_CHECK(loop != nullptr);
+  FRACTOS_CHECK(speed > 0.0);
+}
+
+void ExecContext::run(Duration cost, EventLoop::Callback work) {
+  FRACTOS_DCHECK(cost >= Duration::zero());
+  const Duration scaled = cost / speed_;
+  const Time start = max(loop_->now(), free_at_);
+  const Time done = start + scaled;
+  free_at_ = done;
+  busy_ += scaled;
+  loop_->schedule_at(done, std::move(work));
+}
+
+}  // namespace fractos

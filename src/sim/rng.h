@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation for workload generators (random I/O offsets,
+// synthetic face-verification inputs). xoshiro256** seeded via splitmix64: fast, reproducible,
+// and independent of the platform's std::mt19937 implementation details.
+
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).
+  uint64_t next_below(uint64_t bound) {
+    FRACTOS_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = next_u64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t next_range(uint64_t lo, uint64_t hi) {
+    FRACTOS_DCHECK(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  // Uniform in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+  uint8_t next_byte() { return static_cast<uint8_t>(next_u64() & 0xff); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace fractos
+
+#endif  // SRC_SIM_RNG_H_

@@ -1,0 +1,81 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Summary::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::rel_stddev() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / std::abs(m);
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs_) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs_.size());
+}
+
+double Samples::percentile(double p) const {
+  FRACTOS_CHECK(!xs_.empty());
+  FRACTOS_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void Log2Histogram::add(uint64_t value) {
+  size_t bucket = 0;
+  while (value > 1 && bucket < 63) {
+    value >>= 1;
+    ++bucket;
+  }
+  ++buckets_[bucket];
+  ++total_;
+}
+
+uint64_t Log2Histogram::bucket(size_t i) const {
+  FRACTOS_CHECK(i < 64);
+  return buckets_[i];
+}
+
+}  // namespace fractos

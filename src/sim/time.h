@@ -1,0 +1,81 @@
+// Simulated time. All FractOS latencies are modeled in nanoseconds of simulated time; the
+// discrete-event loop in src/sim/event_loop.h advances a Time, and components add Durations.
+//
+// Duration and Time are distinct strong types: Time - Time = Duration, Time + Duration = Time.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace fractos {
+
+class Duration {
+ public:
+  constexpr Duration() : ns_(0) {}
+
+  static constexpr Duration nanos(int64_t ns) { return Duration(ns); }
+  static constexpr Duration micros(double us) {
+    return Duration(static_cast<int64_t>(us * 1e3));
+  }
+  static constexpr Duration millis(double ms) {
+    return Duration(static_cast<int64_t>(ms * 1e6));
+  }
+  static constexpr Duration seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr Duration operator/(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(ns_) / k));
+  }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  explicit constexpr Duration(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+class Time {
+ public:
+  constexpr Time() : ns_(0) {}
+  static constexpr Time from_ns(int64_t ns) { return Time(ns); }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr Time operator+(Duration d) const { return Time(ns_ + d.ns()); }
+  constexpr Duration operator-(Time o) const { return Duration::nanos(ns_ - o.ns_); }
+  constexpr auto operator<=>(const Time&) const = default;
+
+ private:
+  explicit constexpr Time(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+inline Time max(Time a, Time b) { return a < b ? b : a; }
+inline Duration max(Duration a, Duration b) { return a < b ? b : a; }
+inline Duration min(Duration a, Duration b) { return a < b ? a : b; }
+
+}  // namespace fractos
+
+#endif  // SRC_SIM_TIME_H_

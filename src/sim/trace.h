@@ -1,0 +1,72 @@
+// Lightweight event tracing for the simulated cluster.
+//
+// A tracer is attached to the EventLoop (everything in a System shares one); components emit
+// (actor, event) pairs stamped with simulated time. Tracing is off by default and costs one
+// branch per call site when disabled — call sites must guard any expensive formatting with
+// tracing().
+//
+//   sys.loop().set_tracer(trace_to_stderr());
+//   ...
+//   loop->trace("ctrl-1", "invoke forwarded to ctrl-2");
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace fractos {
+
+using TraceFn = std::function<void(Time when, std::string_view actor, std::string_view event)>;
+
+// A tracer that prints "  [   12.345 us] actor: event" lines to stderr.
+inline TraceFn trace_to_stderr() {
+  return [](Time when, std::string_view actor, std::string_view event) {
+    std::fprintf(stderr, "  [%10.3f us] %.*s: %.*s\n", when.to_us(),
+                 static_cast<int>(actor.size()), actor.data(), static_cast<int>(event.size()),
+                 event.data());
+  };
+}
+
+// A tracer that records events for test assertions.
+struct TraceRecorder {
+  struct Entry {
+    Time when;
+    std::string actor;
+    std::string event;
+  };
+  std::vector<Entry> entries;
+
+  TraceFn fn() {
+    return [this](Time when, std::string_view actor, std::string_view event) {
+      entries.push_back(Entry{when, std::string(actor), std::string(event)});
+    };
+  }
+
+  bool contains(std::string_view needle) const {
+    for (const auto& e : entries) {
+      if (e.event.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+  size_t count(std::string_view needle) const {
+    size_t n = 0;
+    for (const auto& e : entries) {
+      if (e.event.find(needle) != std::string::npos) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace fractos
+
+#endif  // SRC_SIM_TRACE_H_

@@ -1,0 +1,41 @@
+#include "src/wire/buffer.h"
+
+namespace fractos {
+
+void Encoder::put_bytes(const std::vector<uint8_t>& bytes) {
+  put_u32(static_cast<uint32_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Encoder::put_string(const std::string& s) {
+  put_u32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Encoder::put_raw(const uint8_t* data, size_t len) { buf_.insert(buf_.end(), data, data + len); }
+
+std::vector<uint8_t> Decoder::get_bytes() {
+  const uint32_t n = get_u32();
+  if (!ok_ || pos_ + n > len_) {
+    ok_ = false;
+    pos_ = len_;
+    return {};
+  }
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+std::string Decoder::get_string() {
+  const uint32_t n = get_u32();
+  if (!ok_ || pos_ + n > len_) {
+    ok_ = false;
+    pos_ = len_;
+    return {};
+  }
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace fractos

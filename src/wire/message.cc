@@ -1,0 +1,524 @@
+#include "src/wire/message.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+namespace {
+
+void encode_ref(Encoder& e, const ObjectRef& ref) {
+  e.put_u32(ref.owner);
+  e.put_u64(ref.index);
+  e.put_u32(ref.reboot_count);
+}
+
+ObjectRef decode_ref(Decoder& d) {
+  ObjectRef ref;
+  ref.owner = d.get_u32();
+  ref.index = d.get_u64();
+  ref.reboot_count = d.get_u32();
+  return ref;
+}
+
+void encode_mem_desc(Encoder& e, const MemoryDesc& m) {
+  e.put_u32(m.node);
+  e.put_u32(m.pool);
+  e.put_u64(m.addr);
+  e.put_u64(m.size);
+}
+
+MemoryDesc decode_mem_desc(Decoder& d) {
+  MemoryDesc m;
+  m.node = d.get_u32();
+  m.pool = d.get_u32();
+  m.addr = d.get_u64();
+  m.size = d.get_u64();
+  return m;
+}
+
+void encode_imms(Encoder& e, const std::vector<ImmExtent>& imms) {
+  e.put_u32(static_cast<uint32_t>(imms.size()));
+  for (const auto& imm : imms) {
+    e.put_u32(imm.offset);
+    e.put_bytes(imm.bytes);
+  }
+}
+
+std::vector<ImmExtent> decode_imms(Decoder& d) {
+  const uint32_t n = d.get_u32();
+  std::vector<ImmExtent> imms;
+  for (uint32_t i = 0; i < n && d.ok(); ++i) {
+    ImmExtent imm;
+    imm.offset = d.get_u32();
+    imm.bytes = d.get_bytes();
+    imms.push_back(std::move(imm));
+  }
+  return imms;
+}
+
+void encode_wire_cap(Encoder& e, const WireCap& c) {
+  encode_ref(e, c.ref);
+  e.put_u8(static_cast<uint8_t>(c.kind));
+  e.put_u8(static_cast<uint8_t>(c.perms));
+  encode_mem_desc(e, c.mem);
+  e.put_bool(c.tracked);
+}
+
+WireCap decode_wire_cap(Decoder& d) {
+  WireCap c;
+  c.ref = decode_ref(d);
+  c.kind = static_cast<ObjectKind>(d.get_u8());
+  c.perms = static_cast<Perms>(d.get_u8());
+  c.mem = decode_mem_desc(d);
+  c.tracked = d.get_bool();
+  return c;
+}
+
+struct BodyEncoder {
+  Encoder& e;
+
+  void operator()(const NullOpMsg&) {}
+  void operator()(const MemoryCreateMsg& m) {
+    e.put_u32(m.pool);
+    e.put_u64(m.addr);
+    e.put_u64(m.size);
+    e.put_u8(static_cast<uint8_t>(m.perms));
+  }
+  void operator()(const MemoryDiminishMsg& m) {
+    e.put_u32(m.cid);
+    e.put_u64(m.offset);
+    e.put_u64(m.size);
+    e.put_u8(static_cast<uint8_t>(m.drop_perms));
+  }
+  void operator()(const MemoryCopyMsg& m) {
+    e.put_u32(m.src);
+    e.put_u32(m.dst);
+    e.put_u64(m.src_off);
+    e.put_u64(m.dst_off);
+    e.put_u64(m.length);
+  }
+  void operator()(const RequestCreateMsg& m) {
+    e.put_bool(m.has_base);
+    e.put_u32(m.base);
+    encode_imms(e, m.imms);
+    e.put_u32(static_cast<uint32_t>(m.caps.size()));
+    for (CapId cid : m.caps) {
+      e.put_u32(cid);
+    }
+  }
+  void operator()(const RequestInvokeMsg& m) {
+    e.put_u32(m.cid);
+    encode_imms(e, m.imms);
+    e.put_u32(static_cast<uint32_t>(m.caps.size()));
+    for (CapId cid : m.caps) {
+      e.put_u32(cid);
+    }
+  }
+  void operator()(const CapCreateRevtreeMsg& m) { e.put_u32(m.cid); }
+  void operator()(const CapRevokeMsg& m) { e.put_u32(m.cid); }
+  void operator()(const MonitorMsg& m) {
+    e.put_u32(m.cid);
+    e.put_u64(m.callback_id);
+  }
+  void operator()(const SyscallReplyMsg& m) {
+    e.put_u64(m.call_seq);
+    e.put_u8(static_cast<uint8_t>(m.status));
+    e.put_u32(m.cid);
+  }
+  void operator()(const DeliverRequestMsg& m) {
+    e.put_u32(m.endpoint_cid);
+    encode_imms(e, m.imms);
+    e.put_u32(static_cast<uint32_t>(m.caps.size()));
+    for (const auto& c : m.caps) {
+      e.put_u32(c.cid);
+      e.put_u8(static_cast<uint8_t>(c.kind));
+      e.put_u8(static_cast<uint8_t>(c.perms));
+      e.put_u64(c.mem_size);
+    }
+  }
+  void operator()(const MonitorCallbackMsg& m) {
+    e.put_u64(m.callback_id);
+    e.put_bool(m.delegate_mode);
+  }
+  void operator()(const DeliverAckMsg&) {}
+  void operator()(const RemoteDeriveMsg& m) {
+    e.put_u64(m.op_id);
+    encode_ref(e, m.base);
+    e.put_u8(static_cast<uint8_t>(m.op));
+    e.put_u64(m.requester);
+    encode_imms(e, m.imms);
+    e.put_u32(static_cast<uint32_t>(m.caps.size()));
+    for (const auto& c : m.caps) {
+      encode_wire_cap(e, c);
+    }
+    e.put_u64(m.offset);
+    e.put_u64(m.size);
+    e.put_u8(static_cast<uint8_t>(m.drop_perms));
+  }
+  void operator()(const PeerReplyMsg& m) {
+    e.put_u64(m.op_id);
+    e.put_u8(static_cast<uint8_t>(m.status));
+    encode_wire_cap(e, m.result);
+  }
+  void operator()(const RemoteInvokeMsg& m) {
+    encode_ref(e, m.target);
+    encode_imms(e, m.imms);
+    e.put_u32(static_cast<uint32_t>(m.caps.size()));
+    for (const auto& c : m.caps) {
+      encode_wire_cap(e, c);
+    }
+    e.put_u32(m.origin);
+    e.put_u64(m.invoke_id);
+  }
+  void operator()(const RemoteInvokeErrorMsg& m) {
+    e.put_u64(m.invoke_id);
+    e.put_u8(static_cast<uint8_t>(m.status));
+  }
+  void operator()(const RevokeBroadcastMsg& m) {
+    e.put_u64(m.cleanup_id);
+    e.put_u32(static_cast<uint32_t>(m.revoked.size()));
+    for (const auto& ref : m.revoked) {
+      encode_ref(e, ref);
+    }
+  }
+  void operator()(const RevokeAckMsg& m) { e.put_u64(m.cleanup_id); }
+  void operator()(const RegisterMonitorMsg& m) {
+    encode_ref(e, m.target);
+    e.put_bool(m.delegate_mode);
+    e.put_u64(m.callback_id);
+    e.put_u32(m.subscriber_controller);
+    e.put_u64(m.subscriber_process);
+  }
+  void operator()(const MonitorFiredMsg& m) {
+    e.put_u64(m.process);
+    e.put_u64(m.callback_id);
+    e.put_bool(m.delegate_mode);
+  }
+};
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kNullOp: return "NullOp";
+    case MsgType::kMemoryCreate: return "MemoryCreate";
+    case MsgType::kMemoryDiminish: return "MemoryDiminish";
+    case MsgType::kMemoryCopy: return "MemoryCopy";
+    case MsgType::kRequestCreate: return "RequestCreate";
+    case MsgType::kRequestInvoke: return "RequestInvoke";
+    case MsgType::kCapCreateRevtree: return "CapCreateRevtree";
+    case MsgType::kCapRevoke: return "CapRevoke";
+    case MsgType::kMonitorDelegate: return "MonitorDelegate";
+    case MsgType::kMonitorReceive: return "MonitorReceive";
+    case MsgType::kSyscallReply: return "SyscallReply";
+    case MsgType::kDeliverRequest: return "DeliverRequest";
+    case MsgType::kDeliverAck: return "DeliverAck";
+    case MsgType::kMonitorCallback: return "MonitorCallback";
+    case MsgType::kRemoteInvoke: return "RemoteInvoke";
+    case MsgType::kRemoteInvokeError: return "RemoteInvokeError";
+    case MsgType::kRemoteDerive: return "RemoteDerive";
+    case MsgType::kPeerReply: return "PeerReply";
+    case MsgType::kRevokeBroadcast: return "RevokeBroadcast";
+    case MsgType::kRevokeAck: return "RevokeAck";
+    case MsgType::kRegisterMonitor: return "RegisterMonitor";
+    case MsgType::kMonitorFired: return "MonitorFired";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> encode_envelope(const Envelope& env) {
+  Encoder e;
+  e.put_u8(static_cast<uint8_t>(env.type));
+  e.put_u64(env.seq);
+  std::visit(BodyEncoder{e}, env.body);
+  return e.take();
+}
+
+Result<Envelope> decode_envelope(const std::vector<uint8_t>& buf) {
+  Decoder d(buf);
+  Envelope env;
+  env.type = static_cast<MsgType>(d.get_u8());
+  env.seq = d.get_u64();
+  switch (env.type) {
+    case MsgType::kNullOp:
+      env.body = NullOpMsg{};
+      break;
+    case MsgType::kMemoryCreate: {
+      MemoryCreateMsg m;
+      m.pool = d.get_u32();
+      m.addr = d.get_u64();
+      m.size = d.get_u64();
+      m.perms = static_cast<Perms>(d.get_u8());
+      env.body = m;
+      break;
+    }
+    case MsgType::kMemoryDiminish: {
+      MemoryDiminishMsg m;
+      m.cid = d.get_u32();
+      m.offset = d.get_u64();
+      m.size = d.get_u64();
+      m.drop_perms = static_cast<Perms>(d.get_u8());
+      env.body = m;
+      break;
+    }
+    case MsgType::kMemoryCopy: {
+      MemoryCopyMsg m;
+      m.src = d.get_u32();
+      m.dst = d.get_u32();
+      m.src_off = d.get_u64();
+      m.dst_off = d.get_u64();
+      m.length = d.get_u64();
+      env.body = m;
+      break;
+    }
+    case MsgType::kRequestCreate: {
+      RequestCreateMsg m;
+      m.has_base = d.get_bool();
+      m.base = d.get_u32();
+      m.imms = decode_imms(d);
+      const uint32_t n = d.get_u32();
+      for (uint32_t i = 0; i < n && d.ok(); ++i) {
+        m.caps.push_back(d.get_u32());
+      }
+      env.body = std::move(m);
+      break;
+    }
+    case MsgType::kRequestInvoke: {
+      RequestInvokeMsg m;
+      m.cid = d.get_u32();
+      m.imms = decode_imms(d);
+      const uint32_t n = d.get_u32();
+      for (uint32_t i = 0; i < n && d.ok(); ++i) {
+        m.caps.push_back(d.get_u32());
+      }
+      env.body = std::move(m);
+      break;
+    }
+    case MsgType::kCapCreateRevtree: {
+      CapCreateRevtreeMsg m;
+      m.cid = d.get_u32();
+      env.body = m;
+      break;
+    }
+    case MsgType::kCapRevoke: {
+      CapRevokeMsg m;
+      m.cid = d.get_u32();
+      env.body = m;
+      break;
+    }
+    case MsgType::kMonitorDelegate:
+    case MsgType::kMonitorReceive: {
+      MonitorMsg m;
+      m.cid = d.get_u32();
+      m.callback_id = d.get_u64();
+      env.body = m;
+      break;
+    }
+    case MsgType::kSyscallReply: {
+      SyscallReplyMsg m;
+      m.call_seq = d.get_u64();
+      m.status = static_cast<ErrorCode>(d.get_u8());
+      m.cid = d.get_u32();
+      env.body = m;
+      break;
+    }
+    case MsgType::kDeliverRequest: {
+      DeliverRequestMsg m;
+      m.endpoint_cid = d.get_u32();
+      m.imms = decode_imms(d);
+      const uint32_t n = d.get_u32();
+      for (uint32_t i = 0; i < n && d.ok(); ++i) {
+        DeliveredCap c;
+        c.cid = d.get_u32();
+        c.kind = static_cast<ObjectKind>(d.get_u8());
+        c.perms = static_cast<Perms>(d.get_u8());
+        c.mem_size = d.get_u64();
+        m.caps.push_back(c);
+      }
+      env.body = std::move(m);
+      break;
+    }
+    case MsgType::kMonitorCallback: {
+      MonitorCallbackMsg m;
+      m.callback_id = d.get_u64();
+      m.delegate_mode = d.get_bool();
+      env.body = m;
+      break;
+    }
+    case MsgType::kDeliverAck:
+      env.body = DeliverAckMsg{};
+      break;
+    case MsgType::kRemoteDerive: {
+      RemoteDeriveMsg m;
+      m.op_id = d.get_u64();
+      m.base = decode_ref(d);
+      m.op = static_cast<RemoteDeriveMsg::Op>(d.get_u8());
+      m.requester = d.get_u64();
+      m.imms = decode_imms(d);
+      const uint32_t n = d.get_u32();
+      for (uint32_t i = 0; i < n && d.ok(); ++i) {
+        m.caps.push_back(decode_wire_cap(d));
+      }
+      m.offset = d.get_u64();
+      m.size = d.get_u64();
+      m.drop_perms = static_cast<Perms>(d.get_u8());
+      env.body = std::move(m);
+      break;
+    }
+    case MsgType::kPeerReply: {
+      PeerReplyMsg m;
+      m.op_id = d.get_u64();
+      m.status = static_cast<ErrorCode>(d.get_u8());
+      m.result = decode_wire_cap(d);
+      env.body = m;
+      break;
+    }
+    case MsgType::kRemoteInvoke: {
+      RemoteInvokeMsg m;
+      m.target = decode_ref(d);
+      m.imms = decode_imms(d);
+      const uint32_t n = d.get_u32();
+      for (uint32_t i = 0; i < n && d.ok(); ++i) {
+        m.caps.push_back(decode_wire_cap(d));
+      }
+      m.origin = d.get_u32();
+      m.invoke_id = d.get_u64();
+      env.body = std::move(m);
+      break;
+    }
+    case MsgType::kRemoteInvokeError: {
+      RemoteInvokeErrorMsg m;
+      m.invoke_id = d.get_u64();
+      m.status = static_cast<ErrorCode>(d.get_u8());
+      env.body = m;
+      break;
+    }
+    case MsgType::kRevokeBroadcast: {
+      RevokeBroadcastMsg m;
+      m.cleanup_id = d.get_u64();
+      const uint32_t n = d.get_u32();
+      for (uint32_t i = 0; i < n && d.ok(); ++i) {
+        m.revoked.push_back(decode_ref(d));
+      }
+      env.body = std::move(m);
+      break;
+    }
+    case MsgType::kRevokeAck: {
+      RevokeAckMsg m;
+      m.cleanup_id = d.get_u64();
+      env.body = m;
+      break;
+    }
+    case MsgType::kRegisterMonitor: {
+      RegisterMonitorMsg m;
+      m.target = decode_ref(d);
+      m.delegate_mode = d.get_bool();
+      m.callback_id = d.get_u64();
+      m.subscriber_controller = d.get_u32();
+      m.subscriber_process = d.get_u64();
+      env.body = m;
+      break;
+    }
+    case MsgType::kMonitorFired: {
+      MonitorFiredMsg m;
+      m.process = d.get_u64();
+      m.callback_id = d.get_u64();
+      m.delegate_mode = d.get_bool();
+      env.body = m;
+      break;
+    }
+    default:
+      return ErrorCode::kInvalidArgument;
+  }
+  if (!d.done()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  return env;
+}
+
+namespace {
+Envelope envelope_of(uint64_t seq, MsgType type, MsgBody body) {
+  Envelope env;
+  env.seq = seq;
+  env.type = type;
+  env.body = std::move(body);
+  return env;
+}
+}  // namespace
+
+Envelope make_envelope(uint64_t seq, NullOpMsg m) {
+  return envelope_of(seq, MsgType::kNullOp, m);
+}
+Envelope make_envelope(uint64_t seq, MemoryCreateMsg m) {
+  return envelope_of(seq, MsgType::kMemoryCreate, m);
+}
+Envelope make_envelope(uint64_t seq, MemoryDiminishMsg m) {
+  return envelope_of(seq, MsgType::kMemoryDiminish, m);
+}
+Envelope make_envelope(uint64_t seq, MemoryCopyMsg m) {
+  return envelope_of(seq, MsgType::kMemoryCopy, m);
+}
+Envelope make_envelope(uint64_t seq, RequestCreateMsg m) {
+  return envelope_of(seq, MsgType::kRequestCreate, std::move(m));
+}
+Envelope make_envelope(uint64_t seq, RequestInvokeMsg m) {
+  return envelope_of(seq, MsgType::kRequestInvoke, m);
+}
+Envelope make_envelope(uint64_t seq, CapCreateRevtreeMsg m) {
+  return envelope_of(seq, MsgType::kCapCreateRevtree, m);
+}
+Envelope make_envelope(uint64_t seq, CapRevokeMsg m) {
+  return envelope_of(seq, MsgType::kCapRevoke, m);
+}
+Envelope make_envelope(uint64_t seq, MonitorMsg m, bool delegate_mode) {
+  return envelope_of(seq, delegate_mode ? MsgType::kMonitorDelegate : MsgType::kMonitorReceive,
+                     m);
+}
+Envelope make_envelope(uint64_t seq, SyscallReplyMsg m) {
+  return envelope_of(seq, MsgType::kSyscallReply, m);
+}
+Envelope make_envelope(uint64_t seq, DeliverRequestMsg m) {
+  return envelope_of(seq, MsgType::kDeliverRequest, std::move(m));
+}
+Envelope make_envelope(uint64_t seq, DeliverAckMsg m) {
+  return envelope_of(seq, MsgType::kDeliverAck, m);
+}
+Envelope make_envelope(uint64_t seq, MonitorCallbackMsg m) {
+  return envelope_of(seq, MsgType::kMonitorCallback, m);
+}
+Envelope make_envelope(uint64_t seq, RemoteInvokeMsg m) {
+  return envelope_of(seq, MsgType::kRemoteInvoke, std::move(m));
+}
+Envelope make_envelope(uint64_t seq, RemoteInvokeErrorMsg m) {
+  return envelope_of(seq, MsgType::kRemoteInvokeError, m);
+}
+Envelope make_envelope(uint64_t seq, RemoteDeriveMsg m) {
+  return envelope_of(seq, MsgType::kRemoteDerive, std::move(m));
+}
+Envelope make_envelope(uint64_t seq, PeerReplyMsg m) {
+  return envelope_of(seq, MsgType::kPeerReply, m);
+}
+Envelope make_envelope(uint64_t seq, RevokeBroadcastMsg m) {
+  return envelope_of(seq, MsgType::kRevokeBroadcast, std::move(m));
+}
+Envelope make_envelope(uint64_t seq, RevokeAckMsg m) {
+  return envelope_of(seq, MsgType::kRevokeAck, m);
+}
+Envelope make_envelope(uint64_t seq, RegisterMonitorMsg m) {
+  return envelope_of(seq, MsgType::kRegisterMonitor, m);
+}
+Envelope make_envelope(uint64_t seq, MonitorFiredMsg m) {
+  return envelope_of(seq, MsgType::kMonitorFired, m);
+}
+
+uint64_t imm_bytes(const std::vector<ImmExtent>& imms) {
+  uint64_t total = 0;
+  for (const auto& imm : imms) {
+    total += imm.bytes.size();
+  }
+  return total;
+}
+
+}  // namespace fractos

@@ -1,0 +1,81 @@
+// Tests for the capability-bootstrap key/value store (itself a FractOS Process).
+
+#include <gtest/gtest.h>
+
+#include "src/core/bootstrap.h"
+
+namespace fractos {
+namespace {
+
+class KvTest : public ::testing::Test {
+ protected:
+  KvTest() {
+    n0_ = sys_.add_node("n0");
+    n1_ = sys_.add_node("n1");
+    c0_ = &sys_.add_controller(n0_, Loc::kHost);
+    c1_ = &sys_.add_controller(n1_, Loc::kHost);
+    kv_ = std::make_unique<KvStore>(&sys_, n0_, *c0_);
+  }
+
+  System sys_;
+  uint32_t n0_ = 0, n1_ = 0;
+  Controller* c0_ = nullptr;
+  Controller* c1_ = nullptr;
+  std::unique_ptr<KvStore> kv_;
+};
+
+TEST_F(KvTest, PutThenGetDeliversCapabilityAcrossNodes) {
+  Process& publisher = sys_.spawn("publisher", n1_, *c1_);
+  Process& consumer = sys_.spawn("consumer", n1_, *c1_);
+  auto pub_eps = kv_->grant_to(publisher);
+  auto con_eps = kv_->grant_to(consumer);
+
+  int deliveries = 0;
+  const CapId svc = sys_.await_ok(publisher.serve({}, [&](Process::Received) { ++deliveries; }));
+  ASSERT_TRUE(sys_.await(KvStore::put(publisher, pub_eps.put, "svc.echo", svc)).ok());
+  EXPECT_EQ(kv_->size(), 1u);
+
+  const CapId got = sys_.await_ok(KvStore::get(consumer, con_eps.get, "svc.echo"));
+  ASSERT_TRUE(sys_.await(consumer.request_invoke(got)).ok());
+  sys_.loop().run();
+  EXPECT_EQ(deliveries, 1);
+}
+
+TEST_F(KvTest, GetUnknownNameFails) {
+  Process& consumer = sys_.spawn("consumer", n1_, *c1_);
+  auto eps = kv_->grant_to(consumer);
+  auto r = sys_.await(KvStore::get(consumer, eps.get, "nope"));
+  EXPECT_EQ(r.error(), ErrorCode::kNotFound);
+}
+
+TEST_F(KvTest, PutOverwritesExistingName) {
+  Process& publisher = sys_.spawn("publisher", n1_, *c1_);
+  auto eps = kv_->grant_to(publisher);
+  int first = 0, second = 0;
+  const CapId s1 = sys_.await_ok(publisher.serve({}, [&](Process::Received) { ++first; }));
+  const CapId s2 = sys_.await_ok(publisher.serve({}, [&](Process::Received) { ++second; }));
+  ASSERT_TRUE(sys_.await(KvStore::put(publisher, eps.put, "svc", s1)).ok());
+  ASSERT_TRUE(sys_.await(KvStore::put(publisher, eps.put, "svc", s2)).ok());
+  EXPECT_EQ(kv_->size(), 1u);
+
+  const CapId got = sys_.await_ok(KvStore::get(publisher, eps.get, "svc"));
+  ASSERT_TRUE(sys_.await(publisher.request_invoke(got)).ok());
+  sys_.loop().run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST_F(KvTest, ManyEntries) {
+  Process& p = sys_.spawn("p", n1_, *c1_);
+  auto eps = kv_->grant_to(p);
+  for (int i = 0; i < 20; ++i) {
+    const CapId svc = sys_.await_ok(p.serve({}, [](Process::Received) {}));
+    ASSERT_TRUE(
+        sys_.await(KvStore::put(p, eps.put, "svc." + std::to_string(i), svc)).ok());
+  }
+  EXPECT_EQ(kv_->size(), 20u);
+  EXPECT_TRUE(sys_.await(KvStore::get(p, eps.get, "svc.13")).ok());
+}
+
+}  // namespace
+}  // namespace fractos

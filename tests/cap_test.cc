@@ -1,0 +1,368 @@
+// Capability-system unit tests: object table creation/derivation/resolution, revocation
+// trees and recursive invalidation, stale-generation detection, monitor bookkeeping, and
+// capability spaces.
+
+#include <gtest/gtest.h>
+
+#include "src/cap/cap_space.h"
+#include "src/cap/object_table.h"
+
+namespace fractos {
+namespace {
+
+constexpr ProcessId kProc = 7;
+constexpr ProcessId kOther = 8;
+
+class ObjectTableTest : public ::testing::Test {
+ protected:
+  ObjectTableTest() : table_(/*owner=*/1) {}
+
+  ObjectIndex make_memory(uint64_t size = 4096, Perms perms = Perms::kReadWrite) {
+    return table_.create_memory(kProc, MemoryDesc{0, 0, 0, size}, perms).value();
+  }
+
+  ObjectTable table_;
+};
+
+TEST_F(ObjectTableTest, CreateAndResolveMemory) {
+  const ObjectIndex idx = make_memory(8192, Perms::kRead);
+  auto r = table_.resolve_memory(idx, table_.reboot_count());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().desc.size, 8192u);
+  EXPECT_EQ(r.value().perms, Perms::kRead);
+}
+
+TEST_F(ObjectTableTest, ZeroSizedMemoryRejected) {
+  EXPECT_EQ(table_.create_memory(kProc, MemoryDesc{0, 0, 0, 0}, Perms::kRead).error(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ObjectTableTest, DiminishNarrowsExtentAndPerms) {
+  const ObjectIndex base = make_memory(4096, Perms::kReadWrite);
+  const ObjectIndex sub = table_.derive_memory(kProc, base, 1024, 512, Perms::kWrite).value();
+  auto r = table_.resolve_memory(sub, table_.reboot_count());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().desc.addr, 1024u);
+  EXPECT_EQ(r.value().desc.size, 512u);
+  EXPECT_EQ(r.value().perms, Perms::kRead);
+}
+
+TEST_F(ObjectTableTest, DiminishOutOfRangeFails) {
+  const ObjectIndex base = make_memory(4096);
+  EXPECT_EQ(table_.derive_memory(kProc, base, 4000, 1000, Perms::kNone).error(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(table_.derive_memory(kProc, base, 0, 0, Perms::kNone).error(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST_F(ObjectTableTest, DiminishOfDiminishComposes) {
+  const ObjectIndex base = make_memory(4096);
+  const ObjectIndex a = table_.derive_memory(kProc, base, 1000, 2000, Perms::kNone).value();
+  const ObjectIndex b = table_.derive_memory(kProc, a, 500, 100, Perms::kNone).value();
+  auto r = table_.resolve_memory(b, table_.reboot_count());
+  EXPECT_EQ(r.value().desc.addr, 1500u);
+  EXPECT_EQ(r.value().desc.size, 100u);
+}
+
+TEST_F(ObjectTableTest, WrongKindRejected) {
+  const ObjectIndex mem = make_memory();
+  EXPECT_EQ(table_.resolve_request(mem, table_.reboot_count()).error(),
+            ErrorCode::kWrongObjectKind);
+  const ObjectIndex req = table_.create_request_root(kProc, 3, {}).value();
+  EXPECT_EQ(table_.resolve_memory(req, table_.reboot_count()).error(),
+            ErrorCode::kWrongObjectKind);
+  EXPECT_EQ(table_.derive_memory(kProc, req, 0, 1, Perms::kNone).error(),
+            ErrorCode::kWrongObjectKind);
+}
+
+TEST_F(ObjectTableTest, RequestRootResolvesWithArgs) {
+  RequestArgs args;
+  args.imms = {{0, {1, 2}}};
+  const ObjectIndex idx = table_.create_request_root(kProc, 5, args).value();
+  auto r = table_.resolve_request(idx, table_.reboot_count());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().provider, kProc);
+  EXPECT_EQ(r.value().endpoint_cid, 5u);
+  ASSERT_EQ(r.value().args.imms.size(), 1u);
+  EXPECT_EQ(r.value().args.imms[0].bytes, (std::vector<uint8_t>{1, 2}));
+}
+
+TEST_F(ObjectTableTest, DerivedRequestMergesArgsBaseFirst) {
+  RequestArgs base_args;
+  base_args.imms = {{0, {0xaa}}};
+  const ObjectIndex root = table_.create_request_root(kProc, 1, base_args).value();
+  RequestArgs ref1;
+  ref1.imms = {{8, {0xbb}}};
+  const ObjectIndex d1 = table_.derive_request_local(kOther, root, ref1).value();
+  RequestArgs ref2;
+  ref2.imms = {{16, {0xcc}}};
+  WireCap wc;
+  wc.ref = ObjectRef{9, 9, 1};
+  ref2.caps = {wc};
+  const ObjectIndex d2 = table_.derive_request_local(kOther, d1, ref2).value();
+
+  auto r = table_.resolve_request(d2, table_.reboot_count());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().provider, kProc);
+  ASSERT_EQ(r.value().args.imms.size(), 3u);
+  EXPECT_EQ(r.value().args.imms[0].offset, 0u);
+  EXPECT_EQ(r.value().args.imms[1].offset, 8u);
+  EXPECT_EQ(r.value().args.imms[2].offset, 16u);
+  EXPECT_EQ(r.value().args.caps.size(), 1u);
+}
+
+TEST_F(ObjectTableTest, RefinementCannotOverwriteInitializedArgs) {
+  RequestArgs base_args;
+  base_args.imms = {{0, {1, 2, 3, 4}}};
+  const ObjectIndex root = table_.create_request_root(kProc, 1, base_args).value();
+  RequestArgs overlap;
+  overlap.imms = {{2, {9}}};  // overlaps [0,4)
+  EXPECT_EQ(table_.derive_request_local(kOther, root, overlap).error(),
+            ErrorCode::kArgumentOverlap);
+  RequestArgs ok;
+  ok.imms = {{4, {9}}};  // adjacent is fine
+  EXPECT_TRUE(table_.derive_request_local(kOther, root, ok).ok());
+}
+
+TEST_F(ObjectTableTest, SelfOverlappingRefinementRejected) {
+  RequestArgs args;
+  args.imms = {{0, {1, 2}}, {1, {3}}};
+  EXPECT_EQ(table_.create_request_root(kProc, 1, args).error(), ErrorCode::kArgumentOverlap);
+}
+
+TEST_F(ObjectTableTest, RevokeInvalidatesObjectAndDescendants) {
+  const ObjectIndex base = make_memory();
+  const ObjectIndex child = table_.derive_memory(kProc, base, 0, 100, Perms::kNone).value();
+  const ObjectIndex grandchild = table_.derive_memory(kProc, child, 0, 10, Perms::kNone).value();
+  auto result = table_.revoke(base, table_.reboot_count());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().invalidated.size(), 3u);
+  EXPECT_EQ(table_.resolve_memory(base, table_.reboot_count()).error(), ErrorCode::kRevoked);
+  EXPECT_EQ(table_.resolve_memory(child, table_.reboot_count()).error(), ErrorCode::kRevoked);
+  EXPECT_EQ(table_.resolve_memory(grandchild, table_.reboot_count()).error(),
+            ErrorCode::kRevoked);
+}
+
+TEST_F(ObjectTableTest, RevokeChildLeavesParentLive) {
+  const ObjectIndex base = make_memory();
+  const ObjectIndex child = table_.create_revtree_child(kProc, base).value();
+  auto result = table_.revoke(child, table_.reboot_count());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().invalidated.size(), 1u);
+  EXPECT_TRUE(table_.resolve_memory(base, table_.reboot_count()).ok());
+  EXPECT_EQ(table_.resolve_memory(child, table_.reboot_count()).error(), ErrorCode::kRevoked);
+}
+
+TEST_F(ObjectTableTest, RevtreeChildSharesPayload) {
+  const ObjectIndex base = make_memory(4096, Perms::kRead);
+  const ObjectIndex child = table_.create_revtree_child(kProc, base).value();
+  auto r = table_.resolve_memory(child, table_.reboot_count());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().desc.size, 4096u);
+  EXPECT_EQ(r.value().perms, Perms::kRead);
+}
+
+TEST_F(ObjectTableTest, RevtreeChildOfRequestResolvesThrough) {
+  RequestArgs args;
+  args.imms = {{0, {7}}};
+  const ObjectIndex root = table_.create_request_root(kProc, 2, args).value();
+  const ObjectIndex child = table_.create_revtree_child(kOther, root).value();
+  auto r = table_.resolve_request(child, table_.reboot_count());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().provider, kProc);
+  EXPECT_EQ(r.value().args.imms.size(), 1u);
+}
+
+TEST_F(ObjectTableTest, DoubleRevokeReportsRevoked) {
+  const ObjectIndex base = make_memory();
+  EXPECT_TRUE(table_.revoke(base, table_.reboot_count()).ok());
+  EXPECT_EQ(table_.revoke(base, table_.reboot_count()).error(), ErrorCode::kRevoked);
+}
+
+TEST_F(ObjectTableTest, StaleGenerationDetected) {
+  const ObjectIndex idx = make_memory();
+  const uint32_t old_gen = table_.reboot_count();
+  table_.reboot();
+  EXPECT_EQ(table_.resolve_memory(idx, old_gen).error(), ErrorCode::kStaleCapability);
+  EXPECT_EQ(table_.live_count(), 0u);
+  // New objects under the new generation work.
+  const ObjectIndex fresh = make_memory();
+  EXPECT_TRUE(table_.resolve_memory(fresh, table_.reboot_count()).ok());
+}
+
+TEST_F(ObjectTableTest, UnknownIndexIsInvalidCapability) {
+  EXPECT_EQ(table_.resolve_memory(999, table_.reboot_count()).error(),
+            ErrorCode::kInvalidCapability);
+}
+
+TEST_F(ObjectTableTest, SweepReclaimsInvalidatedObjects) {
+  const ObjectIndex a = make_memory();
+  const ObjectIndex b = make_memory();
+  table_.revoke(a, table_.reboot_count());
+  EXPECT_EQ(table_.total_count(), 2u);
+  EXPECT_EQ(table_.sweep_invalidated(), 1u);
+  EXPECT_EQ(table_.total_count(), 1u);
+  EXPECT_TRUE(table_.resolve_memory(b, table_.reboot_count()).ok());
+  EXPECT_EQ(table_.resolve_memory(a, table_.reboot_count()).error(),
+            ErrorCode::kInvalidCapability);
+}
+
+TEST_F(ObjectTableTest, MonitorReceiveFiresOnRevoke) {
+  const ObjectIndex idx = make_memory();
+  const MonitorSub sub{2, kOther, 42};
+  ASSERT_TRUE(table_.monitor_receive(idx, table_.reboot_count(), sub).ok());
+  auto result = table_.revoke(idx, table_.reboot_count());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().fires.size(), 1u);
+  EXPECT_FALSE(result.value().fires[0].delegate_mode);
+  EXPECT_EQ(result.value().fires[0].sub.callback_id, 42u);
+  EXPECT_EQ(result.value().fires[0].sub.process, kOther);
+}
+
+TEST_F(ObjectTableTest, MonitorReceiveFiresWhenAncestorRevoked) {
+  const ObjectIndex base = make_memory();
+  const ObjectIndex child = table_.create_revtree_child(kProc, base).value();
+  ASSERT_TRUE(table_.monitor_receive(child, table_.reboot_count(), MonitorSub{2, kOther, 1}).ok());
+  auto result = table_.revoke(base, table_.reboot_count());
+  ASSERT_EQ(result.value().fires.size(), 1u);
+}
+
+TEST_F(ObjectTableTest, MonitorDelegateCountsChildren) {
+  const ObjectIndex idx = make_memory();
+  ASSERT_TRUE(table_.monitor_delegate(idx, table_.reboot_count(), MonitorSub{1, kProc, 9}).ok());
+  // Two delegations create two tracked children.
+  const ObjectIndex c1 = table_.prepare_delegation(idx).value();
+  const ObjectIndex c2 = table_.prepare_delegation(idx).value();
+  EXPECT_NE(c1, idx);
+  EXPECT_NE(c2, idx);
+  EXPECT_NE(c1, c2);
+  auto r1 = table_.revoke(c1, table_.reboot_count());
+  EXPECT_TRUE(r1.value().fires.empty());  // one child remains
+  auto r2 = table_.revoke(c2, table_.reboot_count());
+  ASSERT_EQ(r2.value().fires.size(), 1u);
+  EXPECT_TRUE(r2.value().fires[0].delegate_mode);
+  EXPECT_EQ(r2.value().fires[0].sub.callback_id, 9u);
+}
+
+TEST_F(ObjectTableTest, MonitorDelegateRequiresNoExistingChildren) {
+  const ObjectIndex idx = make_memory();
+  table_.create_revtree_child(kProc, idx);
+  EXPECT_EQ(table_.monitor_delegate(idx, table_.reboot_count(), MonitorSub{1, kProc, 1}).error(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ObjectTableTest, PrepareDelegationUnmonitoredIsIdentity) {
+  const ObjectIndex idx = make_memory();
+  EXPECT_EQ(table_.prepare_delegation(idx).value(), idx);
+}
+
+TEST_F(ObjectTableTest, RevokeAllOfCreator) {
+  const ObjectIndex mine = make_memory();
+  const ObjectIndex theirs =
+      table_.create_memory(kOther, MemoryDesc{0, 0, 0, 64}, Perms::kRead).value();
+  auto result = table_.revoke_all_of(kProc);
+  EXPECT_EQ(result.invalidated.size(), 1u);
+  EXPECT_EQ(table_.resolve_memory(mine, table_.reboot_count()).error(), ErrorCode::kRevoked);
+  EXPECT_TRUE(table_.resolve_memory(theirs, table_.reboot_count()).ok());
+}
+
+TEST_F(ObjectTableTest, RevokeAllOfCreatorTakesDescendants) {
+  // kProc's object has a child created by kOther: the child dies with the subtree.
+  const ObjectIndex base = make_memory();
+  const ObjectIndex child = table_.derive_memory(kOther, base, 0, 10, Perms::kNone).value();
+  auto result = table_.revoke_all_of(kProc);
+  EXPECT_EQ(result.invalidated.size(), 2u);
+  EXPECT_EQ(table_.resolve_memory(child, table_.reboot_count()).error(), ErrorCode::kRevoked);
+}
+
+TEST(CheckImmOverlapTest, Cases) {
+  const std::vector<ImmExtent> existing = {{0, {1, 2, 3, 4}}};
+  EXPECT_TRUE(check_imm_overlap(existing, {{4, {5}}}).ok());
+  EXPECT_EQ(check_imm_overlap(existing, {{3, {5}}}).error(), ErrorCode::kArgumentOverlap);
+  EXPECT_EQ(check_imm_overlap(existing, {{0, {9, 9, 9, 9}}}).error(),
+            ErrorCode::kArgumentOverlap);
+  EXPECT_TRUE(check_imm_overlap({}, {{0, {1}}, {1, {2}}}).ok());
+  EXPECT_EQ(check_imm_overlap({}, {{0, {1, 2}}, {1, {3}}}).error(),
+            ErrorCode::kArgumentOverlap);
+  EXPECT_TRUE(check_imm_overlap(existing, {}).ok());
+}
+
+class CapSpaceTest : public ::testing::Test {
+ protected:
+  static CapEntry entry(ObjectIndex idx) {
+    CapEntry e;
+    e.ref = ObjectRef{1, idx, 1};
+    e.kind = ObjectKind::kMemory;
+    return e;
+  }
+};
+
+TEST_F(CapSpaceTest, InstallGetRemove) {
+  CapSpace space;
+  const CapId a = space.install(entry(10)).value();
+  const CapId b = space.install(entry(11)).value();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(space.get(a).value().ref.index, 10u);
+  EXPECT_EQ(space.get(b).value().ref.index, 11u);
+  EXPECT_EQ(space.size(), 2u);
+  EXPECT_TRUE(space.remove(a).ok());
+  EXPECT_EQ(space.get(a).error(), ErrorCode::kInvalidCapability);
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST_F(CapSpaceTest, CidsAreNeverReused) {
+  // A stale cid must never silently alias a newer capability (confused-deputy hazard).
+  CapSpace space;
+  const CapId a = space.install(entry(1)).value();
+  EXPECT_TRUE(space.remove(a).ok());
+  const CapId b = space.install(entry(2)).value();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(space.get(a).error(), ErrorCode::kInvalidCapability);
+  EXPECT_EQ(space.get(b).value().ref.index, 2u);
+}
+
+TEST_F(CapSpaceTest, QuotaEnforced) {
+  CapSpace space(2);
+  EXPECT_TRUE(space.install(entry(1)).ok());
+  EXPECT_TRUE(space.install(entry(2)).ok());
+  EXPECT_EQ(space.install(entry(3)).error(), ErrorCode::kResourceExhausted);
+  space.remove(0);
+  EXPECT_TRUE(space.install(entry(3)).ok());
+}
+
+TEST_F(CapSpaceTest, PurgeRefsDropsMatchingEntries) {
+  CapSpace space;
+  const CapId a = space.install(entry(10)).value();
+  const CapId b = space.install(entry(11)).value();
+  const CapId c = space.install(entry(10)).value();  // second cap to the same object
+  EXPECT_EQ(space.purge_refs({ObjectRef{1, 10, 1}}), 2u);
+  EXPECT_EQ(space.get(a).error(), ErrorCode::kInvalidCapability);
+  EXPECT_EQ(space.get(c).error(), ErrorCode::kInvalidCapability);
+  EXPECT_TRUE(space.get(b).ok());
+}
+
+TEST_F(CapSpaceTest, PurgeIgnoresDifferentGeneration) {
+  CapSpace space;
+  space.install(entry(10));
+  EXPECT_EQ(space.purge_refs({ObjectRef{1, 10, 2}}), 0u);
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST_F(CapSpaceTest, AllEntriesListsLive) {
+  CapSpace space;
+  space.install(entry(1));
+  const CapId b = space.install(entry(2)).value();
+  space.install(entry(3));
+  space.remove(b);
+  auto all = space.all_entries();
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST_F(CapSpaceTest, InvalidCidRejected) {
+  CapSpace space;
+  EXPECT_EQ(space.get(0).error(), ErrorCode::kInvalidCapability);
+  EXPECT_EQ(space.remove(12345).error(), ErrorCode::kInvalidCapability);
+}
+
+}  // namespace
+}  // namespace fractos

@@ -1,0 +1,231 @@
+// Request-composition patterns (Sections 3.4): distributed continuation-passing chains,
+// fork/join, recursive cross-service composition without breaking encapsulation, and the
+// immutability/refinement rules under composition.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/core/system.h"
+
+namespace fractos {
+namespace {
+
+class CompositionTest : public ::testing::Test {
+ protected:
+  CompositionTest() {
+    for (int i = 0; i < 4; ++i) {
+      nodes_.push_back(sys_.add_node("n" + std::to_string(i)));
+      ctrls_.push_back(&sys_.add_controller(nodes_.back(), Loc::kHost));
+    }
+  }
+
+  Process& spawn(int node) {
+    return sys_.spawn("p" + std::to_string(node), nodes_[static_cast<size_t>(node)],
+                      *ctrls_[static_cast<size_t>(node)]);
+  }
+
+  System sys_;
+  std::vector<uint32_t> nodes_;
+  std::vector<Controller*> ctrls_;
+};
+
+TEST_F(CompositionTest, FourStageContinuationChainRunsDecentralized) {
+  // A -> B -> C -> D -> back to A, set up entirely by A; each stage appends its id.
+  Process& a = spawn(0);
+  Process& b = spawn(1);
+  Process& c = spawn(2);
+  Process& d = spawn(3);
+
+  // Each stage: on delivery, invoke the (single) request argument with its stage id baked
+  // into the derived request it received — the stage itself knows nothing about the next.
+  auto make_stage = [&](Process& p, std::vector<uint64_t>& log, uint64_t id) {
+    return sys_.await_ok(p.serve({}, [&p, &log, id](Process::Received r) {
+      log.push_back(id);
+      if (r.num_caps() >= 1) {
+        p.request_invoke(r.cap(0));
+      }
+    }));
+  };
+  std::vector<uint64_t> log;
+  const CapId eb = make_stage(b, log, 1);
+  const CapId ec = make_stage(c, log, 2);
+  const CapId ed = make_stage(d, log, 3);
+  bool finished = false;
+  const CapId ea = sys_.await_ok(a.serve({}, [&](Process::Received) { finished = true; }));
+
+  // A holds capabilities to all stages and composes the chain back to front.
+  const CapId eb_a = sys_.bootstrap_grant(b, eb, a).value();
+  const CapId ec_a = sys_.bootstrap_grant(c, ec, a).value();
+  const CapId ed_a = sys_.bootstrap_grant(d, ed, a).value();
+  const CapId d_then_a = sys_.await_ok(a.request_derive(ed_a, Process::Args{}.cap(ea)));
+  const CapId c_then = sys_.await_ok(a.request_derive(ec_a, Process::Args{}.cap(d_then_a)));
+  const CapId b_then = sys_.await_ok(a.request_derive(eb_a, Process::Args{}.cap(c_then)));
+
+  ASSERT_TRUE(sys_.await(a.request_invoke(b_then)).ok());
+  ASSERT_TRUE(sys_.loop().run_until([&]() { return finished; }));
+  EXPECT_EQ(log, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST_F(CompositionTest, ForkJoinFanOutAndGather) {
+  // A invokes a "splitter" service whose request carries TWO worker continuations; each
+  // worker reports to A's join endpoint (distributed fork/join, Section 3.4's "variety of
+  // distributed execution patterns").
+  Process& a = spawn(0);
+  Process& splitter = spawn(1);
+  Process& w1 = spawn(2);
+  Process& w2 = spawn(3);
+
+  const CapId split_ep = sys_.await_ok(splitter.serve({}, [&splitter](Process::Received r) {
+    // Fork: invoke every request argument.
+    for (size_t i = 0; i < r.num_caps(); ++i) {
+      splitter.request_invoke(r.cap(i), Process::Args{}.imm_u64(0, 100 + i));
+    }
+  }));
+  auto make_worker = [&](Process& w) {
+    return sys_.await_ok(w.serve({}, [&w](Process::Received r) {
+      // Each worker doubles its input and invokes ITS continuation (the last cap).
+      const uint64_t x = r.imm_u64(0).value_or(0);
+      w.request_invoke(r.cap(r.num_caps() - 1), Process::Args{}.imm_u64(8, 2 * x));
+    }));
+  };
+  const CapId w1_ep = make_worker(w1);
+  const CapId w2_ep = make_worker(w2);
+
+  std::vector<uint64_t> joined;
+  const CapId join = sys_.await_ok(a.serve({}, [&](Process::Received r) {
+    joined.push_back(r.imm_u64(8).value_or(0));
+  }));
+
+  const CapId split_a = sys_.bootstrap_grant(splitter, split_ep, a).value();
+  const CapId w1_a = sys_.bootstrap_grant(w1, w1_ep, a).value();
+  const CapId w2_a = sys_.bootstrap_grant(w2, w2_ep, a).value();
+  // Derive per-worker requests with the join continuation, then hand both to the splitter.
+  const CapId w1_join = sys_.await_ok(a.request_derive(w1_a, Process::Args{}.cap(join)));
+  const CapId w2_join = sys_.await_ok(a.request_derive(w2_a, Process::Args{}.cap(join)));
+  ASSERT_TRUE(
+      sys_.await(a.request_invoke(split_a, Process::Args{}.cap(w1_join).cap(w2_join))).ok());
+  ASSERT_TRUE(sys_.loop().run_until([&]() { return joined.size() == 2; }));
+  std::sort(joined.begin(), joined.end());
+  EXPECT_EQ(joined, (std::vector<uint64_t>{200, 202}));
+}
+
+TEST_F(CompositionTest, RecursiveCompositionThroughThreeServices) {
+  // The Section 3.4 "dynamic composition" pattern, one level deeper than the paper's FS
+  // example: A only knows service S1; S1 internally uses S2; S2 internally uses S3. Each
+  // layer refines ITS OWN inner request with the received continuation — so the innermost
+  // service S3 ends up invoking A's continuation directly, cutting through two service
+  // boundaries without any layer revealing its internals.
+  Process& a = spawn(0);
+  Process& s1 = spawn(1);
+  Process& s2 = spawn(2);
+  Process& s3 = spawn(3);
+
+  std::vector<int> order;
+  // S3: the leaf worker; invokes the continuation it was composed with.
+  const CapId s3_ep = sys_.await_ok(s3.serve({}, [&](Process::Received r) {
+    order.push_back(3);
+    s3.request_invoke(r.cap(r.num_caps() - 1));
+  }));
+  // S2 holds a capability to S3 and refines it with whatever continuation S2 received.
+  const CapId s3_at_s2 = sys_.bootstrap_grant(s3, s3_ep, s2).value();
+  const CapId s2_ep = sys_.await_ok(s2.serve({}, [&](Process::Received r) {
+    order.push_back(2);
+    const CapId cont = r.cap(r.num_caps() - 1);
+    s2.request_invoke(s3_at_s2, Process::Args{}.cap(cont));
+  }));
+  // S1 does the same with S2.
+  const CapId s2_at_s1 = sys_.bootstrap_grant(s2, s2_ep, s1).value();
+  const CapId s1_ep = sys_.await_ok(s1.serve({}, [&](Process::Received r) {
+    order.push_back(1);
+    const CapId cont = r.cap(r.num_caps() - 1);
+    s1.request_invoke(s2_at_s1, Process::Args{}.cap(cont));
+  }));
+
+  bool done = false;
+  const CapId reply = sys_.await_ok(a.serve({}, [&](Process::Received) { done = true; }));
+  const CapId s1_at_a = sys_.bootstrap_grant(s1, s1_ep, a).value();
+  sys_.net().reset_counters();
+  ASSERT_TRUE(sys_.await(a.request_invoke(s1_at_a, Process::Args{}.cap(reply))).ok());
+  ASSERT_TRUE(sys_.loop().run_until([&]() { return done; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  // Chain shape: A->S1->S2->S3->A = 4 cross-node control messages (plus nothing else).
+  EXPECT_EQ(sys_.net().counters().cross_messages[0], 4u);
+}
+
+TEST_F(CompositionTest, RefinementImmutabilityAcrossDelegations) {
+  // S grants A a request with a baked-in argument (the paper's req_SSDrd_base block number);
+  // A can refine other offsets, but can never overwrite the baked argument — even through a
+  // chain of derivations and a third party.
+  Process& s = spawn(0);
+  Process& a = spawn(1);
+  Process& third = spawn(2);
+
+  std::optional<uint64_t> seen_block;
+  const CapId base = sys_.await_ok(
+      s.serve(Process::Args{}.imm_u64(0, 0xcafe), [&](Process::Received r) {
+        seen_block = r.imm_u64(0);
+      }));
+  const CapId base_a = sys_.bootstrap_grant(s, base, a).value();
+
+  // Direct overwrite attempts fail at every derivation depth.
+  EXPECT_FALSE(sys_.await(a.request_derive(base_a, Process::Args{}.imm_u64(0, 0xdead))).ok());
+  const CapId d1 = sys_.await_ok(a.request_derive(base_a, Process::Args{}.imm_u64(8, 1)));
+  EXPECT_FALSE(sys_.await(a.request_derive(d1, Process::Args{}.imm_u64(0, 0xdead))).ok());
+  EXPECT_FALSE(sys_.await(a.request_derive(d1, Process::Args{}.imm_u64(8, 2))).ok());
+
+  // Invoke-time refinement cannot overwrite either: the overlap is detected at the OWNER
+  // (only it knows the base's extents), so the invoke is accepted locally and the violation
+  // surfaces through the error channel — and the provider never sees a delivery.
+  std::optional<ErrorCode> invoke_err;
+  a.set_invoke_error_handler([&](ErrorCode e) { invoke_err = e; });
+  ASSERT_TRUE(sys_.await(a.request_invoke(d1, Process::Args{}.imm_u64(0, 0xdead))).ok());
+  ASSERT_TRUE(sys_.loop().run_until([&]() { return invoke_err.has_value(); }));
+  EXPECT_EQ(*invoke_err, ErrorCode::kArgumentOverlap);
+  EXPECT_FALSE(seen_block.has_value());
+
+  // A third party holding a delegated derived request is equally constrained.
+  const CapId d1_third = sys_.bootstrap_grant(a, d1, third).value();
+  EXPECT_FALSE(
+      sys_.await(third.request_derive(d1_third, Process::Args{}.imm_u64(0, 1))).ok());
+  ASSERT_TRUE(sys_.await(third.request_invoke(d1_third)).ok());
+  ASSERT_TRUE(sys_.loop().run_until([&]() { return seen_block.has_value(); }));
+  EXPECT_EQ(*seen_block, 0xcafeULL);  // the provider's argument survived everything
+}
+
+TEST_F(CompositionTest, SelfInvocationWorks) {
+  // A Process may invoke its own endpoints (A' in the paper's synchronous-RPC construction).
+  Process& a = spawn(0);
+  int count = 0;
+  const CapId ep = sys_.await_ok(a.serve({}, [&](Process::Received) { ++count; }));
+  ASSERT_TRUE(sys_.await(a.request_invoke(ep)).ok());
+  sys_.loop().run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(CompositionTest, DeepDerivationChainAcrossControllers) {
+  // base at S; A derives; hands to B who derives again; back to A for one more layer; all
+  // layers' immediates arrive merged at S.
+  Process& s = spawn(0);
+  Process& a = spawn(1);
+  Process& b = spawn(2);
+
+  std::optional<Process::Received> got;
+  const CapId base = sys_.await_ok(s.serve({}, [&](Process::Received r) { got = r; }));
+  const CapId base_a = sys_.bootstrap_grant(s, base, a).value();
+  const CapId l1 = sys_.await_ok(a.request_derive(base_a, Process::Args{}.imm_u64(0, 1)));
+  const CapId l1_b = sys_.bootstrap_grant(a, l1, b).value();
+  const CapId l2 = sys_.await_ok(b.request_derive(l1_b, Process::Args{}.imm_u64(8, 2)));
+  const CapId l2_a = sys_.bootstrap_grant(b, l2, a).value();
+  const CapId l3 = sys_.await_ok(a.request_derive(l2_a, Process::Args{}.imm_u64(16, 3)));
+
+  ASSERT_TRUE(sys_.await(a.request_invoke(l3, Process::Args{}.imm_u64(24, 4))).ok());
+  ASSERT_TRUE(sys_.loop().run_until([&]() { return got.has_value(); }));
+  EXPECT_EQ(got->imm_u64(0), 1u);
+  EXPECT_EQ(got->imm_u64(8), 2u);
+  EXPECT_EQ(got->imm_u64(16), 3u);
+  EXPECT_EQ(got->imm_u64(24), 4u);
+}
+
+}  // namespace
+}  // namespace fractos

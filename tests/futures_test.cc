@@ -1,0 +1,144 @@
+// Unit tests for the single-threaded promise/future library.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/futures/future.h"
+
+namespace fractos {
+namespace {
+
+TEST(FutureTest, SetBeforeOnReady) {
+  Promise<int> p;
+  p.set(42);
+  int got = 0;
+  p.future().on_ready([&](int&& v) { got = v; });
+  EXPECT_EQ(got, 42);
+}
+
+TEST(FutureTest, SetAfterOnReady) {
+  Promise<int> p;
+  int got = 0;
+  p.future().on_ready([&](int&& v) { got = v; });
+  EXPECT_EQ(got, 0);
+  p.set(7);
+  EXPECT_EQ(got, 7);
+}
+
+TEST(FutureTest, ReadyAndPeekAndTake) {
+  Promise<std::string> p;
+  auto f = p.future();
+  EXPECT_TRUE(f.valid());
+  EXPECT_FALSE(f.ready());
+  p.set("hello");
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.peek(), "hello");
+  EXPECT_EQ(f.take(), "hello");
+}
+
+TEST(FutureTest, ThenMapsValue) {
+  Promise<int> p;
+  auto f = p.future().then([](int&& v) { return v * 2; });
+  p.set(21);
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.peek(), 42);
+}
+
+TEST(FutureTest, ThenVoidYieldsUnit) {
+  Promise<int> p;
+  int seen = 0;
+  auto f = p.future().then([&](int&& v) { seen = v; });
+  p.set(5);
+  EXPECT_EQ(seen, 5);
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.peek(), Unit{});
+}
+
+TEST(FutureTest, ThenFlattensNestedFuture) {
+  Promise<int> outer;
+  Promise<std::string> inner;
+  auto f = outer.future().then([&inner](int&&) { return inner.future(); });
+  static_assert(std::is_same_v<decltype(f), Future<std::string>>);
+  outer.set(1);
+  EXPECT_FALSE(f.ready());
+  inner.set("done");
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.peek(), "done");
+}
+
+TEST(FutureTest, LongThenChain) {
+  Promise<int> p;
+  auto f = p.future();
+  Future<int> chained = f.then([](int&& v) { return v + 1; });
+  for (int i = 0; i < 50; ++i) {
+    chained = chained.then([](int&& v) { return v + 1; });
+  }
+  p.set(0);
+  ASSERT_TRUE(chained.ready());
+  EXPECT_EQ(chained.peek(), 51);
+}
+
+TEST(FutureTest, MoveOnlyishValueMoves) {
+  Promise<std::vector<int>> p;
+  std::vector<int> got;
+  p.future().on_ready([&](std::vector<int>&& v) { got = std::move(v); });
+  p.set({1, 2, 3});
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FutureTest, MakeReadyFuture) {
+  auto f = make_ready_future(9);
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.peek(), 9);
+  auto u = make_ready_future();
+  EXPECT_TRUE(u.ready());
+}
+
+TEST(FutureTest, PromiseFulfilledFlag) {
+  Promise<int> p;
+  EXPECT_FALSE(p.fulfilled());
+  p.set(1);
+  EXPECT_TRUE(p.fulfilled());
+  Promise<int> q;
+  q.future().on_ready([](int&&) {});
+  q.set(2);
+  EXPECT_TRUE(q.fulfilled());
+}
+
+TEST(WhenAllTest, EmptyInput) {
+  auto f = when_all(std::vector<Future<int>>{});
+  ASSERT_TRUE(f.ready());
+  EXPECT_TRUE(f.peek().empty());
+}
+
+TEST(WhenAllTest, PreservesOrderRegardlessOfCompletion) {
+  Promise<int> a, b, c;
+  auto f = when_all(std::vector<Future<int>>{a.future(), b.future(), c.future()});
+  c.set(3);
+  a.set(1);
+  EXPECT_FALSE(f.ready());
+  b.set(2);
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.peek(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(WhenAllTest, AlreadyReadyInputs) {
+  auto f = when_all(std::vector<Future<int>>{make_ready_future(4), make_ready_future(5)});
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.peek(), (std::vector<int>{4, 5}));
+}
+
+TEST(FutureTest, ContinuationRunsSynchronouslyOnSet) {
+  Promise<int> p;
+  std::vector<int> order;
+  p.future().on_ready([&](int&&) { order.push_back(1); });
+  order.push_back(0);
+  p.set(0);
+  order.push_back(2);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace fractos

@@ -1,0 +1,180 @@
+// Tests for the distributed-GC cleanup step, eager stale detection, the heartbeat node
+// monitor, and the serialized-Request cache.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/node_monitor.h"
+#include "src/core/system.h"
+
+namespace fractos {
+namespace {
+
+class CleanupTest : public ::testing::Test {
+ protected:
+  CleanupTest() {
+    n0_ = sys_.add_node("n0");
+    n1_ = sys_.add_node("n1");
+    n2_ = sys_.add_node("n2");
+    c0_ = &sys_.add_controller(n0_, Loc::kHost);
+    c1_ = &sys_.add_controller(n1_, Loc::kHost);
+    c2_ = &sys_.add_controller(n2_, Loc::kHost);
+  }
+
+  System sys_;
+  uint32_t n0_ = 0, n1_ = 0, n2_ = 0;
+  Controller *c0_ = nullptr, *c1_ = nullptr, *c2_ = nullptr;
+};
+
+TEST_F(CleanupTest, RevokedObjectsAreErasedAfterAllPeersAck) {
+  Process& p = sys_.spawn("p", n0_, *c0_);
+  const size_t before = c0_->table().total_count();
+  const CapId mem = sys_.await_ok(p.memory_create(p.alloc(4096), 4096, Perms::kRead));
+  EXPECT_EQ(c0_->table().total_count(), before + 1);
+
+  ASSERT_TRUE(sys_.await(p.cap_revoke(mem)).ok());
+  sys_.loop().run();  // broadcast out, acks back
+  // Two-phase cleanup complete: the invalidated stub is gone, not just invalidated.
+  EXPECT_EQ(c0_->table().total_count(), before);
+  EXPECT_EQ(c0_->pending_cleanups(), 0u);
+}
+
+TEST_F(CleanupTest, CleanupStaysPendingWhileAPeerIsDown) {
+  Process& p = sys_.spawn("p", n0_, *c0_);
+  const size_t before = c0_->table().total_count();
+  const CapId mem = sys_.await_ok(p.memory_create(p.alloc(4096), 4096, Perms::kRead));
+
+  sys_.fail_controller(*c2_);
+  sys_.loop().run();
+  ASSERT_TRUE(sys_.await(p.cap_revoke(mem)).ok());
+  sys_.loop().run();
+  // c2 never acked (its channel is severed, so the broadcast wasn't even sent to it) —
+  // but c1 did, and the severed peer was excluded from the quorum, so cleanup completes.
+  EXPECT_EQ(c0_->table().total_count(), before);
+  EXPECT_EQ(c0_->pending_cleanups(), 0u);
+}
+
+TEST_F(CleanupTest, RevocationSubtreeFullyReclaimed) {
+  Process& p = sys_.spawn("p", n0_, *c0_);
+  const size_t before = c0_->table().total_count();
+  const CapId root = sys_.await_ok(p.serve({}, [](Process::Received) {}));
+  std::vector<CapId> kids;
+  for (int i = 0; i < 5; ++i) {
+    kids.push_back(sys_.await_ok(p.cap_create_revtree(root)));
+  }
+  EXPECT_EQ(c0_->table().total_count(), before + 6);
+  ASSERT_TRUE(sys_.await(p.cap_revoke(root)).ok());
+  sys_.loop().run();
+  EXPECT_EQ(c0_->table().total_count(), before);  // root + 5 children all reclaimed
+}
+
+TEST_F(CleanupTest, EagerStaleDetectionRefusesLocally) {
+  Process& svc = sys_.spawn("svc", n1_, *c1_);
+  Process& client = sys_.spawn("client", n0_, *c0_);
+  const CapId ep = sys_.await_ok(svc.serve({}, [](Process::Received) {}));
+  const CapId ep_c = sys_.bootstrap_grant(svc, ep, client).value();
+
+  sys_.fail_controller(*c1_);
+  sys_.loop().run();
+  sys_.restart_controller(*c1_);
+
+  // No message reaches n1: the refusal is local, from the generation exchanged at re-mesh.
+  sys_.net().reset_counters();
+  EXPECT_EQ(sys_.await(client.request_invoke(ep_c)).error(), ErrorCode::kStaleCapability);
+  EXPECT_EQ(sys_.net().counters().total_cross_messages(), 0u);
+
+  // Derivations and monitors are refused the same way.
+  EXPECT_EQ(sys_.await(client.request_derive(ep_c, {})).error(), ErrorCode::kStaleCapability);
+}
+
+class MonitorServiceTest : public ::testing::Test {};
+
+TEST(MonitorService, DetectsNodeFailureAndNotifiesControllers) {
+  System sys;
+  const uint32_t monitor_node = sys.add_node("monitor");
+  const uint32_t app_node = sys.add_node("apps");
+  const uint32_t ctrl_node = sys.add_node("ctrl");
+  // Shared-controller deployment: the Controller lives on another node, so the Process
+  // channel does NOT sever when the app node dies — the heartbeat monitor is what tells it.
+  Controller& shared = sys.add_controller(ctrl_node, Loc::kHost);
+  Process& svc = sys.spawn("svc", app_node, shared);
+  Process& observer = sys.spawn("observer", ctrl_node, shared);
+
+  bool notified = false;
+  observer.set_monitor_handler([&](uint64_t, bool) { notified = true; });
+  const CapId ep = sys.await_ok(svc.serve({}, [](Process::Received) {}));
+  const CapId ep_o = sys.bootstrap_grant(svc, ep, observer).value();
+  ASSERT_TRUE(sys.await(observer.monitor_receive(ep_o, 99)).ok());
+
+  NodeMonitor monitor(&sys, monitor_node);
+  monitor.watch(app_node);
+  monitor.watch(ctrl_node);
+  monitor.start();
+
+  // Heartbeats flow; nothing is reported while everyone is alive.
+  sys.loop().run_until_time(sys.loop().now() + Duration::millis(30));
+  EXPECT_EQ(monitor.failures_detected(), 0u);
+
+  // The app node dies silently (no channel severs toward the shared Controller's node).
+  sys.net().node(app_node).fail();
+  const bool detected = sys.loop().run_until([&]() { return monitor.failures_detected() > 0; },
+                                             2'000'000);
+  ASSERT_TRUE(detected);
+  EXPECT_TRUE(monitor.reported(app_node));
+  EXPECT_FALSE(monitor.reported(ctrl_node));
+
+  // The Controller translated the node failure into Process failure -> revocations -> the
+  // observer's monitor_receive callback fired.
+  ASSERT_TRUE(sys.loop().run_until([&]() { return notified; }, 2'000'000));
+  EXPECT_FALSE(sys.await(observer.request_invoke(ep_o)).ok());
+  monitor.stop();
+}
+
+TEST(MonitorService, StopQuiesces) {
+  System sys;
+  const uint32_t m = sys.add_node("monitor");
+  const uint32_t w = sys.add_node("worker");
+  NodeMonitor monitor(&sys, m);
+  monitor.watch(w);
+  monitor.start();
+  sys.loop().run_until_time(sys.loop().now() + Duration::millis(20));
+  monitor.stop();
+  // After stop the loop drains: no immortal periodic events.
+  sys.loop().run();
+  EXPECT_TRUE(sys.loop().empty());
+  EXPECT_EQ(monitor.failures_detected(), 0u);
+}
+
+TEST(SerializedRequestCache, RepeatDelegationsGetCheaper) {
+  auto run_burst = [](bool cache) {
+    SystemConfig cfg;
+    cfg.cache_serialized_requests = cache;
+    System sys(cfg);
+    const uint32_t n0 = sys.add_node("n0");
+    const uint32_t n1 = sys.add_node("n1");
+    Controller& c0 = sys.add_controller(n0, Loc::kHost);
+    Controller& c1 = sys.add_controller(n1, Loc::kHost);
+    Process& client = sys.spawn("client", n0, c0);
+    Process& server = sys.spawn("server", n1, c1);
+    int handled = 0;
+    const CapId ep = sys.await_ok(server.serve({}, [&](Process::Received) { ++handled; }));
+    const CapId ep_c = sys.bootstrap_grant(server, ep, client).value();
+    const CapId mem = sys.await_ok(client.memory_create(client.alloc(64), 64, Perms::kRead));
+    const Time start = sys.loop().now();
+    // The same capability delegated over and over — the case the cache targets.
+    for (int i = 0; i < 20; ++i) {
+      FRACTOS_CHECK(sys.await(client.request_invoke(ep_c, Process::Args{}.cap(mem))).ok());
+      sys.loop().run();
+    }
+    EXPECT_EQ(handled, 20);
+    return (sys.loop().now() - start).to_us();
+  };
+  const double plain = run_burst(false);
+  const double cached = run_burst(true);
+  EXPECT_LT(cached, plain);
+  EXPECT_GT(plain - cached, 15.0);  // ~0.9us saved per delegation after the first
+}
+
+}  // namespace
+}  // namespace fractos

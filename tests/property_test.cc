@@ -1,0 +1,339 @@
+// Property-based tests: randomized workloads checked against reference models.
+//
+//  * random Request-derivation trees: merged arguments at delivery always equal the
+//    base-first concatenation along the derived path;
+//  * random delegation/revocation interleavings: a capability is usable iff no object on its
+//    derivation path has been revoked (checked against a reference set);
+//  * random scatter/gather memory_copy plans: final buffer contents equal a reference
+//    byte-array simulation;
+//  * wire fuzz: randomly generated well-formed envelopes always round-trip bit-exactly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/core/system.h"
+#include "src/sim/rng.h"
+#include "src/wire/message.h"
+
+namespace fractos {
+namespace {
+
+// --- random derivation trees -----------------------------------------------------------------
+
+TEST(PropertyRequestTrees, MergedArgsEqualPathConcatenation) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 15; ++trial) {
+    System sys;
+    const uint32_t n0 = sys.add_node("n0");
+    const uint32_t n1 = sys.add_node("n1");
+    Controller& c0 = sys.add_controller(n0, Loc::kHost);
+    Controller& c1 = sys.add_controller(n1, Loc::kHost);
+    Process& provider = sys.spawn("provider", n0, c0);
+    Process& deriver = sys.spawn("deriver", n1, c1);
+
+    std::optional<Process::Received> got;
+    const CapId root = sys.await_ok(provider.serve({}, [&](Process::Received r) { got = r; }));
+    const CapId root_at_deriver = sys.bootstrap_grant(provider, root, deriver).value();
+
+    // Build a random tree of derived requests; each node adds one 8-byte immediate at a
+    // fresh offset. Track (cid, expected imms along its path).
+    struct NodeInfo {
+      CapId cid;
+      std::map<uint32_t, uint64_t> imms;  // offset -> value along the path
+    };
+    std::vector<NodeInfo> nodes{{root_at_deriver, {}}};
+    uint32_t next_offset = 0;
+    const int n_nodes = 2 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < n_nodes; ++i) {
+      const NodeInfo& base = nodes[rng.next_below(nodes.size())];
+      const uint32_t off = next_offset;
+      next_offset += 8;
+      const uint64_t val = rng.next_u64();
+      NodeInfo child;
+      child.imms = base.imms;
+      child.imms[off] = val;
+      child.cid = sys.await_ok(
+          deriver.request_derive(base.cid, Process::Args{}.imm_u64(off, val)));
+      nodes.push_back(child);
+    }
+
+    // Invoke a random derived node and check the delivery matches its path exactly.
+    const NodeInfo& pick = nodes[1 + rng.next_below(nodes.size() - 1)];
+    got.reset();
+    ASSERT_TRUE(sys.await(deriver.request_invoke(pick.cid)).ok());
+    ASSERT_TRUE(sys.loop().run_until([&]() { return got.has_value(); }));
+    for (const auto& [off, val] : pick.imms) {
+      EXPECT_EQ(got->imm_u64(off), val) << "trial " << trial << " offset " << off;
+    }
+    // No extra immediates beyond the path.
+    uint64_t total = 0;
+    for (const auto& e : got->imms) {
+      total += e.bytes.size();
+    }
+    EXPECT_EQ(total, pick.imms.size() * 8);
+  }
+}
+
+// --- delegation/revocation interleavings -------------------------------------------------------
+
+TEST(PropertyRevocation, UsableIffPathLive) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    System sys;
+    const uint32_t n0 = sys.add_node("n0");
+    Controller& ctrl = sys.add_controller(n0, Loc::kHost);
+    Process& p = sys.spawn("p", n0, ctrl);
+
+    int deliveries = 0;
+    const CapId root = sys.await_ok(p.serve({}, [&](Process::Received) { ++deliveries; }));
+
+    struct Node {
+      CapId cid;
+      size_t parent;  // index into nodes (self for root)
+      bool revoked_locally = false;
+    };
+    std::vector<Node> nodes{{root, 0}};
+    auto path_live = [&](size_t i) {
+      for (size_t cur = i;; cur = nodes[cur].parent) {
+        if (nodes[cur].revoked_locally) {
+          return false;
+        }
+        if (cur == 0) {
+          return true;
+        }
+      }
+    };
+
+    for (int step = 0; step < 30; ++step) {
+      const uint64_t action = rng.next_below(3);
+      if (action == 0) {
+        // Derive a revtree child of a random live node.
+        const size_t base = rng.next_below(nodes.size());
+        if (!path_live(base)) {
+          continue;
+        }
+        auto child = sys.await(p.cap_create_revtree(nodes[base].cid));
+        ASSERT_TRUE(child.ok());
+        nodes.push_back(Node{child.value(), base});
+      } else if (action == 1) {
+        // Revoke a random live node (marks its whole subtree dead in the reference model).
+        const size_t victim = rng.next_below(nodes.size());
+        if (!path_live(victim) || victim == 0) {
+          continue;
+        }
+        ASSERT_TRUE(sys.await(p.cap_revoke(nodes[victim].cid)).ok());
+        nodes[victim].revoked_locally = true;
+        sys.loop().run();
+      } else {
+        // Use a random node: must succeed iff its whole path to the root is live.
+        const size_t probe = rng.next_below(nodes.size());
+        const bool expect_ok = path_live(probe);
+        const int before = deliveries;
+        const bool invoked = sys.await(p.request_invoke(nodes[probe].cid)).ok();
+        sys.loop().run();
+        EXPECT_EQ(invoked, expect_ok) << "trial " << trial << " step " << step;
+        EXPECT_EQ(deliveries > before, expect_ok);
+      }
+    }
+  }
+}
+
+// --- scatter/gather copy plans -----------------------------------------------------------------
+
+TEST(PropertyCopies, RandomCopyPlanMatchesReferenceModel) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 8; ++trial) {
+    constexpr uint64_t kBuf = 8192;
+    System sys;
+    const uint32_t n0 = sys.add_node("n0");
+    const uint32_t n1 = sys.add_node("n1");
+    Controller& c0 = sys.add_controller(n0, Loc::kHost);
+    Controller& c1 = sys.add_controller(n1, Loc::kHost);
+    Process& a = sys.spawn("a", n0, c0);
+    Process& b = sys.spawn("b", n1, c1);
+
+    // Reference model: two byte arrays.
+    std::vector<uint8_t> ref_a(kBuf), ref_b(kBuf);
+    for (auto& x : ref_a) {
+      x = rng.next_byte();
+    }
+    for (auto& x : ref_b) {
+      x = rng.next_byte();
+    }
+    const uint64_t addr_a = a.alloc(kBuf);
+    const uint64_t addr_b = b.alloc(kBuf);
+    a.write_mem(addr_a, ref_a);
+    b.write_mem(addr_b, ref_b);
+    const CapId ma = sys.await_ok(a.memory_create(addr_a, kBuf, Perms::kReadWrite));
+    const CapId mb_at_b = sys.await_ok(b.memory_create(addr_b, kBuf, Perms::kReadWrite));
+    const CapId mb = sys.bootstrap_grant(b, mb_at_b, a).value();
+
+    for (int step = 0; step < 12; ++step) {
+      const bool a_to_b = rng.next_bool();
+      const uint64_t len = 1 + rng.next_below(2048);
+      const uint64_t src_off = rng.next_below(kBuf - len + 1);
+      const uint64_t dst_off = rng.next_below(kBuf - len + 1);
+      const CapId src = a_to_b ? ma : mb;
+      const CapId dst = a_to_b ? mb : ma;
+      ASSERT_TRUE(sys.await(a.memory_copy(src, dst, len, src_off, dst_off)).ok());
+      auto& rs = a_to_b ? ref_a : ref_b;
+      auto& rd = a_to_b ? ref_b : ref_a;
+      std::copy_n(rs.begin() + static_cast<ptrdiff_t>(src_off), len,
+                  rd.begin() + static_cast<ptrdiff_t>(dst_off));
+    }
+    EXPECT_EQ(a.read_mem(addr_a, kBuf), ref_a) << "trial " << trial;
+    EXPECT_EQ(b.read_mem(addr_b, kBuf), ref_b) << "trial " << trial;
+  }
+}
+
+// --- wire fuzz: generated envelopes round-trip --------------------------------------------------
+
+ObjectRef random_ref(Rng& rng) {
+  return ObjectRef{static_cast<ControllerAddr>(rng.next_below(100)), rng.next_u64() % 10000,
+                   static_cast<uint32_t>(rng.next_below(5))};
+}
+
+std::vector<ImmExtent> random_imms(Rng& rng) {
+  std::vector<ImmExtent> imms;
+  const uint64_t n = rng.next_below(4);
+  uint32_t off = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    ImmExtent e;
+    e.offset = off;
+    e.bytes = std::vector<uint8_t>(rng.next_below(64));
+    for (auto& b : e.bytes) {
+      b = rng.next_byte();
+    }
+    off = e.end() + static_cast<uint32_t>(rng.next_below(16));
+    imms.push_back(std::move(e));
+  }
+  return imms;
+}
+
+WireCap random_cap(Rng& rng) {
+  WireCap c;
+  c.ref = random_ref(rng);
+  c.kind = rng.next_bool() ? ObjectKind::kMemory : ObjectKind::kRequest;
+  c.perms = static_cast<Perms>(rng.next_below(4));
+  c.mem = MemoryDesc{static_cast<uint32_t>(rng.next_below(8)),
+                     static_cast<uint32_t>(rng.next_below(8)), rng.next_u64() % 100000,
+                     1 + rng.next_u64() % 100000};
+  c.tracked = rng.next_bool();
+  return c;
+}
+
+TEST(PropertyWire, GeneratedEnvelopesRoundTrip) {
+  Rng rng(9090);
+  for (int trial = 0; trial < 500; ++trial) {
+    Envelope env;
+    const uint64_t seq = rng.next_u64();
+    switch (rng.next_below(6)) {
+      case 0: {
+        RequestCreateMsg m;
+        m.has_base = rng.next_bool();
+        m.base = static_cast<CapId>(rng.next_below(1000));
+        m.imms = random_imms(rng);
+        for (uint64_t i = 0; i < rng.next_below(5); ++i) {
+          m.caps.push_back(static_cast<CapId>(rng.next_below(1000)));
+        }
+        env = make_envelope(seq, std::move(m));
+        break;
+      }
+      case 1: {
+        RemoteInvokeMsg m;
+        m.target = random_ref(rng);
+        m.imms = random_imms(rng);
+        for (uint64_t i = 0; i < rng.next_below(4); ++i) {
+          m.caps.push_back(random_cap(rng));
+        }
+        m.origin = static_cast<ControllerAddr>(rng.next_below(100));
+        m.invoke_id = rng.next_u64();
+        env = make_envelope(seq, std::move(m));
+        break;
+      }
+      case 2: {
+        RemoteDeriveMsg m;
+        m.op_id = rng.next_u64();
+        m.base = random_ref(rng);
+        m.op = static_cast<RemoteDeriveMsg::Op>(rng.next_below(4));
+        m.requester = rng.next_u64() % 1000;
+        m.imms = random_imms(rng);
+        for (uint64_t i = 0; i < rng.next_below(3); ++i) {
+          m.caps.push_back(random_cap(rng));
+        }
+        m.offset = rng.next_u64() % 100000;
+        m.size = rng.next_u64() % 100000;
+        m.drop_perms = static_cast<Perms>(rng.next_below(4));
+        env = make_envelope(seq, std::move(m));
+        break;
+      }
+      case 3: {
+        DeliverRequestMsg m;
+        m.endpoint_cid = static_cast<CapId>(rng.next_below(1000));
+        m.imms = random_imms(rng);
+        for (uint64_t i = 0; i < rng.next_below(4); ++i) {
+          m.caps.push_back(DeliveredCap{static_cast<CapId>(rng.next_below(1000)),
+                                        rng.next_bool() ? ObjectKind::kMemory
+                                                        : ObjectKind::kRequest,
+                                        static_cast<Perms>(rng.next_below(4)),
+                                        rng.next_u64() % 100000});
+        }
+        env = make_envelope(seq, std::move(m));
+        break;
+      }
+      case 4: {
+        RevokeBroadcastMsg m;
+        for (uint64_t i = 0; i < rng.next_below(8); ++i) {
+          m.revoked.push_back(random_ref(rng));
+        }
+        env = make_envelope(seq, std::move(m));
+        break;
+      }
+      default: {
+        MemoryCopyMsg m;
+        m.src = static_cast<CapId>(rng.next_below(1000));
+        m.dst = static_cast<CapId>(rng.next_below(1000));
+        m.src_off = rng.next_u64() % 100000;
+        m.dst_off = rng.next_u64() % 100000;
+        m.length = rng.next_u64() % 100000;
+        env = make_envelope(seq, m);
+        break;
+      }
+    }
+    auto decoded = decode_envelope(encode_envelope(env));
+    ASSERT_TRUE(decoded.ok()) << "trial " << trial;
+    EXPECT_EQ(decoded.value().seq, env.seq);
+    EXPECT_EQ(decoded.value().body, env.body) << "trial " << trial;
+  }
+}
+
+// --- determinism: identical runs produce identical simulated histories ------------------------
+
+TEST(PropertyDeterminism, SameSeedSameHistory) {
+  auto run = []() {
+    System sys;
+    const uint32_t n0 = sys.add_node("n0");
+    const uint32_t n1 = sys.add_node("n1");
+    Controller& c0 = sys.add_controller(n0, Loc::kHost);
+    Controller& c1 = sys.add_controller(n1, Loc::kHost);
+    Process& a = sys.spawn("a", n0, c0);
+    Process& b = sys.spawn("b", n1, c1);
+    uint64_t acc = 0;
+    const CapId ep = sys.await_ok(b.serve({}, [&](Process::Received r) {
+      acc = acc * 31 + r.imm_u64(0).value_or(0);
+    }));
+    const CapId ep_a = sys.bootstrap_grant(b, ep, a).value();
+    for (uint64_t i = 0; i < 20; ++i) {
+      a.request_invoke(ep_a, Process::Args{}.imm_u64(0, i));
+    }
+    sys.loop().run();
+    return std::make_tuple(acc, sys.loop().now().ns(), sys.loop().steps(),
+                           sys.net().counters().total_bytes());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace fractos
