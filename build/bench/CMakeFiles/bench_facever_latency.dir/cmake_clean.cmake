@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_facever_latency.dir/bench_facever_latency.cc.o"
+  "CMakeFiles/bench_facever_latency.dir/bench_facever_latency.cc.o.d"
+  "bench_facever_latency"
+  "bench_facever_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_facever_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_facever_throughput.dir/bench_facever_throughput.cc.o"
+  "CMakeFiles/bench_facever_throughput.dir/bench_facever_throughput.cc.o.d"
+  "bench_facever_throughput"
+  "bench_facever_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_facever_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

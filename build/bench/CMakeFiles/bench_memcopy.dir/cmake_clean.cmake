@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memcopy.dir/bench_memcopy.cc.o"
+  "CMakeFiles/bench_memcopy.dir/bench_memcopy.cc.o.d"
+  "bench_memcopy"
+  "bench_memcopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_null_latency.dir/bench_null_latency.cc.o"
+  "CMakeFiles/bench_null_latency.dir/bench_null_latency.cc.o.d"
+  "bench_null_latency"
+  "bench_null_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_null_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_request_invoke.dir/bench_request_invoke.cc.o"
+  "CMakeFiles/bench_request_invoke.dir/bench_request_invoke.cc.o.d"
+  "bench_request_invoke"
+  "bench_request_invoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_request_invoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_latency.dir/bench_storage_latency.cc.o"
+  "CMakeFiles/bench_storage_latency.dir/bench_storage_latency.cc.o.d"
+  "bench_storage_latency"
+  "bench_storage_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

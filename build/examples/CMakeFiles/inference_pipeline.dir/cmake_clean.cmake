@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_pipeline.dir/inference_pipeline.cpp.o"
+  "CMakeFiles/inference_pipeline.dir/inference_pipeline.cpp.o.d"
+  "inference_pipeline"
+  "inference_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_dax.dir/storage_dax.cpp.o"
+  "CMakeFiles/storage_dax.dir/storage_dax.cpp.o.d"
+  "storage_dax"
+  "storage_dax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_dax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

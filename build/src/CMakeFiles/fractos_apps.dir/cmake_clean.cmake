@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractos_apps.dir/apps/cloud_inference.cc.o"
+  "CMakeFiles/fractos_apps.dir/apps/cloud_inference.cc.o.d"
+  "CMakeFiles/fractos_apps.dir/apps/face_verify.cc.o"
+  "CMakeFiles/fractos_apps.dir/apps/face_verify.cc.o.d"
+  "libfractos_apps.a"
+  "libfractos_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractos_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline_fs.cc" "src/CMakeFiles/fractos_baselines.dir/baselines/baseline_fs.cc.o" "gcc" "src/CMakeFiles/fractos_baselines.dir/baselines/baseline_fs.cc.o.d"
+  "/root/repo/src/baselines/nfs.cc" "src/CMakeFiles/fractos_baselines.dir/baselines/nfs.cc.o" "gcc" "src/CMakeFiles/fractos_baselines.dir/baselines/nfs.cc.o.d"
+  "/root/repo/src/baselines/nvmeof.cc" "src/CMakeFiles/fractos_baselines.dir/baselines/nvmeof.cc.o" "gcc" "src/CMakeFiles/fractos_baselines.dir/baselines/nvmeof.cc.o.d"
+  "/root/repo/src/baselines/page_cache.cc" "src/CMakeFiles/fractos_baselines.dir/baselines/page_cache.cc.o" "gcc" "src/CMakeFiles/fractos_baselines.dir/baselines/page_cache.cc.o.d"
+  "/root/repo/src/baselines/pipeline.cc" "src/CMakeFiles/fractos_baselines.dir/baselines/pipeline.cc.o" "gcc" "src/CMakeFiles/fractos_baselines.dir/baselines/pipeline.cc.o.d"
+  "/root/repo/src/baselines/rcuda.cc" "src/CMakeFiles/fractos_baselines.dir/baselines/rcuda.cc.o" "gcc" "src/CMakeFiles/fractos_baselines.dir/baselines/rcuda.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fractos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fractos_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fractos_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fractos_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fractos_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fractos_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fractos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractos_baselines.dir/baselines/baseline_fs.cc.o"
+  "CMakeFiles/fractos_baselines.dir/baselines/baseline_fs.cc.o.d"
+  "CMakeFiles/fractos_baselines.dir/baselines/nfs.cc.o"
+  "CMakeFiles/fractos_baselines.dir/baselines/nfs.cc.o.d"
+  "CMakeFiles/fractos_baselines.dir/baselines/nvmeof.cc.o"
+  "CMakeFiles/fractos_baselines.dir/baselines/nvmeof.cc.o.d"
+  "CMakeFiles/fractos_baselines.dir/baselines/page_cache.cc.o"
+  "CMakeFiles/fractos_baselines.dir/baselines/page_cache.cc.o.d"
+  "CMakeFiles/fractos_baselines.dir/baselines/pipeline.cc.o"
+  "CMakeFiles/fractos_baselines.dir/baselines/pipeline.cc.o.d"
+  "CMakeFiles/fractos_baselines.dir/baselines/rcuda.cc.o"
+  "CMakeFiles/fractos_baselines.dir/baselines/rcuda.cc.o.d"
+  "libfractos_baselines.a"
+  "libfractos_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractos_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fractos_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractos_cap.dir/cap/cap_space.cc.o"
+  "CMakeFiles/fractos_cap.dir/cap/cap_space.cc.o.d"
+  "CMakeFiles/fractos_cap.dir/cap/object_table.cc.o"
+  "CMakeFiles/fractos_cap.dir/cap/object_table.cc.o.d"
+  "libfractos_cap.a"
+  "libfractos_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractos_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap.cc" "src/CMakeFiles/fractos_core.dir/core/bootstrap.cc.o" "gcc" "src/CMakeFiles/fractos_core.dir/core/bootstrap.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/CMakeFiles/fractos_core.dir/core/controller.cc.o" "gcc" "src/CMakeFiles/fractos_core.dir/core/controller.cc.o.d"
+  "/root/repo/src/core/node_monitor.cc" "src/CMakeFiles/fractos_core.dir/core/node_monitor.cc.o" "gcc" "src/CMakeFiles/fractos_core.dir/core/node_monitor.cc.o.d"
+  "/root/repo/src/core/process.cc" "src/CMakeFiles/fractos_core.dir/core/process.cc.o" "gcc" "src/CMakeFiles/fractos_core.dir/core/process.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/fractos_core.dir/core/system.cc.o" "gcc" "src/CMakeFiles/fractos_core.dir/core/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fractos_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fractos_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fractos_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fractos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

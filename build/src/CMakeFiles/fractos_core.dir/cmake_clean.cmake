@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractos_core.dir/core/bootstrap.cc.o"
+  "CMakeFiles/fractos_core.dir/core/bootstrap.cc.o.d"
+  "CMakeFiles/fractos_core.dir/core/controller.cc.o"
+  "CMakeFiles/fractos_core.dir/core/controller.cc.o.d"
+  "CMakeFiles/fractos_core.dir/core/node_monitor.cc.o"
+  "CMakeFiles/fractos_core.dir/core/node_monitor.cc.o.d"
+  "CMakeFiles/fractos_core.dir/core/process.cc.o"
+  "CMakeFiles/fractos_core.dir/core/process.cc.o.d"
+  "CMakeFiles/fractos_core.dir/core/system.cc.o"
+  "CMakeFiles/fractos_core.dir/core/system.cc.o.d"
+  "libfractos_core.a"
+  "libfractos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractos_devices.dir/devices/gpu.cc.o"
+  "CMakeFiles/fractos_devices.dir/devices/gpu.cc.o.d"
+  "CMakeFiles/fractos_devices.dir/devices/nvme.cc.o"
+  "CMakeFiles/fractos_devices.dir/devices/nvme.cc.o.d"
+  "libfractos_devices.a"
+  "libfractos_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractos_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

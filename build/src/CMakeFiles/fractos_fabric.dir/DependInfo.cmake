@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/network.cc" "src/CMakeFiles/fractos_fabric.dir/fabric/network.cc.o" "gcc" "src/CMakeFiles/fractos_fabric.dir/fabric/network.cc.o.d"
+  "/root/repo/src/fabric/node.cc" "src/CMakeFiles/fractos_fabric.dir/fabric/node.cc.o" "gcc" "src/CMakeFiles/fractos_fabric.dir/fabric/node.cc.o.d"
+  "/root/repo/src/fabric/params.cc" "src/CMakeFiles/fractos_fabric.dir/fabric/params.cc.o" "gcc" "src/CMakeFiles/fractos_fabric.dir/fabric/params.cc.o.d"
+  "/root/repo/src/fabric/queue_pair.cc" "src/CMakeFiles/fractos_fabric.dir/fabric/queue_pair.cc.o" "gcc" "src/CMakeFiles/fractos_fabric.dir/fabric/queue_pair.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fractos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fractos_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractos_fabric.dir/fabric/network.cc.o"
+  "CMakeFiles/fractos_fabric.dir/fabric/network.cc.o.d"
+  "CMakeFiles/fractos_fabric.dir/fabric/node.cc.o"
+  "CMakeFiles/fractos_fabric.dir/fabric/node.cc.o.d"
+  "CMakeFiles/fractos_fabric.dir/fabric/params.cc.o"
+  "CMakeFiles/fractos_fabric.dir/fabric/params.cc.o.d"
+  "CMakeFiles/fractos_fabric.dir/fabric/queue_pair.cc.o"
+  "CMakeFiles/fractos_fabric.dir/fabric/queue_pair.cc.o.d"
+  "libfractos_fabric.a"
+  "libfractos_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractos_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractos_services.dir/services/block_adaptor.cc.o"
+  "CMakeFiles/fractos_services.dir/services/block_adaptor.cc.o.d"
+  "CMakeFiles/fractos_services.dir/services/fs.cc.o"
+  "CMakeFiles/fractos_services.dir/services/fs.cc.o.d"
+  "CMakeFiles/fractos_services.dir/services/gpu_adaptor.cc.o"
+  "CMakeFiles/fractos_services.dir/services/gpu_adaptor.cc.o.d"
+  "libfractos_services.a"
+  "libfractos_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractos_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

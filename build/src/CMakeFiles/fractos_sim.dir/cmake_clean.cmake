@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractos_sim.dir/sim/event_loop.cc.o"
+  "CMakeFiles/fractos_sim.dir/sim/event_loop.cc.o.d"
+  "CMakeFiles/fractos_sim.dir/sim/exec_context.cc.o"
+  "CMakeFiles/fractos_sim.dir/sim/exec_context.cc.o.d"
+  "CMakeFiles/fractos_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/fractos_sim.dir/sim/stats.cc.o.d"
+  "libfractos_sim.a"
+  "libfractos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractos_wire.dir/wire/buffer.cc.o"
+  "CMakeFiles/fractos_wire.dir/wire/buffer.cc.o.d"
+  "CMakeFiles/fractos_wire.dir/wire/message.cc.o"
+  "CMakeFiles/fractos_wire.dir/wire/message.cc.o.d"
+  "libfractos_wire.a"
+  "libfractos_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractos_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

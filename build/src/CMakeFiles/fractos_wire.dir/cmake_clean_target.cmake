@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfractos_wire.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_inference_test.dir/cloud_inference_test.cc.o"
+  "CMakeFiles/cloud_inference_test.dir/cloud_inference_test.cc.o.d"
+  "cloud_inference_test"
+  "cloud_inference_test.pdb"
+  "cloud_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

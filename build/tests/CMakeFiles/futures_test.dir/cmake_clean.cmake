@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futures_test.dir/futures_test.cc.o"
+  "CMakeFiles/futures_test.dir/futures_test.cc.o.d"
+  "futures_test"
+  "futures_test.pdb"
+  "futures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

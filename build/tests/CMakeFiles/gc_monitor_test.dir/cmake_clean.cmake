@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_monitor_test.dir/gc_monitor_test.cc.o"
+  "CMakeFiles/gc_monitor_test.dir/gc_monitor_test.cc.o.d"
+  "gc_monitor_test"
+  "gc_monitor_test.pdb"
+  "gc_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

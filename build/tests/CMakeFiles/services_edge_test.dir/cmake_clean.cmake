@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services_edge_test.dir/services_edge_test.cc.o"
+  "CMakeFiles/services_edge_test.dir/services_edge_test.cc.o.d"
+  "services_edge_test"
+  "services_edge_test.pdb"
+  "services_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/futures_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/cap_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/bootstrap_test[1]_include.cmake")
+include("/root/repo/build/tests/devices_test[1]_include.cmake")
+include("/root/repo/build/tests/services_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/param_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/composition_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/services_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/cloud_inference_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
