@@ -23,7 +23,7 @@ SimGpu::Kernel make_inference_kernel(Duration compute) {
 }
 
 CloudInference::CloudInference(System* sys, Loc ctrl_loc, CloudInferenceParams params)
-    : sys_(sys), params_(params) {
+    : sys_(sys), params_(params), slot_pool_(params.pool_slots) {
   frontend_node_ = sys->add_node("frontend");
   fs_node_ = sys->add_node("fs");
   in_node_ = sys->add_node("input-storage");
@@ -122,21 +122,11 @@ void CloudInference::ingest() {
         sys_->await_ok(frontend_->memory_create(slot.host_addr, rb, Perms::kReadWrite));
 
     slot.respond_ep = sys_->await_ok(frontend_->serve({}, [this, s](Process::Received) {
-      Slot& sl = slots_[s];
-      if (sl.completion) {
-        auto done = std::move(sl.completion);
-        sl.completion = nullptr;
-        done(ok_status());
-      }
+      finish_slot(s, ok_status());
     }));
     slot.error_ep = sys_->await_ok(frontend_->serve({}, [this, s](Process::Received r) {
-      Slot& sl = slots_[s];
-      if (sl.completion) {
-        auto done = std::move(sl.completion);
-        sl.completion = nullptr;
-        done(Status(static_cast<ErrorCode>(
-            r.imm_u64(0).value_or(static_cast<uint64_t>(ErrorCode::kInternal)))));
-      }
+      finish_slot(s, Status(static_cast<ErrorCode>(
+                        r.imm_u64(0).value_or(static_cast<uint64_t>(ErrorCode::kInternal)))));
     }));
 
     // Step d of Fig. 2: the output-write Request. Hidden service composition — the write
@@ -156,25 +146,21 @@ void CloudInference::ingest() {
   }
 }
 
-void CloudInference::with_slot(std::function<void(size_t)> fn) {
+CloudInference::~CloudInference() {
+  slot_pool_.close();
   for (size_t i = 0; i < slots_.size(); ++i) {
-    if (!slots_[i].busy) {
-      slots_[i].busy = true;
-      fn(i);
-      return;
-    }
+    finish_slot(i, Status(ErrorCode::kAborted));
   }
-  waiting_.push_back(std::move(fn));
 }
 
-void CloudInference::release_slot(size_t i) {
-  if (!waiting_.empty()) {
-    auto fn = std::move(waiting_.front());
-    waiting_.pop_front();
-    fn(i);
+void CloudInference::finish_slot(size_t i, Status st) {
+  Slot& sl = slots_[i];
+  if (!sl.completion.has_value()) {
     return;
   }
-  slots_[i].busy = false;
+  Promise<Status> done = std::move(*sl.completion);
+  sl.completion.reset();
+  done.set(st);
 }
 
 void CloudInference::verify_output(size_t s, uint32_t input_id, Promise<Result<bool>> promise) {
@@ -185,7 +171,7 @@ void CloudInference::verify_output(size_t s, uint32_t input_id, Promise<Result<b
       .on_ready([this, s, input_id, promise](Status rs) {
         Slot& sl = slots_[s];
         if (!rs.ok()) {
-          release_slot(s);
+          slot_pool_.release(s);
           promise.set(rs.error());
           return;
         }
@@ -194,7 +180,7 @@ void CloudInference::verify_output(size_t s, uint32_t input_id, Promise<Result<b
         for (auto& b : expected) {
           b = static_cast<uint8_t>(b ^ 0x5A);
         }
-        release_slot(s);
+        slot_pool_.release(s);
         promise.set(got == expected);
       });
 }
@@ -202,16 +188,18 @@ void CloudInference::verify_output(size_t s, uint32_t input_id, Promise<Result<b
 Future<Result<bool>> CloudInference::infer_distributed(uint32_t input_id) {
   Promise<Result<bool>> promise;
   FRACTOS_CHECK(input_id < input_files_.size());
-  with_slot([this, input_id, promise](size_t s) {
+  slot_pool_.acquire().and_then([this, input_id, promise](size_t s) {
     Slot& slot = slots_[s];
-    slot.completion = [this, s, input_id, promise](Status st) {
+    Promise<Status> completion;
+    completion.future().on_ready([this, s, input_id, promise](Status st) {
       if (!st.ok()) {
-        release_slot(s);
+        slot_pool_.release(s);
         promise.set(st.error());
         return;
       }
       verify_output(s, input_id, promise);
-    };
+    });
+    slot.completion = std::move(completion);
     // Step a of Fig. 2: one message to the input SSD; everything after runs without us.
     frontend_
         ->request_invoke(input_files_[input_id].read_eps[0],
@@ -222,15 +210,10 @@ Future<Result<bool>> CloudInference::infer_distributed(uint32_t input_id) {
                              .cap(slot.kernel_req))
         .on_ready([this, s](Status st) {
           if (!st.ok()) {
-            Slot& sl = slots_[s];
-            if (sl.completion) {
-              auto done = std::move(sl.completion);
-              sl.completion = nullptr;
-              done(st);
-            }
+            finish_slot(s, st);
           }
         });
-  });
+  }).or_else([promise](ErrorCode e) { promise.set(e); });
   return promise.future();
 }
 
@@ -238,10 +221,10 @@ Future<Result<bool>> CloudInference::infer_centralized(uint32_t input_id) {
   Promise<Result<bool>> promise;
   FRACTOS_CHECK(input_id < input_files_.size());
   const uint64_t rb = params_.request_bytes;
-  with_slot([this, input_id, rb, promise](size_t s) {
+  slot_pool_.acquire().and_then([this, input_id, rb, promise](size_t s) {
     Slot& slot = slots_[s];
     auto fail = [this, s, promise](ErrorCode e) {
-      release_slot(s);
+      slot_pool_.release(s);
       promise.set(e);
     };
     // 1: input SSD -> app memory (the app mediates everything from here on).
@@ -283,7 +266,7 @@ Future<Result<bool>> CloudInference::infer_centralized(uint32_t input_id) {
                     });
               });
         });
-  });
+  }).or_else([promise](ErrorCode e) { promise.set(e); });
   return promise.future();
 }
 

@@ -24,11 +24,12 @@
 #ifndef SRC_APPS_CLOUD_INFERENCE_H_
 #define SRC_APPS_CLOUD_INFERENCE_H_
 
-#include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/futures/slot_pool.h"
 #include "src/services/fs.h"
 #include "src/services/gpu_adaptor.h"
 
@@ -61,10 +62,11 @@ class CloudInference {
 
   Process& frontend() { return *frontend_; }
   uint32_t gpu_node() const { return gpu_node_; }
+  // Fails in-flight requests and queued slot acquires with kAborted.
+  ~CloudInference();
 
  private:
   struct Slot {
-    bool busy = false;
     uint64_t gpu_in_addr = 0;
     uint64_t gpu_out_addr = 0;
     CapId gpu_in_mem = kInvalidCap;
@@ -73,14 +75,14 @@ class CloudInference {
     CapId respond_ep = kInvalidCap;
     CapId error_ep = kInvalidCap;
     uint64_t out_off = 0;             // this slot's region in the output file
-    std::function<void(Status)> completion;
+    std::optional<Promise<Status>> completion;
     // Centralized mode staging in frontend memory.
     uint64_t host_addr = 0;
     CapId host_mem = kInvalidCap;
   };
 
-  void with_slot(std::function<void(size_t)> fn);
-  void release_slot(size_t i);
+  // Completes the slot's pending promise (if any) with `st`.
+  void finish_slot(size_t i, Status st);
   // Reads the output region back (FS mode) and compares against the transformed input.
   void verify_output(size_t slot, uint32_t input_id, Promise<Result<bool>> promise);
   std::vector<uint8_t> input_content(uint32_t input_id) const;
@@ -101,8 +103,8 @@ class CloudInference {
   CapId out_create_ = kInvalidCap, out_open_ = kInvalidCap;
   GpuClient::Session session_;
   CapId kernel_ep_ = kInvalidCap;
+  SlotPool slot_pool_;
   std::vector<Slot> slots_;
-  std::deque<std::function<void(size_t)>> waiting_;
   // Cached DAX opens (steady state: open once, reuse).
   std::vector<FsClient::OpenFile> input_files_;
   FsClient::OpenFile output_file_;

@@ -52,7 +52,7 @@ FaceVerifyCluster FaceVerifyCluster::build(System* sys) {
 
 FaceVerifyFractos::FaceVerifyFractos(System* sys, FaceVerifyCluster* cluster, Loc ctrl_loc,
                                      FaceVerifyParams params, Controller* shared_controller)
-    : sys_(sys), cluster_(cluster), params_(params) {
+    : sys_(sys), cluster_(cluster), params_(params), slot_pool_(params.pool_slots) {
   const uint64_t batch_bytes = params_.image_bytes * params_.images_per_batch;
 
   Controller* c_front;
@@ -119,21 +119,11 @@ FaceVerifyFractos::FaceVerifyFractos(System* sys, FaceVerifyCluster* cluster, Lo
         sys->await_ok(frontend_->memory_create(slot.result_addr, 4096, Perms::kReadWrite));
 
     slot.respond_ep = sys->await_ok(frontend_->serve({}, [this, s](Process::Received) {
-      Slot& sl = slots_[s];
-      if (sl.completion) {
-        auto done = std::move(sl.completion);
-        sl.completion = nullptr;
-        done(ok_status());
-      }
+      finish_slot(s, ok_status());
     }));
     slot.error_ep = sys->await_ok(frontend_->serve({}, [this, s](Process::Received r) {
-      Slot& sl = slots_[s];
-      if (sl.completion) {
-        auto done = std::move(sl.completion);
-        sl.completion = nullptr;
-        done(Status(static_cast<ErrorCode>(
-            r.imm_u64(0).value_or(static_cast<uint64_t>(ErrorCode::kInternal)))));
-      }
+      finish_slot(s, Status(static_cast<ErrorCode>(
+                        r.imm_u64(0).value_or(static_cast<uint64_t>(ErrorCode::kInternal)))));
     }));
 
     // The pre-derived kernel Request: args baked in, result copy-back pair + success/error
@@ -169,32 +159,29 @@ void FaceVerifyFractos::ingest_database() {
   }
 }
 
-void FaceVerifyFractos::with_slot(std::function<void(size_t)> fn) {
+FaceVerifyFractos::~FaceVerifyFractos() {
+  slot_pool_.close();
   for (size_t i = 0; i < slots_.size(); ++i) {
-    if (!slots_[i].busy) {
-      slots_[i].busy = true;
-      fn(i);
-      return;
-    }
+    finish_slot(i, Status(ErrorCode::kAborted));
   }
-  waiting_.push_back(std::move(fn));
 }
 
-void FaceVerifyFractos::release_slot(size_t i) {
-  if (!waiting_.empty()) {
-    auto fn = std::move(waiting_.front());
-    waiting_.pop_front();
-    fn(i);
+void FaceVerifyFractos::finish_slot(size_t i, Status st) {
+  Slot& sl = slots_[i];
+  if (!sl.completion.has_value()) {
     return;
   }
-  slots_[i].busy = false;
+  Promise<Status> done = std::move(*sl.completion);
+  sl.completion.reset();
+  done.set(st);
 }
 
 Future<Result<bool>> FaceVerifyFractos::verify(uint32_t batch, bool tamper) {
   Promise<Result<bool>> promise;
-  with_slot([this, batch, tamper, promise](size_t slot) {
-    run_on_slot(slot, batch, tamper, promise);
-  });
+  slot_pool_.acquire()
+      .and_then(
+          [this, batch, tamper, promise](size_t slot) { run_on_slot(slot, batch, tamper, promise); })
+      .or_else([promise](ErrorCode e) { promise.set(e); });
   return promise.future();
 }
 
@@ -217,10 +204,11 @@ void FaceVerifyFractos::run_on_slot(size_t s, uint32_t batch, bool tamper,
 
   // Completion: the GPU adaptor copied the verdict bytes into our result buffer and invoked
   // the respond Request.
-  slot.completion = [this, s, tamper, promise](Status st) {
+  Promise<Status> completion;
+  completion.future().on_ready([this, s, tamper, promise](Status st) {
     Slot& sl = slots_[s];
     if (!st.ok()) {
-      release_slot(s);
+      slot_pool_.release(s);
       promise.set(st.error());
       return;
     }
@@ -232,9 +220,10 @@ void FaceVerifyFractos::run_on_slot(size_t s, uint32_t batch, bool tamper,
         all = false;
       }
     }
-    release_slot(s);
+    slot_pool_.release(s);
     promise.set(all);
-  };
+  });
+  slot.completion = std::move(completion);
 
   // Probe upload and file open proceed in parallel; the storage read is invoked when both
   // are done. From there the execution is fully decentralized: storage -> GPU -> frontend.
@@ -250,18 +239,12 @@ void FaceVerifyFractos::run_on_slot(size_t s, uint32_t batch, bool tamper,
     }
     Slot& sl = slots_[s];
     if (!join->failure.ok() || !join->open_result.ok()) {
-      if (sl.completion) {
-        auto done = std::move(sl.completion);
-        sl.completion = nullptr;
-        done(join->failure.ok() ? Status(join->open_result.error()) : join->failure);
-      }
+      finish_slot(s, join->failure.ok() ? Status(join->open_result.error()) : join->failure);
       return;
     }
     const auto& f = join->open_result.value();
     if (f.read_eps.empty()) {
-      auto done = std::move(sl.completion);
-      sl.completion = nullptr;
-      done(Status(ErrorCode::kInternal));
+      finish_slot(s, Status(ErrorCode::kInternal));
       return;
     }
     // Step a of Fig. 2: invoke the storage read with the GPU buffer as destination and the
@@ -274,12 +257,7 @@ void FaceVerifyFractos::run_on_slot(size_t s, uint32_t batch, bool tamper,
                                             .cap(sl.kernel_req))
         .on_ready([this, s](Status st) {
           if (!st.ok()) {
-            Slot& sl = slots_[s];
-            if (sl.completion) {
-              auto done = std::move(sl.completion);
-              sl.completion = nullptr;
-              done(st);
-            }
+            finish_slot(s, st);
           }
         });
   };
@@ -302,7 +280,7 @@ void FaceVerifyFractos::run_on_slot(size_t s, uint32_t batch, bool tamper,
 
 FaceVerifyBaseline::FaceVerifyBaseline(System* sys, FaceVerifyCluster* cluster,
                                        FaceVerifyParams params)
-    : sys_(sys), cluster_(cluster), params_(params) {
+    : sys_(sys), cluster_(cluster), params_(params), slot_pool_(params.pool_slots) {
   nvmeof_target_ =
       std::make_unique<NvmeofTarget>(&sys->net(), cluster->storage_node, cluster->nvme.get());
   nvmeof_ =
@@ -344,32 +322,12 @@ void FaceVerifyBaseline::ingest_database() {
   }
 }
 
-void FaceVerifyBaseline::with_slot(std::function<void(size_t)> fn) {
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    if (!slots_[i].busy) {
-      slots_[i].busy = true;
-      fn(i);
-      return;
-    }
-  }
-  waiting_.push_back(std::move(fn));
-}
-
-void FaceVerifyBaseline::release_slot(size_t i) {
-  if (!waiting_.empty()) {
-    auto fn = std::move(waiting_.front());
-    waiting_.pop_front();
-    fn(i);
-    return;
-  }
-  slots_[i].busy = false;
-}
-
 Future<Result<bool>> FaceVerifyBaseline::verify(uint32_t batch, bool tamper) {
   Promise<Result<bool>> promise;
-  with_slot([this, batch, tamper, promise](size_t slot) {
-    run_on_slot(slot, batch, tamper, promise);
-  });
+  slot_pool_.acquire()
+      .and_then(
+          [this, batch, tamper, promise](size_t slot) { run_on_slot(slot, batch, tamper, promise); })
+      .or_else([promise](ErrorCode e) { promise.set(e); });
   return promise.future();
 }
 
@@ -380,7 +338,7 @@ void FaceVerifyBaseline::run_on_slot(size_t s, uint32_t batch, bool tamper,
   const uint32_t n = params_.images_per_batch;
 
   auto fail = [this, s, promise](ErrorCode e) {
-    release_slot(s);
+    slot_pool_.release(s);
     promise.set(e);
   };
 
@@ -453,7 +411,7 @@ void FaceVerifyBaseline::run_on_slot(size_t s, uint32_t batch, bool tamper,
                                             all = false;
                                           }
                                         }
-                                        release_slot(s);
+                                        slot_pool_.release(s);
                                         promise.set(all);
                                       });
                                 });

@@ -20,10 +20,12 @@
 #ifndef SRC_APPS_FACE_VERIFY_H_
 #define SRC_APPS_FACE_VERIFY_H_
 
-#include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "src/futures/slot_pool.h"
 
 #include "src/baselines/nfs.h"
 #include "src/baselines/nvmeof.h"
@@ -79,12 +81,13 @@ class FaceVerifyFractos {
   // corrupted and must be reported as a mismatch. (False means the system returned wrong
   // verdicts; errors surface as error codes.)
   Future<Result<bool>> verify(uint32_t batch, bool tamper = false);
+  // Fails in-flight requests and queued slot acquires with kAborted.
+  ~FaceVerifyFractos();
 
   Process& frontend() { return *frontend_; }
 
  private:
   struct Slot {
-    bool busy = false;
     uint64_t gpu_probe_addr = 0;
     uint64_t gpu_db_addr = 0;
     uint64_t gpu_result_addr = 0;
@@ -97,12 +100,12 @@ class FaceVerifyFractos {
     CapId result_mem = kInvalidCap;
     uint64_t probe_addr = 0;             // frontend probe staging
     CapId probe_mem = kInvalidCap;
-    std::function<void(Status)> completion;
+    std::optional<Promise<Status>> completion;
   };
 
   void setup_gpu(Loc ctrl_loc);
-  void with_slot(std::function<void(size_t)> fn);
-  void release_slot(size_t i);
+  // Completes the slot's pending promise (if any) with `st`.
+  void finish_slot(size_t i, Status st);
   void run_on_slot(size_t slot, uint32_t batch, bool tamper, Promise<Result<bool>> promise);
 
   System* sys_;
@@ -115,8 +118,8 @@ class FaceVerifyFractos {
   CapId fs_create_ = kInvalidCap;
   CapId fs_open_ = kInvalidCap;
   GpuClient::Session session_;
+  SlotPool slot_pool_;
   std::vector<Slot> slots_;
-  std::deque<std::function<void(size_t)>> waiting_;
 };
 
 class FaceVerifyBaseline {
@@ -128,13 +131,10 @@ class FaceVerifyBaseline {
 
  private:
   struct Slot {
-    bool busy = false;
     uint64_t gpu_probe_addr = 0;
     uint64_t gpu_db_addr = 0;
     uint64_t gpu_result_addr = 0;
   };
-  void with_slot(std::function<void(size_t)> fn);
-  void release_slot(size_t i);
   void run_on_slot(size_t slot, uint32_t batch, bool tamper, Promise<Result<bool>> promise);
 
   System* sys_;
@@ -148,8 +148,8 @@ class FaceVerifyBaseline {
   std::unique_ptr<RcudaDaemon> rcuda_daemon_;
   std::unique_ptr<RcudaClient> rcuda_;
   uint64_t kernel_fn_ = 0;
+  SlotPool slot_pool_;
   std::vector<Slot> slots_;
-  std::deque<std::function<void(size_t)>> waiting_;
 };
 
 }  // namespace fractos

@@ -33,6 +33,7 @@ enum class ErrorCode : uint8_t {
   kChannelClosed,       // peer Process or Controller is gone
   kTimeout,
   kAborted,             // operation cancelled by failure translation
+  kBrokenPromise,       // every Promise for a Future died without delivering a value
   kUnimplemented,
   kInternal,
 };
@@ -58,6 +59,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kChannelClosed: return "kChannelClosed";
     case ErrorCode::kTimeout: return "kTimeout";
     case ErrorCode::kAborted: return "kAborted";
+    case ErrorCode::kBrokenPromise: return "kBrokenPromise";
     case ErrorCode::kUnimplemented: return "kUnimplemented";
     case ErrorCode::kInternal: return "kInternal";
   }

@@ -51,7 +51,7 @@ BaselineFs::BaselineFs(System* sys, uint32_t node, Controller& controller, Block
 
 BaselineFs::BaselineFs(System* sys, uint32_t node, Controller& controller, BlockDevice* device,
                        Params params)
-    : sys_(sys), device_(device), params_(params) {
+    : sys_(sys), device_(device), params_(params), slot_pool_(params.staging_slots) {
   const uint64_t heap = params_.staging_slots * params_.slot_bytes + (1 << 20);
   proc_ = &sys->spawn("baseline-fs", node, controller, heap);
   slots_.resize(params_.staging_slots);
@@ -60,7 +60,6 @@ BaselineFs::BaselineFs(System* sys, uint32_t node, Controller& controller, Block
     slot.addr = proc_->alloc(params_.slot_bytes);
     slot.mem =
         sys->await_ok(proc_->memory_create(slot.addr, params_.slot_bytes, Perms::kReadWrite));
-    free_slots_.push_back(i);
   }
   create_ep_ = sys->await_ok(proc_->serve({}, [this](Process::Received r) {
     handle_create(std::move(r));
@@ -68,26 +67,6 @@ BaselineFs::BaselineFs(System* sys, uint32_t node, Controller& controller, Block
   open_ep_ = sys->await_ok(proc_->serve({}, [this](Process::Received r) {
     handle_open(std::move(r));
   }));
-}
-
-void BaselineFs::with_slot(std::function<void(size_t)> fn) {
-  if (!free_slots_.empty()) {
-    const size_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    fn(slot);
-    return;
-  }
-  waiting_.push_back(std::move(fn));
-}
-
-void BaselineFs::release_slot(size_t slot) {
-  if (!waiting_.empty()) {
-    auto fn = std::move(waiting_.front());
-    waiting_.pop_front();
-    fn(slot);
-    return;
-  }
-  free_slots_.push_back(slot);
 }
 
 void BaselineFs::fail_op(const Process::Received& r, ErrorCode code) {
@@ -254,7 +233,16 @@ void BaselineFs::io_pump(std::shared_ptr<BaselineIoState> st) {
     const uint64_t op_off = st->issued;
     st->issued += chunk;
     ++st->in_flight;
-    with_slot([this, st, op_off, chunk](size_t slot) { run_chunk(st, slot, op_off, chunk); });
+    slot_pool_.acquire()
+        .and_then([this, st, op_off, chunk](size_t slot) { run_chunk(st, slot, op_off, chunk); })
+        .or_else([this, st](ErrorCode e) {
+          --st->in_flight;
+          if (!st->failed) {
+            st->error = e;
+          }
+          st->failed = true;
+          io_pump(st);
+        });
   }
 }
 
@@ -262,7 +250,7 @@ void BaselineFs::run_chunk(std::shared_ptr<BaselineIoState> st, size_t slot_idx,
                            uint64_t op_off, uint64_t chunk) {
   const Slot& slot = slots_[slot_idx];
   auto chunk_finished = [this, st, slot_idx, chunk](Status s) {
-    release_slot(slot_idx);
+    slot_pool_.release(slot_idx);
     --st->in_flight;
     if (!s.ok()) {
       if (!st->failed) {

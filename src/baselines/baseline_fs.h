@@ -17,6 +17,7 @@
 
 #include "src/baselines/block_device.h"
 #include "src/core/system.h"
+#include "src/futures/slot_pool.h"
 
 namespace fractos {
 
@@ -61,8 +62,6 @@ class BaselineFs {
   void handle_open(Process::Received r);
   void handle_io(uint32_t open_id, bool is_write, Process::Received r);
   void handle_close(uint32_t open_id, Process::Received r);
-  void with_slot(std::function<void(size_t)> fn);
-  void release_slot(size_t slot);
   void fail_op(const Process::Received& r, ErrorCode code);
   void io_pump(std::shared_ptr<struct BaselineIoState> st);
   void run_chunk(std::shared_ptr<struct BaselineIoState> st, size_t slot_idx, uint64_t op_off,
@@ -78,9 +77,8 @@ class BaselineFs {
   std::unordered_map<uint32_t, Open> opens_;
   uint32_t next_open_ = 1;
   uint64_t next_base_ = 0;
+  SlotPool slot_pool_;
   std::vector<Slot> slots_;
-  std::vector<size_t> free_slots_;
-  std::deque<std::function<void(size_t)>> waiting_;
 };
 
 }  // namespace fractos

@@ -14,6 +14,12 @@ Controller::Controller(Network* net, Config config)
   name_ = "ctrl-" + std::to_string(config_.addr);
 }
 
+Controller::~Controller() {
+  // Peer ops still in flight at teardown complete with kChannelClosed; their futures would
+  // otherwise trip the broken-promise detector.
+  fail_pending_ops(ErrorCode::kChannelClosed);
+}
+
 // --- wiring ----------------------------------------------------------------------------------
 
 Channel& Controller::attach_process(ProcessId pid, uint32_t proc_node, PoolId heap_pool) {
@@ -299,7 +305,7 @@ void Controller::sc_memory_diminish(ProcState& p, uint64_t seq, const MemoryDimi
   rd.size = m.size;
   rd.drop_perms = m.drop_perms;
   const ProcessId pid = p.pid;
-  start_peer_op(e.ref.owner, rd.op_id, [this, pid, seq](const PeerReplyMsg& r) {
+  start_peer_op(e.ref.owner, rd.op_id).on_ready([this, pid, seq](PeerReplyMsg&& r) {
     auto it = procs_.find(pid);
     if (it == procs_.end() || !it->second->alive) {
       return;
@@ -614,7 +620,7 @@ void Controller::sc_request_create(ProcState& p, uint64_t seq, const RequestCrea
   const ProcessId pid = p.pid;
   const ControllerAddr owner = base.value().ref.owner;
   const Duration extra = cap_serialize_cost(rd.caps);
-  start_peer_op(owner, rd.op_id, [this, pid, seq](const PeerReplyMsg& r) {
+  start_peer_op(owner, rd.op_id).on_ready([this, pid, seq](PeerReplyMsg&& r) {
     auto it = procs_.find(pid);
     if (it == procs_.end() || !it->second->alive) {
       return;
@@ -706,7 +712,7 @@ void Controller::sc_cap_create_revtree(ProcState& p, uint64_t seq,
   rd.op = RemoteDeriveMsg::Op::kRevtreeChild;
   rd.requester = p.pid;
   const ProcessId pid = p.pid;
-  start_peer_op(e.ref.owner, rd.op_id, [this, pid, seq](const PeerReplyMsg& r) {
+  start_peer_op(e.ref.owner, rd.op_id).on_ready([this, pid, seq](PeerReplyMsg&& r) {
     auto it = procs_.find(pid);
     if (it == procs_.end() || !it->second->alive) {
       return;
@@ -746,7 +752,7 @@ void Controller::sc_cap_revoke(ProcState& p, uint64_t seq, const CapRevokeMsg& m
   rd.op = RemoteDeriveMsg::Op::kRevoke;
   rd.requester = p.pid;
   const ProcessId pid = p.pid;
-  start_peer_op(e.ref.owner, rd.op_id, [this, pid, seq](const PeerReplyMsg& r) {
+  start_peer_op(e.ref.owner, rd.op_id).on_ready([this, pid, seq](PeerReplyMsg&& r) {
     auto it = procs_.find(pid);
     if (it != procs_.end() && it->second->alive) {
       reply(*it->second, seq, r.status);
@@ -779,7 +785,7 @@ void Controller::sc_monitor(ProcState& p, uint64_t seq, const MonitorMsg& m,
   rm.subscriber_process = p.pid;
   const uint64_t op_id = next_op_id_++;
   const ProcessId pid = p.pid;
-  start_peer_op(e.ref.owner, op_id, [this, pid, seq](const PeerReplyMsg& r) {
+  start_peer_op(e.ref.owner, op_id).on_ready([this, pid, seq](PeerReplyMsg&& r) {
     auto it = procs_.find(pid);
     if (it != procs_.end() && it->second->alive) {
       reply(*it->second, seq, r.status);
@@ -946,9 +952,9 @@ void Controller::peer_reply(const PeerReplyMsg& m) {
   if (it == pending_ops_.end()) {
     return;
   }
-  auto cont = std::move(it->second);
+  Promise<PeerReplyMsg> promise = std::move(it->second);
   pending_ops_.erase(it);
-  cont(m);
+  promise.set(m);
 }
 
 void Controller::peer_revoke_broadcast(ControllerAddr origin, const RevokeBroadcastMsg& m) {
@@ -1090,10 +1096,25 @@ void Controller::send_peer(ControllerAddr peer, const Envelope& env, Traffic cat
   it->second.chan->send(cat, env);
 }
 
-void Controller::start_peer_op(ControllerAddr peer, uint64_t op_id,
-                               std::function<void(const PeerReplyMsg&)> cont) {
+Future<PeerReplyMsg> Controller::start_peer_op(ControllerAddr peer, uint64_t op_id) {
   (void)peer;
-  pending_ops_.emplace(op_id, std::move(cont));
+  Promise<PeerReplyMsg> promise;
+  Future<PeerReplyMsg> fut = promise.future();
+  pending_ops_.emplace(op_id, std::move(promise));
+  return fut;
+}
+
+void Controller::fail_pending_ops(ErrorCode status) {
+  // Move the map out first: completing a promise runs its continuation synchronously, and a
+  // continuation may start new peer ops.
+  auto pending = std::move(pending_ops_);
+  pending_ops_.clear();
+  for (auto& [op_id, promise] : pending) {
+    PeerReplyMsg r;
+    r.op_id = op_id;
+    r.status = status;
+    promise.set(std::move(r));
+  }
 }
 
 // --- failure handling -----------------------------------------------------------------------------
@@ -1128,7 +1149,7 @@ void Controller::process_failed(ProcessId pid) {
       rd.base = entry.ref;
       rd.op = RemoteDeriveMsg::Op::kRevoke;
       rd.requester = pid;
-      start_peer_op(entry.ref.owner, rd.op_id, [](const PeerReplyMsg&) {});
+      start_peer_op(entry.ref.owner, rd.op_id);  // fire-and-forget: reply needs no action
       send_peer(entry.ref.owner, make_envelope(rd.op_id, std::move(rd)));
     }
   }
@@ -1148,7 +1169,9 @@ void Controller::fail() {
   for (auto& [peer_addr, peer] : peers_) {
     peer.chan->sever();
   }
-  pending_ops_.clear();
+  // Outstanding peer ops complete through the error channel rather than dangling; their
+  // continuations bail out early because every local process is now marked dead.
+  fail_pending_ops(ErrorCode::kChannelClosed);
   pending_invokes_.clear();
 }
 

@@ -34,6 +34,7 @@
 #include "src/core/channel.h"
 #include "src/core/costs.h"
 #include "src/fabric/network.h"
+#include "src/futures/future.h"
 
 namespace fractos {
 
@@ -75,6 +76,9 @@ class Controller {
   };
 
   Controller(Network* net, Config config);
+  // Completes any still-pending peer operations with kChannelClosed so their futures never
+  // dangle (broken-promise discipline).
+  ~Controller();
 
   ControllerAddr addr() const { return config_.addr; }
   Endpoint endpoint() const { return config_.endpoint; }
@@ -202,9 +206,11 @@ class Controller {
   void apply_revoke(const ObjectTable::RevokeResult& result);
   void dispatch_monitor_fire(const ObjectTable::MonitorFire& fire);
   void send_peer(ControllerAddr peer, const Envelope& env, Traffic cat = Traffic::kControl);
-  // Issues a RemoteDerive/RegisterMonitor-style op and registers the reply continuation.
-  void start_peer_op(ControllerAddr peer, uint64_t op_id,
-                     std::function<void(const PeerReplyMsg&)> cont);
+  // Issues a RemoteDerive/RegisterMonitor-style op; the returned future completes with the
+  // peer's reply, or with status kChannelClosed if this Controller fails first.
+  Future<PeerReplyMsg> start_peer_op(ControllerAddr peer, uint64_t op_id);
+  // Completes every pending peer op with the given status and empties the map.
+  void fail_pending_ops(ErrorCode status);
   // The memory_copy data path.
   void do_copy(ProcState& p, uint64_t seq, const CapEntry& src, const CapEntry& dst);
   void bounce_copy_chunked(Endpoint self, CapEntry src, CapEntry dst, uint64_t total,
@@ -226,7 +232,7 @@ class Controller {
     Endpoint endpoint;
   };
   std::unordered_map<ControllerAddr, Peer> peers_;
-  std::unordered_map<uint64_t, std::function<void(const PeerReplyMsg&)>> pending_ops_;
+  std::unordered_map<uint64_t, Promise<PeerReplyMsg>> pending_ops_;
   std::unordered_map<uint64_t, ProcessId> pending_invokes_;
   // Two-phase revocation cleanup: invalidated objects are erased only after every peer has
   // acknowledged the broadcast (the distributed-GC "cleanup step" of Section 3.5).

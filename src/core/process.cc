@@ -73,6 +73,11 @@ uint64_t Process::send_syscall(Envelope env) {
 }
 
 Future<Result<CapId>> Process::cap_syscall(Envelope env) {
+  if (failed_) {
+    // A failed process cannot reach its Controller; syscalls fail through the error channel
+    // instead of CHECK-crashing, so failure-cleanup continuations can run safely.
+    return make_ready_future(Result<CapId>(ErrorCode::kChannelClosed));
+  }
   Promise<Result<CapId>> promise;
   pending_.emplace(env.seq, [promise](const SyscallReplyMsg& r) {
     if (r.status == ErrorCode::kOk) {
@@ -86,6 +91,9 @@ Future<Result<CapId>> Process::cap_syscall(Envelope env) {
 }
 
 Future<Status> Process::status_syscall(Envelope env) {
+  if (failed_) {
+    return make_ready_future(Status(ErrorCode::kChannelClosed));
+  }
   Promise<Status> promise;
   pending_.emplace(env.seq, [promise](const SyscallReplyMsg& r) {
     promise.set(r.status == ErrorCode::kOk ? ok_status() : Status(r.status));

@@ -1,0 +1,94 @@
+// SlotPool: a bounded-concurrency semaphore whose units are slot indices.
+//
+// Services and apps pre-provision N parallel resources (request endpoints, staging buffers,
+// GPU contexts) and must cap in-flight work at N. This pool replaces the five copy-pasted
+// with_slot/waiting_-deque implementations that used to live in fs, block_adaptor,
+// baseline_fs, face_verify, and cloud_inference.
+//
+// acquire() resolves with an exclusive slot index in [0, size()): immediately if a slot is
+// free (lowest-numbered first from the initial state), otherwise FIFO when one is released.
+// release() hands the slot to the longest-waiting acquirer synchronously, preserving the
+// deterministic wake order the old per-service deques had. If the pool is destroyed with
+// acquirers still queued, their futures complete with ErrorCode::kBrokenPromise (the broken-
+// promise channel), so teardown never strands a continuation.
+
+#ifndef SRC_FUTURES_SLOT_POOL_H_
+#define SRC_FUTURES_SLOT_POOL_H_
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "src/base/assert.h"
+#include "src/base/result.h"
+#include "src/futures/future.h"
+
+namespace fractos {
+
+class SlotPool {
+ public:
+  explicit SlotPool(size_t slots) : total_(slots) {
+    free_.reserve(slots);
+    for (size_t i = slots; i-- > 0;) {
+      free_.push_back(i);  // back of the vector is slot 0: acquisition order 0, 1, 2, ...
+    }
+  }
+
+  SlotPool(const SlotPool&) = delete;
+  SlotPool& operator=(const SlotPool&) = delete;
+
+  Future<Result<size_t>> acquire() {
+    if (closed_) {
+      return make_ready_future(Result<size_t>(ErrorCode::kAborted));
+    }
+    if (!free_.empty()) {
+      const size_t slot = free_.back();
+      free_.pop_back();
+      return make_ready_future(Result<size_t>(slot));
+    }
+    Promise<Result<size_t>> p;
+    waiting_.push_back(p);
+    return p.future();
+  }
+
+  // Shuts the pool down: queued acquirers fail with `status`, later acquires fail with
+  // kAborted, and releases just return slots to the free list instead of waking anyone.
+  // Owners call this first in their destructors so teardown cannot re-enter half-destroyed
+  // members through a waiter continuation.
+  void close(ErrorCode status = ErrorCode::kAborted) {
+    closed_ = true;
+    auto waiters = std::move(waiting_);
+    waiting_.clear();
+    for (auto& p : waiters) {
+      p.set(Result<size_t>(status));
+    }
+  }
+
+  bool closed() const { return closed_; }
+
+  void release(size_t slot) {
+    FRACTOS_DCHECK(slot < total_);
+    if (!waiting_.empty()) {
+      Promise<Result<size_t>> next = std::move(waiting_.front());
+      waiting_.pop_front();
+      next.set(Result<size_t>(slot));
+      return;
+    }
+    free_.push_back(slot);
+  }
+
+  size_t size() const { return total_; }
+  size_t available() const { return free_.size(); }
+  size_t waiting() const { return waiting_.size(); }
+
+ private:
+  size_t total_;
+  bool closed_ = false;
+  std::vector<size_t> free_;
+  std::deque<Promise<Result<size_t>>> waiting_;
+};
+
+}  // namespace fractos
+
+#endif  // SRC_FUTURES_SLOT_POOL_H_

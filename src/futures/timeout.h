@@ -1,0 +1,50 @@
+// Timer-backed future combinators: sleep_for and with_timeout.
+//
+// These live apart from future.h because they need the simulated EventLoop; the core library
+// has no clock. Timeouts map onto the Result error channel: a deadline that fires first
+// completes the future with ErrorCode::kTimeout, and the loser's eventual delivery is dropped.
+//
+// Note: the EventLoop has no timer cancellation, so a with_timeout whose inner future wins
+// still leaves the (no-op) deadline event in the loop — EventLoop::run() will advance
+// simulated time to it. Callers that assert on total simulated time should account for that.
+
+#ifndef SRC_FUTURES_TIMEOUT_H_
+#define SRC_FUTURES_TIMEOUT_H_
+
+#include <utility>
+
+#include "src/futures/future.h"
+#include "src/sim/event_loop.h"
+
+namespace fractos {
+
+// Completes after `delay` of simulated time.
+inline Future<Unit> sleep_for(EventLoop& loop, Duration delay) {
+  Promise<Unit> p;
+  loop.schedule_after(delay, [p]() { p.set(Unit{}); });
+  return p.future();
+}
+
+// Races `f` against a deadline. Result-typed futures only: completes with the inner result,
+// or with ErrorCode::kTimeout if the deadline fires first.
+template <typename T>
+Future<T> with_timeout(EventLoop& loop, Duration timeout, Future<T> f) {
+  static_assert(internal::IsResult<T>::value, "with_timeout requires a Future<Result<U>>");
+  Promise<T> p;
+  auto out = p.future();
+  f.on_ready([p](T&& v) {
+    if (!p.fulfilled()) {
+      p.set(std::move(v));
+    }
+  });
+  loop.schedule_after(timeout, [p]() {
+    if (!p.fulfilled()) {
+      p.set(T(ErrorCode::kTimeout));
+    }
+  });
+  return out;
+}
+
+}  // namespace fractos
+
+#endif  // SRC_FUTURES_TIMEOUT_H_

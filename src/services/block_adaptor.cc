@@ -11,39 +11,20 @@ BlockAdaptor::BlockAdaptor(System* sys, uint32_t node, Controller& controller, S
 
 BlockAdaptor::BlockAdaptor(System* sys, uint32_t node, Controller& controller, SimNvme* nvme,
                            Params params)
-    : sys_(sys), nvme_(nvme), params_(params) {
+    : sys_(sys), nvme_(nvme), params_(params), slot_pool_(params.staging_slots) {
   const uint64_t heap = params_.staging_slots * params_.slot_bytes + (1 << 20);
   proc_ = &sys->spawn("block-adaptor", node, controller, heap);
   for (uint32_t i = 0; i < params_.staging_slots; ++i) {
     Slot slot;
+    slot.idx = i;
     slot.addr = proc_->alloc(params_.slot_bytes);
     slot.mem =
         sys->await_ok(proc_->memory_create(slot.addr, params_.slot_bytes, Perms::kReadWrite));
-    free_slots_.push_back(slot);
+    slots_.push_back(slot);
   }
   mgmt_ep_ = sys->await_ok(proc_->serve({}, [this](Process::Received r) {
     handle_mgmt(std::move(r));
   }));
-}
-
-void BlockAdaptor::with_slot(std::function<void(Slot)> fn) {
-  if (!free_slots_.empty()) {
-    Slot slot = free_slots_.back();
-    free_slots_.pop_back();
-    fn(slot);
-    return;
-  }
-  waiting_.push_back(std::move(fn));
-}
-
-void BlockAdaptor::release_slot(Slot slot) {
-  if (!waiting_.empty()) {
-    auto fn = std::move(waiting_.front());
-    waiting_.pop_front();
-    fn(slot);
-    return;
-  }
-  free_slots_.push_back(slot);
 }
 
 void BlockAdaptor::fail_op(const Process::Received& r, ErrorCode code) {
@@ -130,7 +111,8 @@ void BlockAdaptor::handle_read(uint32_t vol_id, Process::Received r) {
     return;
   }
   const uint64_t device_off = vol.base + off;
-  with_slot([this, device_off, size, dst, cont, r](Slot slot) {
+  slot_pool_.acquire().and_then([this, device_off, size, dst, cont, r](size_t slot_idx) {
+    const Slot slot = slots_[slot_idx];
     // Stream the read: device DMA of sub-chunk k+1 overlaps the network copy of sub-chunk k
     // (each lands at its own offset inside the staging slot).
     struct ReadState {
@@ -147,13 +129,13 @@ void BlockAdaptor::handle_read(uint32_t vol_id, Process::Received r) {
       if (rs->failed) {
         if (rs->device_in_flight == 0 && rs->copies_in_flight == 0) {
           rs->failed = false;  // report once
-          release_slot(slot);
+          slot_pool_.release(slot.idx);
           fail_op(r, rs->error);
         }
         return;
       }
       if (rs->copied == size) {
-        release_slot(slot);
+        slot_pool_.release(slot.idx);
         // Invoke the continuation VERBATIM (decentralized control flow).
         proc_->request_invoke(cont);
       }
@@ -200,7 +182,7 @@ void BlockAdaptor::handle_read(uint32_t vol_id, Process::Received r) {
       }
     };
     (*pump)();
-  });
+  }).or_else([this, r](ErrorCode e) { fail_op(r, e); });
 }
 
 void BlockAdaptor::handle_write(uint32_t vol_id, Process::Received r) {
@@ -229,7 +211,8 @@ void BlockAdaptor::handle_write(uint32_t vol_id, Process::Received r) {
     return;
   }
   const uint64_t device_off = vol.base + off;
-  with_slot([this, device_off, size, src, cont, r](Slot slot) {
+  slot_pool_.acquire().and_then([this, device_off, size, src, cont, r](size_t slot_idx) {
+    const Slot slot = slots_[slot_idx];
     // Stream the write: the network pull of sub-chunk k+1 overlaps the device program of
     // sub-chunk k.
     struct WriteState {
@@ -246,13 +229,13 @@ void BlockAdaptor::handle_write(uint32_t vol_id, Process::Received r) {
       if (ws->failed) {
         if (!ws->wire_busy && ws->writes_in_flight == 0) {
           ws->failed = false;
-          release_slot(slot);
+          slot_pool_.release(slot.idx);
           fail_op(r, ws->error);
         }
         return;
       }
       if (ws->written == size) {
-        release_slot(slot);
+        slot_pool_.release(slot.idx);
         proc_->request_invoke(cont);
       }
     };
@@ -296,7 +279,7 @@ void BlockAdaptor::handle_write(uint32_t vol_id, Process::Received r) {
           });
     };
     (*pump)();
-  });
+  }).or_else([this, r](ErrorCode e) { fail_op(r, e); });
 }
 
 void BlockAdaptor::handle_delete(uint32_t vol_id, Process::Received r) {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/core/system.h"
+#include "src/futures/slot_pool.h"
 #include "src/devices/nvme.h"
 
 namespace fractos {
@@ -64,7 +65,8 @@ class BlockAdaptor {
     CapId delete_ep = kInvalidCap;
   };
   struct Slot {
-    uint64_t addr = 0;      // offset in the adaptor heap
+    size_t idx = 0;           // index in slots_ / the SlotPool
+    uint64_t addr = 0;        // offset in the adaptor heap
     CapId mem = kInvalidCap;  // reusable Memory capability over the whole slot
   };
 
@@ -72,10 +74,6 @@ class BlockAdaptor {
   void handle_read(uint32_t vol_id, Process::Received r);
   void handle_write(uint32_t vol_id, Process::Received r);
   void handle_delete(uint32_t vol_id, Process::Received r);
-
-  // Staging-slot pool: ops queue when all slots are busy.
-  void with_slot(std::function<void(Slot)> fn);
-  void release_slot(Slot slot);
 
   // Fails an op through the optional error continuation.
   void fail_op(const Process::Received& r, ErrorCode code);
@@ -88,8 +86,9 @@ class BlockAdaptor {
   std::unordered_map<uint32_t, Volume> volumes_;
   uint32_t next_vol_ = 1;
   uint64_t next_lba_ = 0;  // bump allocation over the device address space
-  std::vector<Slot> free_slots_;
-  std::deque<std::function<void(Slot)>> waiting_;
+  // Staging-slot pool: ops queue when all slots are busy.
+  SlotPool slot_pool_;
+  std::vector<Slot> slots_;
 };
 
 // Client-side helpers wrapping the adaptor's wire conventions.

@@ -67,7 +67,7 @@ std::unique_ptr<FsService> FsService::bootstrap(System* sys, uint32_t node,
 }
 
 FsService::FsService(System* sys, uint32_t node, Controller& controller, Params params)
-    : sys_(sys), params_(params) {
+    : sys_(sys), params_(params), slot_pool_(params.staging_slots) {
   const uint64_t heap = params_.staging_slots * params_.slot_bytes + (1 << 20);
   proc_ = &sys->spawn("fs-service", node, controller, heap);
   slots_.resize(params_.staging_slots);
@@ -79,21 +79,21 @@ FsService::FsService(System* sys, uint32_t node, Controller& controller, Params 
     // Block-RPC completion endpoints, one pair per slot, reused for every chunk that uses
     // the slot (no per-operation object churn).
     slot.ok_ep = sys->await_ok(proc_->serve({}, [this, i](Process::Received) {
-      if (slots_[i].pending) {
-        auto done = std::move(slots_[i].pending);
-        slots_[i].pending = nullptr;
-        done(ok_status());
-      }
+      finish_slot(i, ok_status());
     }));
     slot.err_ep = sys->await_ok(proc_->serve({}, [this, i](Process::Received rr) {
-      if (slots_[i].pending) {
-        auto done = std::move(slots_[i].pending);
-        slots_[i].pending = nullptr;
-        done(Status(static_cast<ErrorCode>(
-            rr.imm_u64(0).value_or(static_cast<uint64_t>(ErrorCode::kInternal)))));
-      }
+      finish_slot(i, Status(static_cast<ErrorCode>(
+                        rr.imm_u64(0).value_or(static_cast<uint64_t>(ErrorCode::kInternal)))));
     }));
-    free_slots_.push_back(i);
+  }
+}
+
+FsService::~FsService() {
+  // Close first: queued acquires fail with kAborted and releases stop waking waiters, so the
+  // chunk failures below cannot re-enter the pool and start new work mid-teardown.
+  slot_pool_.close();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    finish_slot(i, Status(ErrorCode::kAborted));
   }
 }
 
@@ -110,24 +110,13 @@ void FsService::init_endpoints(CapId block_mgmt) {
   }));
 }
 
-void FsService::with_slot(std::function<void(size_t)> fn) {
-  if (!free_slots_.empty()) {
-    const size_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    fn(slot);
+void FsService::finish_slot(size_t slot, Status s) {
+  if (!slots_[slot].pending.has_value()) {
     return;
   }
-  waiting_.push_back(std::move(fn));
-}
-
-void FsService::release_slot(size_t slot) {
-  if (!waiting_.empty()) {
-    auto fn = std::move(waiting_.front());
-    waiting_.pop_front();
-    fn(slot);
-    return;
-  }
-  free_slots_.push_back(slot);
+  Promise<Status> done = std::move(*slots_[slot].pending);
+  slots_[slot].pending.reset();
+  done.set(s);
 }
 
 void FsService::fail_op(const Process::Received& r, ErrorCode code) {
@@ -404,9 +393,17 @@ void FsService::io_pump(std::shared_ptr<FsIoState> st) {
     const uint64_t op_off = st->issued;
     st->issued += chunk;
     ++st->in_flight;
-    with_slot([this, st, op_off, chunk](size_t slot) {
-      run_chunk(st, slot, op_off, chunk);
-    });
+    slot_pool_.acquire()
+        .and_then([this, st, op_off, chunk](size_t slot) { run_chunk(st, slot, op_off, chunk); })
+        .or_else([this, st](ErrorCode e) {
+          // Slot acquisition failed (service shutting down): fail the chunk without a slot.
+          --st->in_flight;
+          if (!st->failed) {
+            st->error = e;
+          }
+          st->failed = true;
+          io_pump(st);
+        });
   }
 }
 
@@ -417,7 +414,7 @@ void FsService::run_chunk(std::shared_ptr<FsIoState> st, size_t slot_idx, uint64
   const uint64_t eoff = pos % st->extent_bytes;
   Slot& slot = slots_[slot_idx];
   auto chunk_finished = [this, st, slot_idx, chunk](Status s) {
-    release_slot(slot_idx);
+    slot_pool_.release(slot_idx);
     --st->in_flight;
     if (!s.ok()) {
       if (!st->failed) {
@@ -447,7 +444,9 @@ void FsService::run_chunk(std::shared_ptr<FsIoState> st, size_t slot_idx, uint64
               return;
             }
             Slot& sl = slots_[slot_idx];
-            sl.pending = chunk_finished;
+            Promise<Status> block_done;
+            block_done.future().on_ready(chunk_finished);
+            sl.pending = std::move(block_done);
             proc_->request_invoke(vol.write_ep, Process::Args{}
                                                     .imm_u64(0, eoff)
                                                     .imm_u64(8, chunk)
@@ -462,7 +461,8 @@ void FsService::run_chunk(std::shared_ptr<FsIoState> st, size_t slot_idx, uint64
   // Read: block read into FS staging (transfer 1 + device), then FS -> client (transfer 2).
   st->acquire_stage1([this, st, slot_idx, vol, eoff, op_off, chunk, chunk_finished]() {
     Slot& sl = slots_[slot_idx];
-    sl.pending = [this, st, slot_idx, op_off, chunk, chunk_finished](Status bs) {
+    Promise<Status> block_done;
+    block_done.future().on_ready([this, st, slot_idx, op_off, chunk, chunk_finished](Status bs) {
       st->release_stage1();
       if (!bs.ok()) {
         chunk_finished(bs);
@@ -470,7 +470,8 @@ void FsService::run_chunk(std::shared_ptr<FsIoState> st, size_t slot_idx, uint64
       }
       proc_->memory_copy(slots_[slot_idx].mem, st->mem, chunk, 0, op_off)
           .on_ready([chunk_finished](Status cs) { chunk_finished(cs); });
-    };
+    });
+    sl.pending = std::move(block_done);
     proc_->request_invoke(vol.read_ep, Process::Args{}
                                            .imm_u64(0, eoff)
                                            .imm_u64(8, chunk)

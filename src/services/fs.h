@@ -32,11 +32,13 @@
 #define SRC_SERVICES_FS_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/system.h"
+#include "src/futures/slot_pool.h"
 #include "src/services/block_adaptor.h"
 
 namespace fractos {
@@ -60,6 +62,8 @@ class FsService {
   static std::unique_ptr<FsService> bootstrap(System* sys, uint32_t node, Controller& controller,
                                               Process& block_proc, CapId block_mgmt_ep,
                                               Params params);
+  // Fails in-flight chunks and queued slot acquires with kAborted, in a controlled order.
+  ~FsService();
 
   Process& process() { return *proc_; }
   CapId create_endpoint() const { return create_ep_; }
@@ -85,13 +89,13 @@ class FsService {
     CapId close_ep = kInvalidCap;
   };
   // A staging slot with its own block-RPC completion endpoints (created once; the per-slot
-  // `pending` callback routes completions to the chunk currently using the slot).
+  // `pending` promise routes completions to the chunk currently using the slot).
   struct Slot {
     uint64_t addr = 0;
     CapId mem = kInvalidCap;
     CapId ok_ep = kInvalidCap;
     CapId err_ep = kInvalidCap;
-    std::function<void(Status)> pending;
+    std::optional<Promise<Status>> pending;
   };
 
   FsService(System* sys, uint32_t node, Controller& controller, Params params);
@@ -112,8 +116,8 @@ class FsService {
   void reply_open(const File& f, CapId close_ep, std::vector<CapId> read_eps,
                   std::vector<CapId> write_eps, CapId reply);
 
-  void with_slot(std::function<void(size_t)> fn);
-  void release_slot(size_t slot);
+  // Completes the slot's pending promise (if any) with `s`.
+  void finish_slot(size_t slot, Status s);
   void fail_op(const Process::Received& r, ErrorCode code);
 
   // Issues chunks of a (possibly extent-spanning) FS-mode I/O, up to pipeline_depth in
@@ -132,9 +136,9 @@ class FsService {
   std::unordered_map<std::string, File> files_;
   std::unordered_map<uint32_t, Open> opens_;
   uint32_t next_open_ = 1;
+  // Declared before slots_ so teardown closes the pool before any Slot state goes away.
+  SlotPool slot_pool_;
   std::vector<Slot> slots_;
-  std::vector<size_t> free_slots_;
-  std::deque<std::function<void(size_t)>> waiting_;
 };
 
 // Client-side helpers.

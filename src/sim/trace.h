@@ -48,18 +48,20 @@ struct TraceRecorder {
     };
   }
 
-  bool contains(std::string_view needle) const {
+  // With `actor` empty, matches any actor; otherwise only that actor's events count, so
+  // controller-level assertions don't accidentally match another component's trace lines.
+  bool contains(std::string_view needle, std::string_view actor = {}) const {
     for (const auto& e : entries) {
-      if (e.event.find(needle) != std::string::npos) {
+      if ((actor.empty() || e.actor == actor) && e.event.find(needle) != std::string::npos) {
         return true;
       }
     }
     return false;
   }
-  size_t count(std::string_view needle) const {
+  size_t count(std::string_view needle, std::string_view actor = {}) const {
     size_t n = 0;
     for (const auto& e : entries) {
-      if (e.event.find(needle) != std::string::npos) {
+      if ((actor.empty() || e.actor == actor) && e.event.find(needle) != std::string::npos) {
         ++n;
       }
     }

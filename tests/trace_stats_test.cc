@@ -38,7 +38,12 @@ TEST_F(TraceStatsTest, TracerSeesTheLifeOfAnRpc) {
 
   EXPECT_TRUE(rec.contains("syscall RequestCreate"));
   EXPECT_TRUE(rec.contains("syscall RequestInvoke"));
-  EXPECT_TRUE(rec.contains("deliver request"));
+  // The invocation crosses from ctrl-1 (a's controller) to ctrl-2, which delivers it; the
+  // actor filter pins each event to the controller that must have emitted it.
+  EXPECT_TRUE(rec.contains("syscall RequestInvoke", "ctrl-1"));
+  EXPECT_TRUE(rec.contains("deliver request", "ctrl-2"));
+  EXPECT_FALSE(rec.contains("deliver request", "ctrl-1"));
+  EXPECT_EQ(rec.count("deliver request"), rec.count("deliver request", "ctrl-2"));
   // Events are time-ordered.
   for (size_t i = 1; i < rec.entries.size(); ++i) {
     EXPECT_LE(rec.entries[i - 1].when.ns(), rec.entries[i].when.ns());
@@ -51,11 +56,14 @@ TEST_F(TraceStatsTest, TracerSeesRevocationAndFailure) {
   const CapId mem = sys_.await_ok(a_->memory_create(a_->alloc(64), 64, Perms::kRead));
   ASSERT_TRUE(sys_.await(a_->cap_revoke(mem)).ok());
   sys_.loop().run();
-  EXPECT_TRUE(rec.contains("revoked 1 object(s)"));
+  // The revocation runs at the owner (ctrl-1); the failure translation at b's controller.
+  EXPECT_TRUE(rec.contains("revoked 1 object(s)", "ctrl-1"));
+  EXPECT_FALSE(rec.contains("revoked 1 object(s)", "ctrl-2"));
 
   sys_.fail_process(*b_);
   sys_.loop().run();
-  EXPECT_TRUE(rec.contains("failed; translating to revocations"));
+  EXPECT_TRUE(rec.contains("failed; translating to revocations", "ctrl-2"));
+  EXPECT_FALSE(rec.contains("failed; translating to revocations", "ctrl-1"));
 }
 
 TEST_F(TraceStatsTest, TracingDisabledByDefaultAndCostsNothing) {
