@@ -39,6 +39,10 @@ class Channel {
 
   void sever() { qp_.sever(); }
 
+  // Transport-level controls and counters, exposed for reliability tuning and assertions.
+  QueuePair& queue_pair() { return qp_; }
+  const QueuePair& queue_pair() const { return qp_; }
+
   uint64_t malformed_dropped() const { return malformed_dropped_; }
 
   // Test hook: feeds raw bytes to the receive path as if they arrived on the wire (the

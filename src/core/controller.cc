@@ -4,8 +4,16 @@
 #include <utility>
 
 #include "src/base/assert.h"
+#include "src/futures/timeout.h"
 
 namespace fractos {
+
+namespace {
+
+// Bound on the completed-peer-op reply cache (receiver-side dedup, lossy fabric only).
+constexpr size_t kCompletedPeerOpCacheCap = 4096;
+
+}  // namespace
 
 Controller::Controller(Network* net, Config config)
     : net_(net), config_(config), table_(config.addr) {
@@ -48,6 +56,7 @@ Channel& Controller::connect_peer(ControllerAddr peer, Endpoint peer_ep) {
   p.chan = std::make_unique<Channel>(net_, config_.endpoint);
   Channel& chan = *p.chan;
   chan.set_handler([this, peer](Envelope env) { on_peer_msg(peer, std::move(env)); });
+  chan.set_severed_handler([this, peer]() { on_peer_severed(peer); });
   peers_.emplace(peer, std::move(p));
   return chan;
 }
@@ -305,22 +314,29 @@ void Controller::sc_memory_diminish(ProcState& p, uint64_t seq, const MemoryDimi
   rd.size = m.size;
   rd.drop_perms = m.drop_perms;
   const ProcessId pid = p.pid;
-  start_peer_op(e.ref.owner, rd.op_id).on_ready([this, pid, seq](PeerReplyMsg&& r) {
-    auto it = procs_.find(pid);
-    if (it == procs_.end() || !it->second->alive) {
-      return;
-    }
-    ProcState& proc = *it->second;
-    if (r.status != ErrorCode::kOk) {
-      reply(proc, seq, r.status);
-      return;
-    }
-    CapEntry derived{r.result.ref, r.result.kind, r.result.perms, r.result.mem,
-                     r.result.tracked};
-    auto cid = proc.caps.install(derived);
-    reply(proc, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
-  });
-  send_peer(e.ref.owner, make_envelope(rd.op_id, std::move(rd)));
+  const uint64_t op_id = rd.op_id;
+  const ControllerAddr owner = e.ref.owner;
+  call_peer(owner, op_id, make_envelope(op_id, std::move(rd)))
+      .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
+        auto it = procs_.find(pid);
+        if (it == procs_.end() || !it->second->alive) {
+          return;
+        }
+        ProcState& proc = *it->second;
+        if (!res.ok()) {
+          reply(proc, seq, res.error());
+          return;
+        }
+        PeerReplyMsg r = std::move(res).value();
+        if (r.status != ErrorCode::kOk) {
+          reply(proc, seq, r.status);
+          return;
+        }
+        CapEntry derived{r.result.ref, r.result.kind, r.result.perms, r.result.mem,
+                         r.result.tracked};
+        auto cid = proc.caps.install(derived);
+        reply(proc, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+      });
 }
 
 void Controller::sc_memory_copy(ProcState& p, uint64_t seq, const MemoryCopyMsg& m) {
@@ -501,6 +517,14 @@ Duration Controller::cap_serialize_cost(const std::vector<WireCap>& caps) {
   return total;
 }
 
+void Controller::node_recovered(uint32_t node) {
+  ++stats_.node_recoveries;
+  if (net_->loop()->tracing()) {
+    net_->loop()->trace(name_, "node " + std::to_string(node) +
+                                   " re-admitted (spurious failure report)");
+  }
+}
+
 void Controller::node_failed(uint32_t node) {
   std::vector<ProcessId> victims;
   for (auto& [pid, proc] : procs_) {
@@ -620,23 +644,29 @@ void Controller::sc_request_create(ProcState& p, uint64_t seq, const RequestCrea
   const ProcessId pid = p.pid;
   const ControllerAddr owner = base.value().ref.owner;
   const Duration extra = cap_serialize_cost(rd.caps);
-  start_peer_op(owner, rd.op_id).on_ready([this, pid, seq](PeerReplyMsg&& r) {
-    auto it = procs_.find(pid);
-    if (it == procs_.end() || !it->second->alive) {
-      return;
-    }
-    ProcState& proc = *it->second;
-    if (r.status != ErrorCode::kOk) {
-      reply(proc, seq, r.status);
-      return;
-    }
-    CapEntry entry{r.result.ref, r.result.kind, r.result.perms, r.result.mem, r.result.tracked};
-    auto cid = proc.caps.install(entry);
-    reply(proc, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
-  });
-  charge(extra, [this, owner, rd = std::move(rd)]() mutable {
+  charge(extra, [this, pid, seq, owner, rd = std::move(rd)]() mutable {
     const uint64_t op_id = rd.op_id;
-    send_peer(owner, make_envelope(op_id, std::move(rd)));
+    call_peer(owner, op_id, make_envelope(op_id, std::move(rd)))
+        .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
+          auto it = procs_.find(pid);
+          if (it == procs_.end() || !it->second->alive) {
+            return;
+          }
+          ProcState& proc = *it->second;
+          if (!res.ok()) {
+            reply(proc, seq, res.error());
+            return;
+          }
+          PeerReplyMsg r = std::move(res).value();
+          if (r.status != ErrorCode::kOk) {
+            reply(proc, seq, r.status);
+            return;
+          }
+          CapEntry entry{r.result.ref, r.result.kind, r.result.perms, r.result.mem,
+                         r.result.tracked};
+          auto cid = proc.caps.install(entry);
+          reply(proc, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+        });
   });
 }
 
@@ -650,6 +680,16 @@ void Controller::sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvo
   if (e.kind != ObjectKind::kRequest) {
     reply(p, seq, ErrorCode::kWrongObjectKind);
     return;
+  }
+  // Refuse up front when the owning Controller is unreachable: accepting and then silently
+  // dropping the forward would leave the invoker's reply endpoint waiting forever. Checked
+  // before make_wire_caps so no tracked delegation children are minted for a doomed invoke.
+  if (e.ref.owner != addr()) {
+    auto pit = peers_.find(e.ref.owner);
+    if (pit == peers_.end() || pit->second.chan->severed()) {
+      reply(p, seq, ErrorCode::kChannelClosed);
+      return;
+    }
   }
   auto caps = make_wire_caps(p, m.caps);
   if (!caps.ok()) {
@@ -712,21 +752,29 @@ void Controller::sc_cap_create_revtree(ProcState& p, uint64_t seq,
   rd.op = RemoteDeriveMsg::Op::kRevtreeChild;
   rd.requester = p.pid;
   const ProcessId pid = p.pid;
-  start_peer_op(e.ref.owner, rd.op_id).on_ready([this, pid, seq](PeerReplyMsg&& r) {
-    auto it = procs_.find(pid);
-    if (it == procs_.end() || !it->second->alive) {
-      return;
-    }
-    ProcState& proc = *it->second;
-    if (r.status != ErrorCode::kOk) {
-      reply(proc, seq, r.status);
-      return;
-    }
-    CapEntry entry{r.result.ref, r.result.kind, r.result.perms, r.result.mem, r.result.tracked};
-    auto cid = proc.caps.install(entry);
-    reply(proc, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
-  });
-  send_peer(e.ref.owner, make_envelope(rd.op_id, std::move(rd)));
+  const uint64_t op_id = rd.op_id;
+  const ControllerAddr owner = e.ref.owner;
+  call_peer(owner, op_id, make_envelope(op_id, std::move(rd)))
+      .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
+        auto it = procs_.find(pid);
+        if (it == procs_.end() || !it->second->alive) {
+          return;
+        }
+        ProcState& proc = *it->second;
+        if (!res.ok()) {
+          reply(proc, seq, res.error());
+          return;
+        }
+        PeerReplyMsg r = std::move(res).value();
+        if (r.status != ErrorCode::kOk) {
+          reply(proc, seq, r.status);
+          return;
+        }
+        CapEntry entry{r.result.ref, r.result.kind, r.result.perms, r.result.mem,
+                       r.result.tracked};
+        auto cid = proc.caps.install(entry);
+        reply(proc, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+      });
 }
 
 void Controller::sc_cap_revoke(ProcState& p, uint64_t seq, const CapRevokeMsg& m) {
@@ -752,13 +800,15 @@ void Controller::sc_cap_revoke(ProcState& p, uint64_t seq, const CapRevokeMsg& m
   rd.op = RemoteDeriveMsg::Op::kRevoke;
   rd.requester = p.pid;
   const ProcessId pid = p.pid;
-  start_peer_op(e.ref.owner, rd.op_id).on_ready([this, pid, seq](PeerReplyMsg&& r) {
-    auto it = procs_.find(pid);
-    if (it != procs_.end() && it->second->alive) {
-      reply(*it->second, seq, r.status);
-    }
-  });
-  send_peer(e.ref.owner, make_envelope(rd.op_id, std::move(rd)));
+  const uint64_t op_id = rd.op_id;
+  const ControllerAddr owner = e.ref.owner;
+  call_peer(owner, op_id, make_envelope(op_id, std::move(rd)))
+      .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
+        auto it = procs_.find(pid);
+        if (it != procs_.end() && it->second->alive) {
+          reply(*it->second, seq, res.ok() ? res.value().status : res.error());
+        }
+      });
 }
 
 void Controller::sc_monitor(ProcState& p, uint64_t seq, const MonitorMsg& m,
@@ -785,13 +835,13 @@ void Controller::sc_monitor(ProcState& p, uint64_t seq, const MonitorMsg& m,
   rm.subscriber_process = p.pid;
   const uint64_t op_id = next_op_id_++;
   const ProcessId pid = p.pid;
-  start_peer_op(e.ref.owner, op_id).on_ready([this, pid, seq](PeerReplyMsg&& r) {
-    auto it = procs_.find(pid);
-    if (it != procs_.end() && it->second->alive) {
-      reply(*it->second, seq, r.status);
-    }
-  });
-  send_peer(e.ref.owner, make_envelope(op_id, rm));
+  call_peer(e.ref.owner, op_id, make_envelope(op_id, rm))
+      .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
+        auto it = procs_.find(pid);
+        if (it != procs_.end() && it->second->alive) {
+          reply(*it->second, seq, res.ok() ? res.value().status : res.error());
+        }
+      });
 }
 
 // --- delivery ------------------------------------------------------------------------------------
@@ -882,10 +932,17 @@ void Controller::peer_remote_invoke(ControllerAddr origin, const RemoteInvokeMsg
 }
 
 void Controller::peer_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m) {
+  // Idempotency: a resent request whose first copy already executed is answered from the
+  // reply cache — revokes and derivations must not run twice.
+  const uint64_t dedup_key = peer_op_key(origin, m.op_id);
+  if (replay_completed_peer_op(origin, dedup_key)) {
+    return;
+  }
   PeerReplyMsg r;
   r.op_id = m.op_id;
   if (m.base.owner != addr() || m.base.reboot_count != table_.reboot_count()) {
     r.status = m.base.owner != addr() ? ErrorCode::kInvalidArgument : ErrorCode::kStaleCapability;
+    cache_completed_peer_op(dedup_key, r);
     send_peer(origin, make_envelope(next_seq_++, r));
     return;
   }
@@ -944,17 +1001,22 @@ void Controller::peer_remote_derive(ControllerAddr origin, const RemoteDeriveMsg
       break;
     }
   }
+  cache_completed_peer_op(dedup_key, r);
   send_peer(origin, make_envelope(next_seq_++, r));
 }
 
 void Controller::peer_reply(const PeerReplyMsg& m) {
   auto it = pending_ops_.find(m.op_id);
   if (it == pending_ops_.end()) {
+    // The op already completed (first reply won, the deadline fired, or this Controller
+    // failed): resend-induced duplicates and post-timeout stragglers land here.
+    ++stats_.late_replies_ignored;
     return;
   }
-  Promise<PeerReplyMsg> promise = std::move(it->second);
+  Promise<Result<PeerReplyMsg>> promise = std::move(it->second);
   pending_ops_.erase(it);
-  promise.set(m);
+  pending_op_peer_.erase(m.op_id);
+  promise.set(Result<PeerReplyMsg>(m));
 }
 
 void Controller::peer_revoke_broadcast(ControllerAddr origin, const RevokeBroadcastMsg& m) {
@@ -982,6 +1044,12 @@ void Controller::peer_revoke_ack(const RevokeAckMsg& m) {
 
 void Controller::peer_register_monitor(ControllerAddr origin, uint64_t seq,
                                        const RegisterMonitorMsg& m) {
+  // The subscriber keys this op by the envelope seq, which resends reuse — so it doubles as
+  // the dedup key (double-registering a monitor would double its fire count).
+  const uint64_t dedup_key = peer_op_key(origin, seq);
+  if (replay_completed_peer_op(origin, dedup_key)) {
+    return;
+  }
   PeerReplyMsg r;
   r.op_id = seq;  // the subscriber keyed its continuation by the envelope seq
   const MonitorSub sub{m.subscriber_controller, m.subscriber_process, m.callback_id};
@@ -992,6 +1060,7 @@ void Controller::peer_register_monitor(ControllerAddr origin, uint64_t seq,
             : table_.monitor_receive(m.target.index, m.target.reboot_count, sub);
   }
   r.status = s.ok() ? ErrorCode::kOk : s.error();
+  cache_completed_peer_op(dedup_key, r);
   send_peer(origin, make_envelope(next_seq_++, r));
 }
 
@@ -1096,12 +1165,110 @@ void Controller::send_peer(ControllerAddr peer, const Envelope& env, Traffic cat
   it->second.chan->send(cat, env);
 }
 
-Future<PeerReplyMsg> Controller::start_peer_op(ControllerAddr peer, uint64_t op_id) {
-  (void)peer;
-  Promise<PeerReplyMsg> promise;
-  Future<PeerReplyMsg> fut = promise.future();
-  pending_ops_.emplace(op_id, std::move(promise));
-  return fut;
+Future<Result<PeerReplyMsg>> Controller::call_peer(ControllerAddr peer, uint64_t op_id,
+                                                   Envelope env) {
+  Promise<Result<PeerReplyMsg>> promise;
+  Future<Result<PeerReplyMsg>> inner = promise.future();
+  auto it = peers_.find(peer);
+  if (failed_ || it == peers_.end() || it->second.chan->severed()) {
+    promise.set(ErrorCode::kChannelClosed);
+    return inner;
+  }
+  pending_ops_.emplace(op_id, promise);
+  pending_op_peer_.emplace(op_id, peer);
+  it->second.chan->send(Traffic::kControl, env);
+  if (!net_->lossy()) {
+    // Clean fabric: the reply always arrives (or the peer's sever completes the op), so no
+    // timers are armed and simulated time is untouched — the pre-existing fast path.
+    return inner;
+  }
+  schedule_peer_resend(peer, op_id, std::move(env), 1);
+  Future<Result<PeerReplyMsg>> bounded =
+      with_timeout(*net_->loop(), config_.peer_op_deadline, std::move(inner));
+  // Scheduled after with_timeout's own deadline event (same instant, later sequence number):
+  // the consumer sees kTimeout first, so dropping the promise here only triggers a guarded
+  // no-op broken-promise delivery.
+  net_->loop()->schedule_after(config_.peer_op_deadline,
+                               [this, op_id]() { forget_peer_op(op_id); });
+  return bounded;
+}
+
+void Controller::schedule_peer_resend(ControllerAddr peer, uint64_t op_id, Envelope env,
+                                      uint32_t attempt) {
+  if (attempt > config_.peer_op_retry_budget) {
+    return;
+  }
+  const Duration delay =
+      config_.peer_op_rto * static_cast<double>(uint64_t{1} << std::min(attempt - 1, 16u));
+  net_->loop()->schedule_after(delay, [this, peer, op_id, env = std::move(env),
+                                       attempt]() mutable {
+    if (failed_ || !pending_ops_.contains(op_id)) {
+      return;  // answered, timed out, or this Controller failed
+    }
+    ++stats_.peer_retries;
+    send_peer(peer, env);
+    schedule_peer_resend(peer, op_id, std::move(env), attempt + 1);
+  });
+}
+
+void Controller::forget_peer_op(uint64_t op_id) {
+  auto it = pending_ops_.find(op_id);
+  if (it == pending_ops_.end()) {
+    return;
+  }
+  ++stats_.peer_op_timeouts;
+  pending_ops_.erase(it);
+  pending_op_peer_.erase(op_id);
+}
+
+void Controller::on_peer_severed(ControllerAddr peer) {
+  if (failed_) {
+    return;  // fail() already completed everything with kChannelClosed
+  }
+  // Collect first: completing a promise runs its continuation synchronously, and a
+  // continuation may start new peer ops.
+  std::vector<uint64_t> ops;
+  for (const auto& [op_id, target] : pending_op_peer_) {
+    if (target == peer) {
+      ops.push_back(op_id);
+    }
+  }
+  for (uint64_t op_id : ops) {
+    auto it = pending_ops_.find(op_id);
+    if (it == pending_ops_.end()) {
+      continue;
+    }
+    Promise<Result<PeerReplyMsg>> promise = std::move(it->second);
+    pending_ops_.erase(it);
+    pending_op_peer_.erase(op_id);
+    promise.set(ErrorCode::kChannelClosed);
+  }
+}
+
+bool Controller::replay_completed_peer_op(ControllerAddr origin, uint64_t key) {
+  if (!net_->lossy()) {
+    return false;
+  }
+  auto it = completed_peer_ops_.find(key);
+  if (it == completed_peer_ops_.end()) {
+    return false;
+  }
+  ++stats_.peer_dedup_hits;
+  send_peer(origin, make_envelope(next_seq_++, it->second));
+  return true;
+}
+
+void Controller::cache_completed_peer_op(uint64_t key, const PeerReplyMsg& reply) {
+  if (!net_->lossy()) {
+    return;  // duplicates are impossible on a clean fabric; don't grow state for nothing
+  }
+  if (completed_peer_ops_.emplace(key, reply).second) {
+    completed_peer_ops_fifo_.push_back(key);
+    if (completed_peer_ops_fifo_.size() > kCompletedPeerOpCacheCap) {
+      completed_peer_ops_.erase(completed_peer_ops_fifo_.front());
+      completed_peer_ops_fifo_.pop_front();
+    }
+  }
 }
 
 void Controller::fail_pending_ops(ErrorCode status) {
@@ -1109,11 +1276,9 @@ void Controller::fail_pending_ops(ErrorCode status) {
   // continuation may start new peer ops.
   auto pending = std::move(pending_ops_);
   pending_ops_.clear();
+  pending_op_peer_.clear();
   for (auto& [op_id, promise] : pending) {
-    PeerReplyMsg r;
-    r.op_id = op_id;
-    r.status = status;
-    promise.set(std::move(r));
+    promise.set(status);
   }
 }
 
@@ -1149,8 +1314,9 @@ void Controller::process_failed(ProcessId pid) {
       rd.base = entry.ref;
       rd.op = RemoteDeriveMsg::Op::kRevoke;
       rd.requester = pid;
-      start_peer_op(entry.ref.owner, rd.op_id);  // fire-and-forget: reply needs no action
-      send_peer(entry.ref.owner, make_envelope(rd.op_id, std::move(rd)));
+      const uint64_t op_id = rd.op_id;
+      // Fire-and-forget: the reply needs no action, so the future is dropped unconsumed.
+      call_peer(entry.ref.owner, op_id, make_envelope(op_id, std::move(rd)));
     }
   }
   // Everything the Process registered is invalidated.
@@ -1181,6 +1347,8 @@ void Controller::restart() {
   // counter bump makes every capability that references this Controller stale.
   procs_.clear();
   peers_.clear();
+  completed_peer_ops_.clear();
+  completed_peer_ops_fifo_.clear();
   table_.reboot();
   failed_ = false;
 }

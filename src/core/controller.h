@@ -52,6 +52,12 @@ struct ControllerStats {
   uint64_t copy_bytes = 0;
   uint64_t monitor_fires = 0;
   uint64_t process_failures = 0;
+  // Reliability-layer counters (all zero on a clean fabric).
+  uint64_t peer_retries = 0;         // peer-op request resends
+  uint64_t peer_op_timeouts = 0;     // peer ops that hit their deadline unanswered
+  uint64_t peer_dedup_hits = 0;      // duplicate peer requests answered from the cache
+  uint64_t late_replies_ignored = 0; // peer replies that arrived after timeout/completion
+  uint64_t node_recoveries = 0;      // spurious node failures re-admitted by the monitor
 };
 
 class Controller {
@@ -73,6 +79,12 @@ class Controller {
     // repeat delegations of the same object pay a fraction of the serialization cost.
     bool cache_serialized_requests = false;
     double serialized_cache_discount = 0.25;  // fraction of cap_serialize paid on a hit
+    // Peer-op reliability (effective only on a lossy fabric): requests are resent with
+    // exponential backoff from peer_op_rto, at most peer_op_retry_budget times, and the
+    // whole operation times out with kTimeout at peer_op_deadline.
+    Duration peer_op_rto = Duration::micros(150);
+    uint32_t peer_op_retry_budget = 3;
+    Duration peer_op_deadline = Duration::millis(1);
   };
 
   Controller(Network* net, Config config);
@@ -130,6 +142,12 @@ class Controller {
   // capabilities minted before it are refused locally, without a round trip (Section 3.6,
   // "eagerly detect Controller failure-triggered revocations when capabilities are used").
   void note_peer_generation(ControllerAddr peer, uint32_t reboot_count);
+
+  // Notification from the monitoring service that a previously-reported node turned out to
+  // be alive (its heartbeats resumed — a monitor false positive). Processes already killed
+  // by failure translation stay dead; this re-admits the *node* for future placements and
+  // is counted so operators can see spurious failures.
+  void node_recovered(uint32_t node);
 
   // Controller crash: severs all channels. restart() empties the object table and bumps the
   // reboot counter, making every outstanding capability stale.
@@ -206,9 +224,26 @@ class Controller {
   void apply_revoke(const ObjectTable::RevokeResult& result);
   void dispatch_monitor_fire(const ObjectTable::MonitorFire& fire);
   void send_peer(ControllerAddr peer, const Envelope& env, Traffic cat = Traffic::kControl);
-  // Issues a RemoteDerive/RegisterMonitor-style op; the returned future completes with the
-  // peer's reply, or with status kChannelClosed if this Controller fails first.
-  Future<PeerReplyMsg> start_peer_op(ControllerAddr peer, uint64_t op_id);
+  // Issues a RemoteDerive/RegisterMonitor-style op keyed by `op_id`: registers the pending
+  // promise, sends `env` to `peer`, and returns a future for the reply. Completes
+  // immediately with kChannelClosed if the peer is unreachable. On a lossy fabric the
+  // request is additionally resent with exponential backoff and the whole op is bounded by
+  // with_timeout(peer_op_deadline) — a lost conversation surfaces as kTimeout on the error
+  // channel instead of hanging the simulation.
+  Future<Result<PeerReplyMsg>> call_peer(ControllerAddr peer, uint64_t op_id, Envelope env);
+  void schedule_peer_resend(ControllerAddr peer, uint64_t op_id, Envelope env, uint32_t attempt);
+  // Deadline bookkeeping: drops the pending promise at op deadline (its with_timeout wrapper
+  // has already delivered kTimeout) and counts the timeout.
+  void forget_peer_op(uint64_t op_id);
+  // Peer channel severed: every pending op addressed to that peer completes kChannelClosed.
+  void on_peer_severed(ControllerAddr peer);
+  // Receiver-side idempotency (lossy fabric only): replays the cached reply for a peer
+  // request that was already executed, so request resends never double-execute.
+  bool replay_completed_peer_op(ControllerAddr origin, uint64_t key);
+  void cache_completed_peer_op(uint64_t key, const PeerReplyMsg& reply);
+  static uint64_t peer_op_key(ControllerAddr origin, uint64_t op_id) {
+    return (static_cast<uint64_t>(origin) << 48) ^ op_id;
+  }
   // Completes every pending peer op with the given status and empties the map.
   void fail_pending_ops(ErrorCode status);
   // The memory_copy data path.
@@ -232,7 +267,11 @@ class Controller {
     Endpoint endpoint;
   };
   std::unordered_map<ControllerAddr, Peer> peers_;
-  std::unordered_map<uint64_t, Promise<PeerReplyMsg>> pending_ops_;
+  std::unordered_map<uint64_t, Promise<Result<PeerReplyMsg>>> pending_ops_;
+  std::unordered_map<uint64_t, ControllerAddr> pending_op_peer_;
+  // Completed-peer-op reply cache for dedup (bounded FIFO; populated only on a lossy fabric).
+  std::unordered_map<uint64_t, PeerReplyMsg> completed_peer_ops_;
+  std::deque<uint64_t> completed_peer_ops_fifo_;
   std::unordered_map<uint64_t, ProcessId> pending_invokes_;
   // Two-phase revocation cleanup: invalidated objects are erased only after every peer has
   // acknowledged the broadcast (the distributed-GC "cleanup step" of Section 3.5).

@@ -13,11 +13,20 @@ void NodeMonitor::watch(uint32_t node) {
   w->node = node;
   w->agent = std::make_unique<QueuePair>(&sys_->net(), Endpoint{node, Loc::kHost});
   w->receiver = std::make_unique<QueuePair>(&sys_->net(), Endpoint{monitor_node_, Loc::kHost});
+  // Heartbeats are datagrams (UD), not RC: a lossy fabric may silently eat them, which is
+  // what makes monitor false positives possible — and the re-admission path testable.
+  w->agent->set_mode(QueuePair::Mode::kDatagram);
+  w->receiver->set_mode(QueuePair::Mode::kDatagram);
   QueuePair::connect(*w->agent, *w->receiver);
   w->agent->set_receive_handler([](std::vector<uint8_t>) {});
   Watched* raw = w.get();
   w->receiver->set_receive_handler([this, raw](std::vector<uint8_t>) {
     raw->last_beat = sys_->loop().now();
+    if (raw->reported) {
+      // A node we declared dead is beating again: the report was a false positive (its
+      // heartbeats were lost in transit, not its host).
+      readmit(*raw);
+    }
   });
   w->last_beat = sys_->loop().now();
   watched_.push_back(std::move(w));
@@ -87,6 +96,19 @@ void NodeMonitor::report_failure(Watched& w) {
   for (Controller* c : sys_->controllers()) {
     if (!c->failed()) {
       c->node_failed(w.node);
+    }
+  }
+}
+
+void NodeMonitor::readmit(Watched& w) {
+  w.reported = false;
+  ++recoveries_detected_;
+  // Processes already killed by failure translation stay dead (their revocations are
+  // irreversible); re-admission clears the node for future placements and tells every
+  // Controller the report was spurious.
+  for (Controller* c : sys_->controllers()) {
+    if (!c->failed()) {
+      c->node_recovered(w.node);
     }
   }
 }

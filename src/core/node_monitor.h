@@ -43,6 +43,9 @@ class NodeMonitor {
 
   bool running() const { return running_; }
   uint32_t failures_detected() const { return failures_detected_; }
+  // Spurious failure reports retracted because the node's heartbeats resumed (possible only
+  // on a lossy fabric, where dropped heartbeats can mimic a dead node).
+  uint32_t recoveries_detected() const { return recoveries_detected_; }
   bool reported(uint32_t node) const;
 
  private:
@@ -57,6 +60,7 @@ class NodeMonitor {
   void beat(size_t idx);
   void check();
   void report_failure(Watched& w);
+  void readmit(Watched& w);
 
   System* sys_;
   uint32_t monitor_node_;
@@ -64,6 +68,7 @@ class NodeMonitor {
   bool running_ = false;
   uint64_t epoch_ = 0;  // invalidates scheduled callbacks from a previous start()
   uint32_t failures_detected_ = 0;
+  uint32_t recoveries_detected_ = 0;
   std::vector<std::unique_ptr<Watched>> watched_;
 };
 

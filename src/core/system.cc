@@ -6,6 +6,9 @@ namespace fractos {
 
 System::System(SystemConfig config) : config_(config) {
   net_ = std::make_unique<Network>(&loop_, config_.fabric);
+  if (config_.faults.has_value()) {
+    net_->install_fault_injector(*config_.faults);
+  }
 }
 
 uint32_t System::add_node(const std::string& name, bool with_snic) {
@@ -37,6 +40,9 @@ Controller& System::add_controller(uint32_t node, Loc loc) {
   cfg.hw_third_party_copies = config_.hw_third_party_copies;
   cfg.cap_quota = config_.cap_quota;
   cfg.cache_serialized_requests = config_.cache_serialized_requests;
+  cfg.peer_op_rto = config_.peer_op_rto;
+  cfg.peer_op_retry_budget = config_.peer_op_retry_budget;
+  cfg.peer_op_deadline = config_.peer_op_deadline;
   controllers_.push_back(std::make_unique<Controller>(net_.get(), cfg));
   Controller& c = *controllers_.back();
   by_addr_[c.addr()] = &c;

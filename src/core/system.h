@@ -11,12 +11,14 @@
 #define SRC_CORE_SYSTEM_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/controller.h"
 #include "src/core/process.h"
+#include "src/fabric/fault_injector.h"
 #include "src/sim/event_loop.h"
 
 namespace fractos {
@@ -33,6 +35,14 @@ struct SystemConfig {
   uint32_t cap_quota = 1u << 20;
   // Section 6.1's suggested optimization: cache serialized Requests at Controllers.
   bool cache_serialized_requests = false;
+  // Deterministic fault injection: when set, the plan is installed into the Network before
+  // any topology is built. Absent (the default) the fabric is clean and every fault-handling
+  // code path stays dormant — recorded bench numbers are unaffected.
+  std::optional<FaultPlan> faults;
+  // Controller peer-op reliability knobs (effective only on a lossy fabric).
+  Duration peer_op_rto = Duration::micros(150);
+  uint32_t peer_op_retry_budget = 3;
+  Duration peer_op_deadline = Duration::millis(1);
 };
 
 class System {
@@ -42,6 +52,10 @@ class System {
   EventLoop& loop() { return loop_; }
   Network& net() { return *net_; }
   const SystemConfig& config() const { return config_; }
+
+  // The installed fault injector, or nullptr on a clean fabric. Its counters are the
+  // first-class record of what the plan actually did to the run.
+  FaultInjector* fault_injector() { return net_->fault_injector(); }
 
   // --- topology ---------------------------------------------------------------------------------
 

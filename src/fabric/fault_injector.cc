@@ -1,0 +1,122 @@
+#include "src/fabric/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/fabric/network.h"
+
+namespace fractos {
+
+namespace {
+
+bool same_link(uint32_t a, uint32_t b, uint32_t x, uint32_t y) {
+  return (a == x && b == y) || (a == y && b == x);
+}
+
+}  // namespace
+
+bool FaultInjector::node_dark(uint32_t node, Time now) const {
+  for (const FaultPlan::NodeOutage& o : plan_.outages) {
+    if (o.node == node && now >= o.start && now < o.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::link_blocked(uint32_t a, uint32_t b, Time now) const {
+  for (const FaultPlan::LinkFlap& f : plan_.flaps) {
+    if (same_link(a, b, f.a, f.b) && now >= f.start && now < f.end) {
+      return true;
+    }
+  }
+  return node_dark(a, now) || node_dark(b, now);
+}
+
+double FaultInjector::drop_prob_for(uint32_t a, uint32_t b, size_t cat) const {
+  for (const FaultPlan::LinkOverride& o : plan_.link_overrides) {
+    if (same_link(a, b, o.a, o.b)) {
+      return o.drop_prob[cat];
+    }
+  }
+  return plan_.drop_prob[cat];
+}
+
+FaultInjector::Verdict FaultInjector::on_message(uint32_t src_node, uint32_t dst_node,
+                                                 Traffic category, Time now) {
+  Verdict v;
+  const size_t cat = static_cast<size_t>(category);
+
+  // Partitions and outages are deterministic schedules: no rng draw, counted separately so a
+  // test can distinguish "the flap ate it" from "the dice ate it".
+  if (link_blocked(src_node, dst_node, now)) {
+    ++counters_.partition_drops;
+    v.drop = true;
+    return v;
+  }
+
+  // Probabilistic faults draw in a fixed order — drop, then duplicate, then jitter — so the
+  // rng consumption per message is a pure function of the plan, keeping runs seed-stable.
+  const double dp = drop_prob_for(src_node, dst_node, cat);
+  if (dp > 0 && rng_.next_bool(dp)) {
+    ++counters_.dropped[cat];
+    v.drop = true;
+    return v;
+  }
+  if (plan_.dup_prob[cat] > 0 && rng_.next_bool(plan_.dup_prob[cat])) {
+    ++counters_.duplicated[cat];
+    v.duplicate = true;
+  }
+  if (plan_.jitter_prob[cat] > 0 && rng_.next_bool(plan_.jitter_prob[cat])) {
+    ++counters_.delayed[cat];
+    v.extra_delay = Duration::nanos(1 + rng_.next_below(
+        static_cast<uint64_t>(std::max<int64_t>(1, plan_.max_jitter.ns()))));
+  }
+  return v;
+}
+
+FaultInjector::RdmaVerdict FaultInjector::on_rdma(uint32_t a, uint32_t b, Time now) {
+  RdmaVerdict v;
+
+  // A blocked link defeats every retransmit: the modeled NIC burns its whole budget (with
+  // exponential backoff between attempts) and completes the verb with an abort.
+  auto backoff_total = [this](uint32_t attempts) {
+    Duration d = Duration::zero();
+    for (uint32_t i = 0; i < attempts; ++i) {
+      d = d + plan_.rdma_retry_timeout * static_cast<double>(uint64_t{1} << std::min(i, 6u));
+    }
+    return d;
+  };
+
+  if (link_blocked(a, b, now)) {
+    v.retries = plan_.rdma_retry_budget;
+    v.abort = true;
+    v.delay = backoff_total(plan_.rdma_retry_budget);
+    counters_.rdma_retransmits += v.retries;
+    ++counters_.rdma_aborts;
+    return v;
+  }
+
+  // Loopback traffic never traverses the lossy wire.
+  if (a == b) {
+    return v;
+  }
+
+  const double dp = drop_prob_for(a, b, static_cast<size_t>(Traffic::kData));
+  if (dp <= 0) {
+    return v;
+  }
+  while (v.retries < plan_.rdma_retry_budget && rng_.next_bool(dp)) {
+    ++v.retries;
+  }
+  if (v.retries > 0) {
+    counters_.rdma_retransmits += v.retries;
+    v.delay = backoff_total(v.retries);
+    if (v.retries >= plan_.rdma_retry_budget) {
+      v.abort = true;
+      ++counters_.rdma_aborts;
+    }
+  }
+  return v;
+}
+
+}  // namespace fractos

@@ -76,7 +76,34 @@ void Network::send(Endpoint src, Endpoint dst, Traffic category, std::vector<uin
     }
     return;
   }
-  const Time arrival = schedule_transfer(src, dst, category, payload.size());
+
+  Duration extra_delay = Duration::zero();
+  bool duplicate = false;
+  if (injector_ != nullptr) {
+    const FaultInjector::Verdict v =
+        injector_->on_message(src.node, dst.node, category, loop_->now());
+    if (v.drop) {
+      // Silent loss: unlike the failed-node path, nobody is told. Recovering from it is the
+      // reliability layer's job (QueuePair RC retransmit, controller peer-op retries).
+      return;
+    }
+    duplicate = v.duplicate;
+    extra_delay = v.extra_delay;
+  }
+
+  Time arrival = schedule_transfer(src, dst, category, payload.size());
+  arrival = arrival + extra_delay;
+  if (duplicate) {
+    // A duplicated message is charged twice on the wire and delivered twice; receiver-side
+    // dedup (QueuePair sequence numbers) is what keeps it invisible to the layers above.
+    const Time dup_arrival = schedule_transfer(src, dst, category, payload.size());
+    const uint32_t dd = dst.node;
+    loop_->schedule_at(dup_arrival, [this, dd, payload, deliver]() mutable {
+      if (!nodes_[dd]->failed()) {
+        deliver(std::move(payload));
+      }
+    });
+  }
   // Failure is re-checked at delivery: a node that failed while the message was in flight
   // never sees it.
   const uint32_t dst_node = dst.node;
@@ -96,6 +123,29 @@ void Network::rdma_read(Endpoint initiator, uint32_t target, const RdmaKey& key,
                         uint64_t addr, uint64_t size,
                         std::function<void(Result<std::vector<uint8_t>>)> done) {
   FRACTOS_CHECK(initiator.node < nodes_.size() && target < nodes_.size());
+  if (injector_ != nullptr) {
+    const FaultInjector::RdmaVerdict v =
+        injector_->on_rdma(initiator.node, target, loop_->now());
+    if (v.abort) {
+      loop_->schedule_after(v.delay, [done = std::move(done)]() mutable {
+        done(ErrorCode::kTimeout);
+      });
+      return;
+    }
+    if (v.retries > 0) {
+      loop_->schedule_after(v.delay, [this, initiator, target, key, pool, addr, size,
+                                      done = std::move(done)]() mutable {
+        rdma_read_impl(initiator, target, key, pool, addr, size, std::move(done));
+      });
+      return;
+    }
+  }
+  rdma_read_impl(initiator, target, key, pool, addr, size, std::move(done));
+}
+
+void Network::rdma_read_impl(Endpoint initiator, uint32_t target, const RdmaKey& key,
+                             PoolId pool, uint64_t addr, uint64_t size,
+                             std::function<void(Result<std::vector<uint8_t>>)> done) {
   const Endpoint tgt_ep{target, Loc::kHost};
 
   // Request leg: a header-only work request to the target NIC.
@@ -125,6 +175,29 @@ void Network::rdma_write(Endpoint initiator, uint32_t target, const RdmaKey& key
                          uint64_t addr, std::vector<uint8_t> data,
                          std::function<void(Status)> done) {
   FRACTOS_CHECK(initiator.node < nodes_.size() && target < nodes_.size());
+  if (injector_ != nullptr) {
+    const FaultInjector::RdmaVerdict v =
+        injector_->on_rdma(initiator.node, target, loop_->now());
+    if (v.abort) {
+      loop_->schedule_after(v.delay, [done = std::move(done)]() mutable {
+        done(Status(ErrorCode::kTimeout));
+      });
+      return;
+    }
+    if (v.retries > 0) {
+      loop_->schedule_after(v.delay, [this, initiator, target, key, pool, addr,
+                                      data = std::move(data), done = std::move(done)]() mutable {
+        rdma_write_impl(initiator, target, key, pool, addr, std::move(data), std::move(done));
+      });
+      return;
+    }
+  }
+  rdma_write_impl(initiator, target, key, pool, addr, std::move(data), std::move(done));
+}
+
+void Network::rdma_write_impl(Endpoint initiator, uint32_t target, const RdmaKey& key,
+                              PoolId pool, uint64_t addr, std::vector<uint8_t> data,
+                              std::function<void(Status)> done) {
   const Endpoint tgt_ep{target, Loc::kHost};
   const uint64_t size = data.size();
 
@@ -148,6 +221,32 @@ void Network::rdma_third_party(Endpoint initiator, RdmaSide src, RdmaSide dst, u
                                std::function<void(Status)> done) {
   FRACTOS_CHECK(initiator.node < nodes_.size());
   FRACTOS_CHECK(src.node < nodes_.size() && dst.node < nodes_.size());
+  if (injector_ != nullptr) {
+    // Two wire legs are exposed to faults: the work request (initiator -> src NIC) and the
+    // third-party data leg (src -> dst). Either aborting fails the whole verb.
+    const FaultInjector::RdmaVerdict v1 =
+        injector_->on_rdma(initiator.node, src.node, loop_->now());
+    const FaultInjector::RdmaVerdict v2 = injector_->on_rdma(src.node, dst.node, loop_->now());
+    const Duration delay = v1.delay + v2.delay;
+    if (v1.abort || v2.abort) {
+      loop_->schedule_after(delay, [done = std::move(done)]() mutable {
+        done(Status(ErrorCode::kTimeout));
+      });
+      return;
+    }
+    if (v1.retries > 0 || v2.retries > 0) {
+      loop_->schedule_after(delay, [this, initiator, src, dst, size,
+                                    done = std::move(done)]() mutable {
+        rdma_third_party_impl(initiator, src, dst, size, std::move(done));
+      });
+      return;
+    }
+  }
+  rdma_third_party_impl(initiator, src, dst, size, std::move(done));
+}
+
+void Network::rdma_third_party_impl(Endpoint initiator, RdmaSide src, RdmaSide dst,
+                                    uint64_t size, std::function<void(Status)> done) {
   const Endpoint src_ep{src.node, Loc::kHost};
   const Endpoint dst_ep{dst.node, Loc::kHost};
 

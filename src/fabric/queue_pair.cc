@@ -1,14 +1,24 @@
 #include "src/fabric/queue_pair.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/base/assert.h"
 
 namespace fractos {
 
+namespace {
+
+// Wire size charged for a standalone RC acknowledgment (header-only packet).
+constexpr size_t kAckBytes = 16;
+
+}  // namespace
+
 QueuePair::QueuePair(Network* net, Endpoint local) : net_(net), local_(local) {
   FRACTOS_CHECK(net != nullptr);
 }
+
+QueuePair::~QueuePair() { *alive_ = false; }
 
 void QueuePair::connect(QueuePair& a, QueuePair& b) {
   FRACTOS_CHECK(a.peer_ == nullptr && b.peer_ == nullptr);
@@ -24,11 +34,137 @@ Endpoint QueuePair::remote() const {
 void QueuePair::send(Traffic category, std::vector<uint8_t> payload) {
   FRACTOS_CHECK(peer_ != nullptr);
   if (severed_) {
+    ++dropped_;
     return;
   }
+  if (!reliable()) {
+    // Clean fabric or datagram service: one transfer, no protocol state. The dropped
+    // callback only fires for sends eaten by node failure.
+    QueuePair* peer = peer_;
+    net_->send(local_, peer->local_, category, std::move(payload),
+               [peer, palive = peer->alive_](std::vector<uint8_t> bytes) {
+                 if (*palive) {
+                   peer->deliver(std::move(bytes));
+                 }
+               },
+               [this, alive = alive_]() {
+                 if (*alive) {
+                   ++dropped_;
+                 }
+               });
+    return;
+  }
+
+  const uint64_t seq = tx_seq_++;
+  Pending& p = unacked_[seq];
+  p.category = category;
+  p.payload = std::move(payload);
+  transmit(seq);
+}
+
+void QueuePair::transmit(uint64_t seq) {
+  auto it = unacked_.find(seq);
+  FRACTOS_CHECK(it != unacked_.end());
+  Pending& p = it->second;
+  ++p.attempts;
+  p.last_tx = net_->loop()->now();
+  if (p.attempts > 1) {
+    ++retransmits_;
+  }
+
   QueuePair* peer = peer_;
-  net_->send(local_, peer->local_, category, std::move(payload),
-             [peer](std::vector<uint8_t> bytes) { peer->deliver(std::move(bytes)); });
+  net_->send(local_, peer->local_, p.category, p.payload,
+             [peer, seq, palive = peer->alive_](std::vector<uint8_t> bytes) {
+               if (*palive) {
+                 peer->on_wire_data(seq, std::move(bytes));
+               }
+             });
+  arm_retransmit(seq, p.attempts);
+}
+
+void QueuePair::arm_retransmit(uint64_t seq, uint32_t attempt) {
+  // Exponential backoff, capped at 64x so a long outage retries at a steady cadence instead
+  // of overshooting the budget horizon.
+  const Duration delay = rto_ * static_cast<double>(uint64_t{1} << std::min(attempt - 1, 6u));
+  net_->loop()->schedule_after(delay, [this, seq, attempt, alive = alive_]() {
+    if (!*alive || severed_) {
+      return;
+    }
+    auto it = unacked_.find(seq);
+    if (it == unacked_.end() || it->second.attempts != attempt) {
+      return;  // ACKed meanwhile, or a newer timer owns this seq.
+    }
+    // Only head retries count toward the budget (RoCE retry_cnt: consecutive retries of the
+    // head WQE, reset on any ACK progress). A trailing entry is waiting out head-of-line
+    // recovery; severing on its attempt count would kill a healthy pair under a burst.
+    if (it == unacked_.begin() && ++consecutive_head_retries_ >= retry_budget_) {
+      exhaust_retries();
+      return;
+    }
+    transmit(seq);
+  });
+}
+
+void QueuePair::exhaust_retries() {
+  // RoCE RC retry_cnt exhaustion: the connection moves to the error state. Everything still
+  // unACKed is lost.
+  dropped_ += unacked_.size();
+  unacked_.clear();
+  sever();
+}
+
+void QueuePair::on_wire_data(uint64_t seq, std::vector<uint8_t> payload) {
+  if (severed_) {
+    return;
+  }
+  if (seq == rx_next_) {
+    ++rx_next_;
+    send_ack(rx_next_);
+    deliver(std::move(payload));
+    return;
+  }
+  // Duplicate (already delivered) or out-of-order future message: an RC responder drops
+  // both and re-ACKs its cumulative position so the sender can converge.
+  if (seq < rx_next_) {
+    ++duplicates_suppressed_;
+  }
+  send_ack(rx_next_);
+}
+
+void QueuePair::send_ack(uint64_t cumulative) {
+  if (peer_ == nullptr) {
+    return;
+  }
+  ++acks_sent_;
+  QueuePair* peer = peer_;
+  net_->send(local_, peer->local_, Traffic::kControl, std::vector<uint8_t>(kAckBytes),
+             [peer, cumulative, palive = peer->alive_](std::vector<uint8_t>) {
+               if (*palive) {
+                 peer->on_ack(cumulative);
+               }
+             });
+}
+
+void QueuePair::on_ack(uint64_t cumulative) {
+  if (severed_) {
+    return;
+  }
+  const size_t before = unacked_.size();
+  unacked_.erase(unacked_.begin(), unacked_.lower_bound(cumulative));
+  if (unacked_.size() == before) {
+    return;
+  }
+  consecutive_head_retries_ = 0;
+  // Go-back-N resume: progress exposes a new head whose own timer may be parked at the
+  // backoff cap. Retransmitting it now lets a recovering window drain at RTT pace instead
+  // of one entry per capped backoff. The quiet-period check keeps the steady state (head
+  // ACKed while the next entry's first copy is still in flight) from double-sending.
+  if (!unacked_.empty()) {
+    auto head = unacked_.begin();
+    if (net_->loop()->now() - head->second.last_tx >= rto_) {
+      transmit(head->first);
+    }
+  }
 }
 
 void QueuePair::deliver(std::vector<uint8_t> payload) {
@@ -44,10 +180,16 @@ void QueuePair::sever() {
     return;
   }
   severed_ = true;
+  dropped_ += unacked_.size();
+  unacked_.clear();
   if (peer_ != nullptr && !peer_->severed_) {
     QueuePair* peer = peer_;
     const Duration delay = net_->wire_latency(local_, peer->local_);
-    net_->loop()->schedule_after(delay, [peer]() { peer->peer_severed(); });
+    net_->loop()->schedule_after(delay, [peer, palive = peer->alive_]() {
+      if (*palive) {
+        peer->peer_severed();
+      }
+    });
   }
 }
 
@@ -56,6 +198,8 @@ void QueuePair::peer_severed() {
     return;
   }
   severed_ = true;
+  dropped_ += unacked_.size();
+  unacked_.clear();
   if (on_severed_ != nullptr) {
     on_severed_();
   }

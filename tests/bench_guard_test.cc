@@ -1,0 +1,114 @@
+// Bench guard: the fault-injection machinery must be invisible on a clean fabric.
+//
+// A fixed cross-node workload (syscall, memory create, 64 KiB copy, request invoke round
+// trip) is recorded here as exact simulated timestamps and traffic counters. Two properties
+// are pinned:
+//
+//   1. A System with no FaultPlan reproduces the recorded numbers bit-for-bit — so the
+//      reliability layer added by the chaos work cannot silently shift any recorded bench
+//      number in EXPERIMENTS.md (they all run through the same Network/QueuePair paths).
+//   2. A System with an *empty* FaultPlan installed (all probabilities zero, no schedules)
+//      matches the clean run exactly: an injector that has nothing to do draws no random
+//      numbers, schedules no events, and perturbs nothing.
+//
+// If a deliberate model change shifts these numbers, re-record them together with the bench
+// tables in EXPERIMENTS.md.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/core/system.h"
+
+namespace fractos {
+namespace {
+
+struct GuardRun {
+  int64_t null_op_ns = 0;   // null syscall round trip
+  int64_t copy_ns = 0;      // 64 KiB cross-node memory_copy
+  int64_t invoke_ns = 0;    // cross-node request_invoke until delivery
+  int64_t end_ns = 0;       // loop time after full drain
+  TrafficCounters traffic;
+};
+
+GuardRun run_workload(SystemConfig cfg) {
+  System sys(cfg);
+  const uint32_t n0 = sys.add_node("a");
+  const uint32_t n1 = sys.add_node("b");
+  Controller& c0 = sys.add_controller(n0, Loc::kHost);
+  Controller& c1 = sys.add_controller(n1, Loc::kHost);
+  Process& p = sys.spawn("p", n0, c0);
+  Process& q = sys.spawn("q", n1, c1);
+
+  GuardRun out;
+  int64_t t0 = sys.loop().now().ns();
+  FRACTOS_CHECK(sys.await_status(p.null_op()).ok());
+  out.null_op_ns = sys.loop().now().ns() - t0;
+
+  constexpr uint64_t kCopyBytes = 64 << 10;
+  const CapId src = sys.await_ok(p.memory_create(p.alloc(kCopyBytes), kCopyBytes,
+                                                 Perms::kReadWrite));
+  const CapId dst_q = sys.await_ok(q.memory_create(q.alloc(kCopyBytes), kCopyBytes,
+                                                   Perms::kReadWrite));
+  const CapId dst = sys.bootstrap_grant(q, dst_q, p).value();
+  t0 = sys.loop().now().ns();
+  FRACTOS_CHECK(sys.await_status(p.memory_copy(src, dst)).ok());
+  out.copy_ns = sys.loop().now().ns() - t0;
+
+  bool delivered = false;
+  const CapId ep = sys.await_ok(q.serve({}, [&](Process::Received) { delivered = true; }));
+  const CapId ep_p = sys.bootstrap_grant(q, ep, p).value();
+  t0 = sys.loop().now().ns();
+  FRACTOS_CHECK(sys.await_status(p.request_invoke(ep_p, Process::Args{}.imm_u64(0, 7))).ok());
+  sys.loop().run_until([&]() { return delivered; });
+  out.invoke_ns = sys.loop().now().ns() - t0;
+
+  sys.loop().run();
+  out.end_ns = sys.loop().now().ns();
+  out.traffic = sys.net().counters();
+  return out;
+}
+
+void expect_same(const GuardRun& a, const GuardRun& b) {
+  EXPECT_EQ(a.null_op_ns, b.null_op_ns);
+  EXPECT_EQ(a.copy_ns, b.copy_ns);
+  EXPECT_EQ(a.invoke_ns, b.invoke_ns);
+  EXPECT_EQ(a.end_ns, b.end_ns);
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_EQ(a.traffic.messages[c], b.traffic.messages[c]) << "cat " << c;
+    EXPECT_EQ(a.traffic.bytes[c], b.traffic.bytes[c]) << "cat " << c;
+    EXPECT_EQ(a.traffic.cross_messages[c], b.traffic.cross_messages[c]) << "cat " << c;
+    EXPECT_EQ(a.traffic.cross_bytes[c], b.traffic.cross_bytes[c]) << "cat " << c;
+  }
+}
+
+TEST(BenchGuard, CleanFabricMatchesRecordedNumbers) {
+  const GuardRun r = run_workload(SystemConfig{});
+  // Recorded from the seed model (see EXPERIMENTS.md). An unexpected diff here means the
+  // fault-injection layer leaked into the clean-fabric fast path.
+  GuardRun want;
+  want.null_op_ns = 3020;   // Table 3: FractOS @ CPU null op 3.02 us
+  want.copy_ns = 73501;     // 64 KiB bounce-buffer copy (Fig. 5 regime)
+  want.invoke_ns = 7805;    // cross-node request_invoke to delivery
+  want.end_ns = 93823;
+  want.traffic.messages[0] = 15;
+  want.traffic.bytes[0] = 1398;
+  want.traffic.cross_messages[0] = 1;
+  want.traffic.cross_bytes[0] = 127;
+  want.traffic.messages[1] = 4;
+  want.traffic.bytes[1] = 133316;
+  want.traffic.cross_messages[1] = 2;
+  want.traffic.cross_bytes[1] = 66658;
+  expect_same(r, want);
+}
+
+TEST(BenchGuard, EmptyFaultPlanIsByteIdenticalToClean) {
+  const GuardRun clean = run_workload(SystemConfig{});
+  SystemConfig faulted;
+  faulted.faults = FaultPlan{};  // installed but with nothing to do
+  const GuardRun empty_plan = run_workload(faulted);
+  expect_same(clean, empty_plan);
+}
+
+}  // namespace
+}  // namespace fractos

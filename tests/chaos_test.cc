@@ -1,0 +1,328 @@
+// Chaos-soak harness: the soak workload run on a deliberately lossy fabric.
+//
+// A FaultPlan derived from a seed drops/duplicates/jitters messages and flaps links while
+// the full service stack (FS + block + GPU) executes a randomized workload. The harness
+// asserts the reliability layer's contract:
+//
+//   * no hang: every application op resolves — with ok or a specific ErrorCode (never a
+//     stuck future, never a CHECK);
+//   * determinism: the same seed reproduces a bit-identical run (simulated end time, traffic
+//     counters, injected-fault counters, per-op outcomes); different seeds diverge;
+//   * bounded state: object tables and cleanup queues stay bounded by live state even when
+//     ops fail mid-flight.
+//
+// Also here: the monitor false-positive/re-admission scenario and the Controller peer-op
+// timeout + dedup scenario, which need hand-placed fault schedules rather than random ones.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/node_monitor.h"
+#include "src/services/block_adaptor.h"
+#include "src/services/fs.h"
+#include "src/services/gpu_adaptor.h"
+#include "src/sim/rng.h"
+
+namespace fractos {
+namespace {
+
+// Everything a chaos run produces. Two runs with the same seed must compare equal on every
+// field; runs with different seeds should diverge somewhere.
+struct ChaosOutcome {
+  int64_t end_ns = 0;
+  TrafficCounters traffic;
+  FaultCounters faults;
+  int ok_ops = 0;
+  std::map<ErrorCode, int> errors;
+  uint64_t live_objects = 0;
+  uint64_t total_objects = 0;
+  uint64_t pending_cleanups = 0;
+
+  int total_ops() const {
+    int n = ok_ops;
+    for (const auto& [code, count] : errors) {
+      n += count;
+    }
+    return n;
+  }
+};
+
+bool same_outcome(const ChaosOutcome& a, const ChaosOutcome& b) {
+  return a.end_ns == b.end_ns && a.ok_ops == b.ok_ops && a.errors == b.errors &&
+         a.faults == b.faults && a.traffic.messages[0] == b.traffic.messages[0] &&
+         a.traffic.messages[1] == b.traffic.messages[1] &&
+         a.traffic.bytes[0] == b.traffic.bytes[0] && a.traffic.bytes[1] == b.traffic.bytes[1] &&
+         a.live_objects == b.live_objects && a.total_objects == b.total_objects;
+}
+
+// Setup (spawn, FS/GPU bootstrap, file create/open) runs under the probabilistic faults —
+// the RC layer absorbs those — but must finish before the first link flap, which can push
+// peer ops past their deadline. Flaps are therefore scheduled at >= kFlapFloor.
+constexpr int64_t kFlapFloorNs = 6'000'000;  // 6 ms
+
+// Derives a randomized-but-deterministic fault schedule from a seed. Probabilities are kept
+// in a band where the RC layer recovers everything (so setup succeeds) while flaps are long
+// enough to break peer-op deadlines (1 ms) yet far below the QP sever horizon (~11 ms).
+FaultPlan chaos_plan(uint64_t seed) {
+  Rng r(seed ^ 0x9e3779b97f4a7c15ull);
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob[0] = 0.005 + 0.010 * r.next_double();  // control: 0.5% .. 1.5%
+  plan.drop_prob[1] = 0.002 + 0.004 * r.next_double();  // data:    0.2% .. 0.6%
+  plan.dup_prob[0] = 0.004;
+  plan.dup_prob[1] = 0.002;
+  plan.jitter_prob[0] = 0.02;
+  plan.jitter_prob[1] = 0.01;
+  plan.max_jitter = Duration::micros(15);
+  for (int i = 0; i < 2; ++i) {
+    const uint32_t a = r.next_below(4);
+    const uint32_t b = (a + 1 + r.next_below(3)) % 4;
+    const Time start = Time::from_ns(kFlapFloorNs + int64_t(r.next_below(6'000'000)));
+    const Duration len = Duration::micros(200 + r.next_below(1800));  // 0.2 .. 2 ms
+    plan.flaps.push_back({a, b, start, start + len});
+  }
+  return plan;
+}
+
+// One full chaos run: build the soak topology on a faulted fabric, run `ops` randomized
+// application ops tolerating per-op errors, drain, and snapshot the outcome.
+ChaosOutcome run_chaos(uint64_t seed, int ops) {
+  constexpr uint64_t kFileBytes = 1 << 20;
+  constexpr uint64_t kBufBytes = 64 << 10;
+
+  SystemConfig cfg;
+  cfg.faults = chaos_plan(seed);
+  System sys(cfg);
+  Rng rng(seed * 2654435761u + 1);
+
+  const uint32_t cn = sys.add_node("client");
+  const uint32_t fn = sys.add_node("fs");
+  const uint32_t sn = sys.add_node("storage");
+  const uint32_t gn = sys.add_node("gpu");
+  Controller& cc = sys.add_controller(cn, Loc::kHost);
+  Controller& cf = sys.add_controller(fn, Loc::kHost);
+  Controller& cs = sys.add_controller(sn, Loc::kHost);
+  Controller& cg = sys.add_controller(gn, Loc::kHost);
+  (void)cf;
+  auto nvme = std::make_unique<SimNvme>(&sys.loop());
+  auto block = std::make_unique<BlockAdaptor>(&sys, sn, cs, nvme.get());
+  auto fs = FsService::bootstrap(&sys, fn, cf, block->process(), block->mgmt_endpoint());
+  auto gpu = std::make_unique<SimGpu>(&sys.net(), gn);
+  auto gpu_adaptor = std::make_unique<GpuAdaptor>(&sys, cg, gpu.get());
+  gpu_adaptor->register_kernel(
+      "xor", [](std::vector<uint8_t>& m, const std::vector<uint64_t>& a) {
+        for (uint64_t i = 0; i < a[2]; ++i) {
+          m[a[1] + i] = static_cast<uint8_t>(m[a[0] + i] ^ 0x77);
+        }
+        return Duration::micros(20);
+      });
+
+  Process& client = sys.spawn("client", cn, cc, 16 << 20);
+  const CapId create_ep = sys.bootstrap_grant(fs->process(), fs->create_endpoint(), client).value();
+  const CapId open_ep = sys.bootstrap_grant(fs->process(), fs->open_endpoint(), client).value();
+  const CapId init_ep =
+      sys.bootstrap_grant(gpu_adaptor->process(), gpu_adaptor->init_endpoint(), client).value();
+  const GpuClient::Session session = sys.await_ok(GpuClient::init(client, init_ep));
+  const CapId kernel = sys.await_ok(GpuClient::load(client, session, "xor"));
+  const GpuClient::Buffer gpu_in = sys.await_ok(GpuClient::alloc(client, session, kBufBytes));
+  const GpuClient::Buffer gpu_out = sys.await_ok(GpuClient::alloc(client, session, kBufBytes));
+
+  const uint64_t buf_addr = client.alloc(kBufBytes);
+  const CapId buf = sys.await_ok(client.memory_create(buf_addr, kBufBytes, Perms::kReadWrite));
+  FRACTOS_CHECK(sys.await(FsClient::create(client, create_ep, "chaos", kFileBytes)).ok());
+  const FsClient::OpenFile file_fs = sys.await_ok(FsClient::open(client, open_ep, "chaos", true, false));
+  const FsClient::OpenFile file_dax = sys.await_ok(FsClient::open(client, open_ep, "chaos", true, true));
+
+  // Setup must have finished before flaps begin, or the await_ok calls above could have
+  // CHECK-failed on a timed-out peer op. If this ever fires, raise kFlapFloorNs.
+  FRACTOS_CHECK_MSG(sys.loop().now().ns() < kFlapFloorNs, "chaos setup overran the flap floor");
+
+  ChaosOutcome out;
+  auto tally = [&out](const Status& s) {
+    if (s.ok()) {
+      ++out.ok_ops;
+    } else {
+      ++out.errors[s.error()];
+    }
+  };
+
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t io = 4096ull << rng.next_below(4);  // 4K..32K
+    const uint64_t off = rng.next_below((kFileBytes - io) / 4096 + 1) * 4096;
+    const auto& file = rng.next_bool() ? file_dax : file_fs;
+    switch (rng.next_below(4)) {
+      case 0: {  // write (no content model: a failed write may leave partial state)
+        std::vector<uint8_t> data(io);
+        for (auto& byte : data) {
+          byte = rng.next_byte();
+        }
+        client.write_mem(buf_addr, data);
+        tally(sys.await(FsClient::write(client, file, off, io, buf)));
+        break;
+      }
+      case 1: {  // read (content verified only by the clean-fabric soak test)
+        tally(sys.await(FsClient::read(client, file, off, io, buf)));
+        break;
+      }
+      case 2: {  // GPU round trip: buf -> gpu_in, xor kernel, gpu_out -> buf
+        const Status copied = sys.await(client.memory_copy(buf, gpu_in.mem));
+        tally(copied);
+        if (copied.ok()) {
+          tally(sys.await(GpuClient::run(client, kernel,
+                                         {gpu_in.device_addr, gpu_out.device_addr, kBufBytes},
+                                         gpu_out.mem, buf)));
+        }
+        break;
+      }
+      default: {  // capability churn: derive a view and revoke it (all local to cc)
+        Result<CapId> view = sys.await(client.memory_diminish(buf, 0, 4096, Perms::kNone));
+        if (view.ok()) {
+          tally(sys.await(client.cap_revoke(view.value())));
+        } else {
+          ++out.errors[view.error()];
+        }
+        break;
+      }
+    }
+  }
+  sys.loop().run();  // drain retransmit timers, late replies, cleanup protocol
+
+  out.end_ns = sys.loop().now().ns();
+  out.traffic = sys.net().counters();
+  out.faults = sys.fault_injector()->counters();
+  out.live_objects = cc.table().live_count();
+  out.total_objects = cc.table().total_count();
+  out.pending_cleanups = cc.pending_cleanups() + cs.pending_cleanups();
+  return out;
+}
+
+uint64_t base_seed() {
+  if (const char* env = std::getenv("FRACTOS_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0xC0FFEE;
+}
+
+TEST(ChaosSoak, EveryOpResolvesUnderLossyFabric) {
+  constexpr int kOps = 120;
+  const ChaosOutcome out = run_chaos(base_seed(), kOps);
+
+  // The plan actually perturbed the run...
+  EXPECT_GT(out.faults.total_injected(), 0u);
+  EXPECT_GT(out.faults.dropped[0], 0u);
+  // ...and every op resolved, ok or with a real error code (GPU round trips tally up to two
+  // awaits per op, so total is >= kOps; a hang would have CHECK-failed inside await).
+  EXPECT_GE(out.total_ops(), kOps);
+  for (const auto& [code, count] : out.errors) {
+    EXPECT_NE(code, ErrorCode::kBrokenPromise) << "count " << count;
+  }
+  // Failed ops must not leak table state: bounded by live objects + op count, with the
+  // cleanup protocol fully drained.
+  EXPECT_EQ(out.pending_cleanups, 0u);
+  EXPECT_LT(out.total_objects, 600u);
+}
+
+TEST(ChaosSoak, SameSeedIsBitIdentical) {
+  const ChaosOutcome a = run_chaos(base_seed(), 60);
+  const ChaosOutcome b = run_chaos(base_seed(), 60);
+  EXPECT_TRUE(same_outcome(a, b))
+      << "end_ns " << a.end_ns << " vs " << b.end_ns << ", ok " << a.ok_ops << " vs "
+      << b.ok_ops << ", injected " << a.faults.total_injected() << " vs "
+      << b.faults.total_injected();
+}
+
+TEST(ChaosSoak, DifferentSeedsDiverge) {
+  const ChaosOutcome a = run_chaos(base_seed(), 60);
+  const ChaosOutcome b = run_chaos(base_seed() + 1, 60);
+  EXPECT_FALSE(same_outcome(a, b));
+}
+
+// A node outage at the fabric level eats heartbeats while the node keeps executing: the
+// monitor must first report the failure, then retract it (re-admission) when beats resume.
+TEST(ChaosMonitor, SpuriousNodeFailureIsReadmitted) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.outages.push_back({1, Time::from_ns(2'000'000), Time::from_ns(10'000'000)});
+  SystemConfig cfg;
+  cfg.faults = plan;
+  System sys(cfg);
+  sys.add_node("monitor");
+  sys.add_node("watched");
+  Controller& c0 = sys.add_controller(0, Loc::kHost);
+
+  NodeMonitor::Params params;
+  params.heartbeat_interval = Duration::millis(1);
+  params.failure_timeout = Duration::millis(3);
+  params.check_interval = Duration::millis(1);
+  NodeMonitor monitor(&sys, 0, params);
+  monitor.watch(1);
+  monitor.start();
+
+  sys.loop().run_until_time(Time::from_ns(6'000'000));
+  EXPECT_TRUE(monitor.reported(1));
+  EXPECT_EQ(monitor.failures_detected(), 1u);
+  EXPECT_EQ(monitor.recoveries_detected(), 0u);
+
+  sys.loop().run_until_time(Time::from_ns(14'000'000));
+  EXPECT_FALSE(monitor.reported(1));
+  EXPECT_EQ(monitor.failures_detected(), 1u);
+  EXPECT_EQ(monitor.recoveries_detected(), 1u);
+  EXPECT_EQ(c0.stats().node_recoveries, 1u);
+  EXPECT_GT(sys.fault_injector()->counters().partition_drops, 0u);
+
+  monitor.stop();
+  sys.loop().run();
+}
+
+// Controller peer ops under a long flap: the op times out on the caller with kTimeout, yet
+// the request eventually lands (QP retransmission) and executes exactly once (dedup). The
+// late replies are counted and ignored, and the channel recovers for the next op.
+TEST(ChaosPeerOps, TimeoutThenDedupAfterLinkHeals) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.flaps.push_back({0, 1, Time::from_ns(0), Time::from_ns(3'000'000)});
+  SystemConfig cfg;
+  cfg.faults = plan;
+  System sys(cfg);
+  sys.add_node("a");
+  sys.add_node("b");
+  Controller& c0 = sys.add_controller(0, Loc::kHost);
+  Controller& c1 = sys.add_controller(1, Loc::kHost);
+
+  Process& p = sys.spawn("p", 0, c0);
+  Process& q = sys.spawn("q", 1, c1);
+  // q owns a buffer; p holds a capability to it, so p's diminish is a cross-controller
+  // derive (RemoteDerive peer op c0 -> c1). All setup traffic is node-local, so the flap
+  // that is already active does not disturb it.
+  const CapId qbuf = sys.await_ok(q.memory_create(q.alloc(8192), 8192, Perms::kReadWrite));
+  const CapId pbuf = sys.bootstrap_grant(q, qbuf, p).value();
+  const uint64_t c1_objects_before = c1.table().total_count();
+
+  // The request (and its resends) are stuck behind the flap; the 1 ms deadline fires first.
+  Result<CapId> first = sys.await(p.memory_diminish(pbuf, 0, 4096, Perms::kRead));
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error(), ErrorCode::kTimeout);
+  EXPECT_EQ(c0.stats().peer_op_timeouts, 1u);
+  EXPECT_GE(c0.stats().peer_retries, 1u);
+
+  // Heal, deliver the queued request copies, and drain: exactly one execution at the owner,
+  // the duplicates answered from the dedup cache, every reply late and ignored.
+  sys.loop().run();
+  EXPECT_GT(sys.loop().now().ns(), 3'000'000);
+  EXPECT_EQ(c1.table().total_count(), c1_objects_before + 1);
+  EXPECT_GE(c1.stats().peer_dedup_hits, 1u);
+  EXPECT_GE(c0.stats().late_replies_ignored, 2u);
+
+  // The channel survived the flap (no sever): the next peer op completes normally.
+  const CapId second = sys.await_ok(p.memory_diminish(pbuf, 0, 4096, Perms::kRead));
+  EXPECT_NE(second, kInvalidCap);
+  EXPECT_EQ(c0.stats().peer_op_timeouts, 1u);
+}
+
+}  // namespace
+}  // namespace fractos

@@ -262,8 +262,112 @@ TEST_F(QueuePairTest, SendsAfterSeverAreDropped) {
   b.set_receive_handler([&](std::vector<uint8_t>) { ++got; });
   a.sever();
   a.send(Traffic::kControl, {1});
+  a.send(Traffic::kData, {2});
   loop_.run();
   EXPECT_EQ(got, 0);
+  // Post-sever sends are counted, not silently lost.
+  EXPECT_EQ(a.dropped(), 2u);
+}
+
+TEST_F(QueuePairTest, SendToFailedNodeCountsDrop) {
+  QueuePair a(&net_, Endpoint{n0_, Loc::kHost});
+  QueuePair b(&net_, Endpoint{n1_, Loc::kHost});
+  QueuePair::connect(a, b);
+  b.set_receive_handler([](std::vector<uint8_t>) {});
+  net_.node(n1_).fail();
+  a.send(Traffic::kControl, {1});
+  loop_.run();
+  EXPECT_EQ(a.dropped(), 1u);
+}
+
+class LossyQueuePairTest : public FabricTest {
+ protected:
+  void install(double control_drop) {
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.drop_prob[0] = control_drop;
+    net_.install_fault_injector(plan);
+  }
+};
+
+TEST_F(LossyQueuePairTest, ReliableDeliveryUnderHeavyDrop) {
+  install(0.3);
+  QueuePair a(&net_, Endpoint{n0_, Loc::kHost});
+  QueuePair b(&net_, Endpoint{n1_, Loc::kHost});
+  QueuePair::connect(a, b);
+  // ACKs are lossy too; a generous budget keeps the pair below the sever horizon.
+  a.set_retry_policy(Duration::micros(30), 20);
+  b.set_retry_policy(Duration::micros(30), 20);
+  std::vector<uint8_t> seen;
+  b.set_receive_handler([&](std::vector<uint8_t> bytes) { seen.push_back(bytes[0]); });
+  a.set_receive_handler([](std::vector<uint8_t>) {});
+  std::vector<uint8_t> want;
+  for (uint8_t i = 0; i < 40; ++i) {
+    a.send(Traffic::kControl, {i});
+    want.push_back(i);
+  }
+  loop_.run();
+  // Exactly-once, in-order delivery despite a 30% drop rate on every packet (data and ACK).
+  EXPECT_EQ(seen, want);
+  EXPECT_FALSE(a.severed());
+  EXPECT_GT(a.retransmits(), 0u);
+  EXPECT_GT(net_.fault_injector()->counters().dropped[0], 0u);
+  EXPECT_EQ(a.unacked(), 0u);
+}
+
+TEST_F(LossyQueuePairTest, ExhaustedRetryBudgetSeversPair) {
+  install(1.0);  // black-hole link: nothing gets through, the RC budget must give up
+  QueuePair a(&net_, Endpoint{n0_, Loc::kHost});
+  QueuePair b(&net_, Endpoint{n1_, Loc::kHost});
+  QueuePair::connect(a, b);
+  a.set_retry_policy(Duration::micros(10), 4);
+  a.set_receive_handler([](std::vector<uint8_t>) {});
+  b.set_receive_handler([](std::vector<uint8_t>) {});
+  int peer_severed = 0;
+  b.set_severed_handler([&]() { ++peer_severed; });
+  a.send(Traffic::kControl, {1});
+  loop_.run();
+  EXPECT_TRUE(a.severed());
+  EXPECT_TRUE(b.severed());
+  EXPECT_EQ(peer_severed, 1);
+  EXPECT_GT(a.dropped(), 0u);
+  EXPECT_EQ(a.retransmits(), 3u);  // budget 4 = 1 initial + 3 retries
+}
+
+TEST_F(LossyQueuePairTest, DatagramModeHasNoRetransmission) {
+  install(1.0);
+  QueuePair a(&net_, Endpoint{n0_, Loc::kHost});
+  QueuePair b(&net_, Endpoint{n1_, Loc::kHost});
+  QueuePair::connect(a, b);
+  a.set_mode(QueuePair::Mode::kDatagram);
+  b.set_mode(QueuePair::Mode::kDatagram);
+  int got = 0;
+  b.set_receive_handler([&](std::vector<uint8_t>) { ++got; });
+  a.set_receive_handler([](std::vector<uint8_t>) {});
+  a.send(Traffic::kControl, {1});
+  loop_.run();
+  // UD semantics: the drop is final — no retry, no sever, the pair stays usable.
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(a.retransmits(), 0u);
+  EXPECT_FALSE(a.severed());
+}
+
+TEST_F(FabricTest, FaultScheduleIsSeedDeterministic) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.drop_prob[0] = 0.2;
+  plan.dup_prob[0] = 0.1;
+  plan.jitter_prob[0] = 0.3;
+  FaultInjector x(plan), y(plan);
+  for (int i = 0; i < 200; ++i) {
+    const auto vx = x.on_message(n0_, n1_, Traffic::kControl, Time::from_ns(i));
+    const auto vy = y.on_message(n0_, n1_, Traffic::kControl, Time::from_ns(i));
+    ASSERT_EQ(vx.drop, vy.drop);
+    ASSERT_EQ(vx.duplicate, vy.duplicate);
+    ASSERT_EQ(vx.extra_delay.ns(), vy.extra_delay.ns());
+  }
+  EXPECT_TRUE(x.counters() == y.counters());
+  EXPECT_GT(x.counters().total_injected(), 0u);
 }
 
 }  // namespace
