@@ -7,6 +7,8 @@
 // absorbs them; DAX optimizes data transfers ~2x, from ~1.1x total speedup at 4 KiB (NVMe
 // latency dominates, ~70 us) to ~1.3x at larger sizes.
 
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -14,7 +16,10 @@
 #include "src/baselines/nvmeof.h"
 #include "src/baselines/page_cache.h"
 #include "src/services/fs.h"
+#include "src/sim/metrics.h"
 #include "src/sim/rng.h"
+#include "src/sim/span.h"
+#include "src/sim/tax_report.h"
 
 namespace fractos {
 namespace {
@@ -151,6 +156,22 @@ struct BaselineStorage {
   }
 };
 
+// One traced random read: opens a root span around the whole client I/O, folds the trace
+// into tax buckets, and asserts the buckets sum to the measured end-to-end latency.
+TaxBreakdown traced_read_tax(FractosStorage& s, SpanTracer& tracer, uint64_t io) {
+  const uint64_t off = s.random_aligned_offset(io);
+  const uint64_t root = tracer.start_trace("client", "read", s.sys.loop().now());
+  Future<Status> f = [&]() {
+    SpanScope scope(tracer.context_of(root));
+    return FsClient::read(*s.client, s.file, off, io, s.buf);
+  }();
+  FRACTOS_CHECK(s.sys.await(std::move(f)).ok());
+  tracer.end(root, s.sys.loop().now());
+  const TaxBreakdown b = fold_tax(tracer, root);
+  FRACTOS_CHECK_MSG(b.sum_ns() == b.total_ns, "tax buckets must sum to end-to-end latency");
+  return b;
+}
+
 }  // namespace
 }  // namespace fractos
 
@@ -211,5 +232,39 @@ int main() {
               fmt_us(dax_mode.io_latency_us(false, io))});
   }
   snic.print();
+
+  // Measured (span-based) counterpart of the modeled breakdown above: attach a tracer and
+  // attribute a traced 64 KiB random read, per stack, to disaggregation-tax buckets.
+  {
+    SpanTracer tracer;
+    MetricsRegistry metrics;
+    std::vector<std::pair<std::string, TaxBreakdown>> rows;
+    const uint64_t io = 65536;
+
+    FractosStorage fs_mode(Loc::kHost, false, max_io);
+    fs_mode.sys.loop().set_span_tracer(&tracer);
+    fs_mode.sys.loop().set_metrics(&metrics);
+    rows.emplace_back("FractOS FS", traced_read_tax(fs_mode, tracer, io));
+    fs_mode.sys.loop().set_span_tracer(nullptr);
+    fs_mode.sys.loop().set_metrics(nullptr);
+
+    FractosStorage dax_mode(Loc::kHost, true, max_io);
+    dax_mode.sys.loop().set_span_tracer(&tracer);
+    dax_mode.sys.loop().set_metrics(&metrics);
+    rows.emplace_back("FractOS DAX", traced_read_tax(dax_mode, tracer, io));
+    dax_mode.sys.loop().set_span_tracer(nullptr);
+    dax_mode.sys.loop().set_metrics(nullptr);
+
+    std::printf("\nMeasured tax breakdown — 64 KiB random read (traced spans):\n%s",
+                tax_table(rows).c_str());
+    if (const char* path = std::getenv("FRACTOS_TRACE_JSON")) {
+      std::ofstream out(path);
+      out << chrome_trace_json(tracer);
+    }
+    if (const char* path = std::getenv("FRACTOS_METRICS_OUT")) {
+      std::ofstream out(path);
+      out << metrics.serialize();
+    }
+  }
   return 0;
 }

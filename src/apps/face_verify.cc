@@ -53,6 +53,7 @@ FaceVerifyCluster FaceVerifyCluster::build(System* sys) {
 FaceVerifyFractos::FaceVerifyFractos(System* sys, FaceVerifyCluster* cluster, Loc ctrl_loc,
                                      FaceVerifyParams params, Controller* shared_controller)
     : sys_(sys), cluster_(cluster), params_(params), slot_pool_(params.pool_slots) {
+  slot_pool_.instrument(&sys->loop(), "facever");
   const uint64_t batch_bytes = params_.image_bytes * params_.images_per_batch;
 
   Controller* c_front;
@@ -177,12 +178,33 @@ void FaceVerifyFractos::finish_slot(size_t i, Status st) {
 }
 
 Future<Result<bool>> FaceVerifyFractos::verify(uint32_t batch, bool tamper) {
+  if (MetricsRegistry* m = sys_->loop().metrics()) {
+    m->add("facever.requests");
+  }
+  uint64_t span = 0;
+  if (span_tracing_active()) {
+    if (SpanTracer* t = sys_->loop().span_tracer()) {
+      span = t->begin("facever", SpanKind::kService, "verify", sys_->loop().now());
+    }
+  }
   Promise<Result<bool>> promise;
   slot_pool_.acquire()
       .and_then(
           [this, batch, tamper, promise](size_t slot) { run_on_slot(slot, batch, tamper, promise); })
       .or_else([promise](ErrorCode e) { promise.set(e); });
-  return promise.future();
+  if (span == 0) {
+    return promise.future();
+  }
+  return promise.future().then([this, span](Result<bool>&& r) -> Result<bool> {
+    if (SpanTracer* t = sys_->loop().span_tracer()) {
+      if (r.ok()) {
+        t->end(span, sys_->loop().now());
+      } else {
+        t->end_error(span, sys_->loop().now(), "verify-failed");
+      }
+    }
+    return std::move(r);
+  });
 }
 
 void FaceVerifyFractos::run_on_slot(size_t s, uint32_t batch, bool tamper,
@@ -281,6 +303,7 @@ void FaceVerifyFractos::run_on_slot(size_t s, uint32_t batch, bool tamper,
 FaceVerifyBaseline::FaceVerifyBaseline(System* sys, FaceVerifyCluster* cluster,
                                        FaceVerifyParams params)
     : sys_(sys), cluster_(cluster), params_(params), slot_pool_(params.pool_slots) {
+  slot_pool_.instrument(&sys->loop(), "facever_baseline");
   nvmeof_target_ =
       std::make_unique<NvmeofTarget>(&sys->net(), cluster->storage_node, cluster->nvme.get());
   nvmeof_ =

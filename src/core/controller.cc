@@ -5,6 +5,7 @@
 
 #include "src/base/assert.h"
 #include "src/futures/timeout.h"
+#include "src/sim/metrics.h"
 
 namespace fractos {
 
@@ -20,6 +21,13 @@ Controller::Controller(Network* net, Config config)
   FRACTOS_CHECK(net != nullptr);
   exec_ = &net_->node(config_.endpoint.node).context(config_.endpoint.loc);
   name_ = "ctrl-" + std::to_string(config_.addr);
+  const std::string mp = "ctrl." + std::to_string(config_.addr) + ".";
+  mkeys_.syscalls = mp + "syscalls";
+  mkeys_.deliveries = mp + "deliveries";
+  mkeys_.translations = mp + "translations";
+  mkeys_.peer_retries = mp + "peer_retries";
+  mkeys_.peer_op_timeouts = mp + "peer_op_timeouts";
+  mkeys_.peer_dedup_hits = mp + "peer_dedup_hits";
 }
 
 Controller::~Controller() {
@@ -138,12 +146,23 @@ void Controller::on_process_msg(ProcessId pid, Envelope env) {
   }
   // Evaluate the cost before the capture list moves `env` (argument order is unspecified).
   const Duration cost = cost_of(env);
-  exec_->run(cost, [this, pid, env = std::move(env)]() mutable {
+  // The kController span covers arrival (message off the channel) to handler completion;
+  // exec_->run itself records the core-wait slice as kQueue, which wins attribution for it.
+  uint64_t span = 0;
+  if (span_tracing_active() && net_->loop()->span_tracer() != nullptr) {
+    span = net_->loop()->span_tracer()->begin(name_, SpanKind::kController,
+                                              msg_type_name(env.type), net_->loop()->now());
+  }
+  exec_->run(cost, [this, pid, span, env = std::move(env)]() mutable {
     auto it = procs_.find(pid);
-    if (it == procs_.end() || !it->second->alive || failed_) {
-      return;
+    if (it != procs_.end() && it->second->alive && !failed_) {
+      handle_syscall(*it->second, env);
     }
-    handle_syscall(*it->second, env);
+    if (span != 0) {
+      if (SpanTracer* t = net_->loop()->span_tracer()) {
+        t->end(span, net_->loop()->now());
+      }
+    }
   });
 }
 
@@ -152,7 +171,18 @@ void Controller::on_peer_msg(ControllerAddr peer, Envelope env) {
     return;
   }
   const Duration cost = cost_of(env);
-  exec_->run(cost, [this, peer, env = std::move(env)]() mutable {
+  uint64_t span = 0;
+  if (span_tracing_active() && net_->loop()->span_tracer() != nullptr) {
+    span = net_->loop()->span_tracer()->begin(
+        name_, SpanKind::kController, std::string("peer-") + msg_type_name(env.type),
+        net_->loop()->now());
+  }
+  exec_->run(cost, [this, peer, span, env = std::move(env)]() mutable {
+    if (span != 0) {
+      if (SpanTracer* t = net_->loop()->span_tracer()) {
+        t->end(span, net_->loop()->now());
+      }
+    }
     if (failed_) {
       return;
     }
@@ -191,10 +221,43 @@ void Controller::charge(Duration cost, std::function<void()> fn) {
   exec_->run(cost, std::move(fn));
 }
 
+void Controller::note_translation(Duration cost) {
+  if (MetricsRegistry* m = net_->loop()->metrics()) {
+    m->add(mkeys_.translations);
+  }
+  if (span_tracing_active() && net_->loop()->span_tracer() != nullptr) {
+    // Called from the charge() callback, so the scaled cost has just elapsed on exec_:
+    // the execution window is exactly [now - cost/speed, now].
+    const Time now = net_->loop()->now();
+    const Duration scaled = cost / exec_->speed();
+    net_->loop()->span_tracer()->record(name_, SpanKind::kTranslation, "cap-serialize",
+                                        Time::from_ns(now.ns() - scaled.ns()), now);
+  }
+}
+
+void Controller::close_peer_op_span(uint64_t op_id, const char* error) {
+  auto it = pending_op_spans_.find(op_id);
+  if (it == pending_op_spans_.end()) {
+    return;
+  }
+  const uint64_t span = it->second;
+  pending_op_spans_.erase(it);
+  if (SpanTracer* t = net_->loop()->span_tracer()) {
+    if (error != nullptr) {
+      t->end_error(span, net_->loop()->now(), error);
+    } else {
+      t->end(span, net_->loop()->now());
+    }
+  }
+}
+
 // --- syscall handlers ----------------------------------------------------------------------------
 
 void Controller::handle_syscall(ProcState& p, const Envelope& env) {
   ++stats_.syscalls;
+  if (MetricsRegistry* m = net_->loop()->metrics()) {
+    m->add(mkeys_.syscalls);
+  }
   if (net_->loop()->tracing() && env.type != MsgType::kDeliverAck) {
     net_->loop()->trace(name_, std::string("syscall ") + msg_type_name(env.type) + " from pid " +
                                    std::to_string(p.pid));
@@ -644,7 +707,8 @@ void Controller::sc_request_create(ProcState& p, uint64_t seq, const RequestCrea
   const ProcessId pid = p.pid;
   const ControllerAddr owner = base.value().ref.owner;
   const Duration extra = cap_serialize_cost(rd.caps);
-  charge(extra, [this, pid, seq, owner, rd = std::move(rd)]() mutable {
+  charge(extra, [this, pid, seq, owner, extra, rd = std::move(rd)]() mutable {
+    note_translation(extra);
     const uint64_t op_id = rd.op_id;
     call_peer(owner, op_id, make_envelope(op_id, std::move(rd)))
         .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
@@ -721,7 +785,8 @@ void Controller::sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvo
   const ControllerAddr owner = e.ref.owner;
   const Duration extra = config_.costs.net_serialize + cap_serialize_cost(ri.caps);
   reply(p, seq, ErrorCode::kOk);  // accepted; remote failures surface via the error channel
-  charge(extra, [this, owner, ri = std::move(ri)]() mutable {
+  charge(extra, [this, owner, extra, ri = std::move(ri)]() mutable {
+    note_translation(extra);
     send_peer(owner, make_envelope(next_seq_++, std::move(ri)));
   });
 }
@@ -896,6 +961,9 @@ ErrorCode Controller::deliver_by_ref(const ObjectRef& target,
 
 void Controller::push_delivery(ProcState& p, DeliverRequestMsg msg) {
   ++stats_.deliveries;
+  if (MetricsRegistry* m = net_->loop()->metrics()) {
+    m->add(mkeys_.deliveries);
+  }
   if (net_->loop()->tracing()) {
     net_->loop()->trace(name_, "deliver request to pid " + std::to_string(p.pid) + " (" +
                                    std::to_string(msg.caps.size()) + " caps)");
@@ -1016,6 +1084,7 @@ void Controller::peer_reply(const PeerReplyMsg& m) {
   Promise<Result<PeerReplyMsg>> promise = std::move(it->second);
   pending_ops_.erase(it);
   pending_op_peer_.erase(m.op_id);
+  close_peer_op_span(m.op_id, nullptr);
   promise.set(Result<PeerReplyMsg>(m));
 }
 
@@ -1176,6 +1245,13 @@ Future<Result<PeerReplyMsg>> Controller::call_peer(ControllerAddr peer, uint64_t
   }
   pending_ops_.emplace(op_id, promise);
   pending_op_peer_.emplace(op_id, peer);
+  if (span_tracing_active() && net_->loop()->span_tracer() != nullptr) {
+    const uint64_t span = net_->loop()->span_tracer()->begin(name_, SpanKind::kController,
+                                                             "peer-op", net_->loop()->now());
+    if (span != 0) {
+      pending_op_spans_.emplace(op_id, span);
+    }
+  }
   it->second.chan->send(Traffic::kControl, env);
   if (!net_->lossy()) {
     // Clean fabric: the reply always arrives (or the peer's sever completes the op), so no
@@ -1206,6 +1282,9 @@ void Controller::schedule_peer_resend(ControllerAddr peer, uint64_t op_id, Envel
       return;  // answered, timed out, or this Controller failed
     }
     ++stats_.peer_retries;
+    if (MetricsRegistry* m = net_->loop()->metrics()) {
+      m->add(mkeys_.peer_retries);
+    }
     send_peer(peer, env);
     schedule_peer_resend(peer, op_id, std::move(env), attempt + 1);
   });
@@ -1217,8 +1296,12 @@ void Controller::forget_peer_op(uint64_t op_id) {
     return;
   }
   ++stats_.peer_op_timeouts;
+  if (MetricsRegistry* m = net_->loop()->metrics()) {
+    m->add(mkeys_.peer_op_timeouts);
+  }
   pending_ops_.erase(it);
   pending_op_peer_.erase(op_id);
+  close_peer_op_span(op_id, "timeout");
 }
 
 void Controller::on_peer_severed(ControllerAddr peer) {
@@ -1241,6 +1324,7 @@ void Controller::on_peer_severed(ControllerAddr peer) {
     Promise<Result<PeerReplyMsg>> promise = std::move(it->second);
     pending_ops_.erase(it);
     pending_op_peer_.erase(op_id);
+    close_peer_op_span(op_id, "channel-closed");
     promise.set(ErrorCode::kChannelClosed);
   }
 }
@@ -1254,6 +1338,9 @@ bool Controller::replay_completed_peer_op(ControllerAddr origin, uint64_t key) {
     return false;
   }
   ++stats_.peer_dedup_hits;
+  if (MetricsRegistry* m = net_->loop()->metrics()) {
+    m->add(mkeys_.peer_dedup_hits);
+  }
   send_peer(origin, make_envelope(next_seq_++, it->second));
   return true;
 }
@@ -1278,6 +1365,7 @@ void Controller::fail_pending_ops(ErrorCode status) {
   pending_ops_.clear();
   pending_op_peer_.clear();
   for (auto& [op_id, promise] : pending) {
+    close_peer_op_span(op_id, "channel-closed");
     promise.set(status);
   }
 }

@@ -252,6 +252,12 @@ class Controller {
                            std::function<void(Status)> done);
   // Charges additional compute, then runs `fn`.
   void charge(Duration cost, std::function<void()> fn);
+  // Called from inside a charge() callback that just paid `cost` of capability/request
+  // translation: counts it and records the kTranslation span retroactively (the execution
+  // window [now - cost/speed, now] has just elapsed on exec_).
+  void note_translation(Duration cost);
+  // Closes the peer-op span registered for op_id, if any (error != nullptr marks it failed).
+  void close_peer_op_span(uint64_t op_id, const char* error);
 
   static RdmaKey key_of(const ObjectRef& ref) {
     return RdmaKey{ref.owner, ref.index, ref.reboot_count};
@@ -269,6 +275,9 @@ class Controller {
   std::unordered_map<ControllerAddr, Peer> peers_;
   std::unordered_map<uint64_t, Promise<Result<PeerReplyMsg>>> pending_ops_;
   std::unordered_map<uint64_t, ControllerAddr> pending_op_peer_;
+  // Open peer-op spans by op id (populated only while a SpanTracer is alive); a timed-out or
+  // severed op closes its span with an error attribute instead of leaking it open.
+  std::unordered_map<uint64_t, uint64_t> pending_op_spans_;
   // Completed-peer-op reply cache for dedup (bounded FIFO; populated only on a lossy fabric).
   std::unordered_map<uint64_t, PeerReplyMsg> completed_peer_ops_;
   std::deque<uint64_t> completed_peer_ops_fifo_;
@@ -290,6 +299,15 @@ class Controller {
   bool failed_ = false;
   ControllerStats stats_;
   std::string name_;  // "ctrl-<addr>", for trace lines
+  // Precomputed metric keys (ctrl.<addr>.*) so hot paths never concatenate strings.
+  struct MetricKeys {
+    std::string syscalls;
+    std::string deliveries;
+    std::string translations;
+    std::string peer_retries;
+    std::string peer_op_timeouts;
+    std::string peer_dedup_hits;
+  } mkeys_;
 };
 
 }  // namespace fractos

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/assert.h"
+#include "src/sim/span.h"
 
 namespace fractos {
 
@@ -68,6 +69,15 @@ Process::Process(Network* net, ProcessId pid, std::string name, uint32_t node, P
 
 uint64_t Process::send_syscall(Envelope env) {
   FRACTOS_CHECK(!failed_);
+  if (span_tracing_active()) {
+    if (SpanTracer* t = net_->loop()->span_tracer()) {
+      const uint64_t span =
+          t->begin(name_, SpanKind::kSyscall, msg_type_name(env.type), net_->loop()->now());
+      if (span != 0) {
+        pending_spans_.emplace(env.seq, span);
+      }
+    }
+  }
   chan_.send(Traffic::kControl, env);
   return env.seq;
 }
@@ -233,6 +243,14 @@ void Process::on_envelope(Envelope env) {
       FRACTOS_CHECK_MSG(it != pending_.end(), "reply for unknown syscall");
       auto cont = std::move(it->second);
       pending_.erase(it);
+      auto sit = pending_spans_.find(r.call_seq);
+      if (sit != pending_spans_.end()) {
+        const uint64_t span = sit->second;
+        pending_spans_.erase(sit);
+        if (SpanTracer* t = net_->loop()->span_tracer()) {
+          t->end(span, net_->loop()->now());
+        }
+      }
       cont(r);
       break;
     }
@@ -250,7 +268,17 @@ void Process::on_envelope(Envelope env) {
       } else if (default_handler_ != nullptr) {
         default_handler_(std::move(r));
       }
-      chan_.send(Traffic::kControl, make_envelope(next_seq_++, DeliverAckMsg{}));
+      {
+        Envelope ack = make_envelope(next_seq_++, DeliverAckMsg{});
+        if (span_tracing_active()) {
+          // The trailing congestion-control ack is not on any request's critical path; detach
+          // it from the ambient trace so it cannot extend a closed request span.
+          SpanScope detach;
+          chan_.send(Traffic::kControl, std::move(ack));
+        } else {
+          chan_.send(Traffic::kControl, std::move(ack));
+        }
+      }
       break;
     }
     case MsgType::kMonitorCallback: {
@@ -309,6 +337,14 @@ void Process::fail() {
   }
   failed_ = true;
   pending_.clear();
+  if (!pending_spans_.empty()) {
+    if (SpanTracer* t = net_->loop()->span_tracer()) {
+      for (const auto& [seq, span] : pending_spans_) {
+        t->end_error(span, net_->loop()->now(), "process-failed");
+      }
+    }
+    pending_spans_.clear();
+  }
   handlers_.clear();
   chan_.sever();
 }

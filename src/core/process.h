@@ -155,6 +155,8 @@ class Process {
   PoolId heap_pool_;
   Channel chan_;
   uint64_t next_seq_ = 1;
+  // Open kSyscall span per in-flight syscall, keyed by envelope seq (empty when tracing off).
+  std::unordered_map<uint64_t, uint64_t> pending_spans_;
   uint64_t next_alloc_ = 0;
   bool failed_ = false;
   std::unordered_map<uint64_t, std::function<void(const SyscallReplyMsg&)>> pending_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/base/assert.h"
+#include "src/sim/metrics.h"
 
 namespace fractos {
 
@@ -90,6 +91,18 @@ void SimGpu::launch(KernelId id, std::vector<uint64_t> args, std::function<void(
   engine_free_ = start + total;
   busy_ += total;
   ++launches_;
+  if (MetricsRegistry* m = net_->loop()->metrics()) {
+    m->add("gpu.launches");
+    m->observe("gpu.kernel_ns", static_cast<uint64_t>(total.ns()));
+  }
+  if (span_tracing_active()) {
+    if (SpanTracer* t = net_->loop()->span_tracer()) {
+      if (start > net_->loop()->now()) {
+        t->record("gpu", SpanKind::kQueue, "engine-wait", net_->loop()->now(), start);
+      }
+      t->record("gpu", SpanKind::kDevice, "kernel", start, engine_free_);
+    }
+  }
   net_->loop()->schedule_at(engine_free_, [done = std::move(done)]() { done(ok_status()); });
 }
 

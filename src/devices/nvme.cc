@@ -6,6 +6,7 @@
 
 #include "src/base/assert.h"
 #include "src/fabric/params.h"
+#include "src/sim/metrics.h"
 
 namespace fractos {
 
@@ -22,7 +23,7 @@ Status SimNvme::check_range(uint64_t off, uint64_t size) const {
   return ok_status();
 }
 
-Time SimNvme::schedule_on_channel(Duration service) {
+Time SimNvme::schedule_on_channel(Duration service, Time* start_out) {
   size_t best = 0;
   for (size_t i = 1; i < channel_free_.size(); ++i) {
     if (channel_free_[i] < channel_free_[best]) {
@@ -31,6 +32,7 @@ Time SimNvme::schedule_on_channel(Duration service) {
   }
   const Time start = max(loop_->now(), channel_free_[best]);
   channel_free_[best] = start + service;
+  *start_out = start;
   return channel_free_[best];
 }
 
@@ -82,8 +84,21 @@ void SimNvme::read(uint64_t off, uint64_t size,
   std::vector<uint8_t> data;
   read_bytes(off, size, data);
   const Duration service = params_.read_latency + transfer_time(size, params_.read_bw_bpns);
-  const Time finish = schedule_on_channel(service);
+  Time start;
+  const Time finish = schedule_on_channel(service, &start);
   ++reads_;
+  if (MetricsRegistry* m = loop_->metrics()) {
+    m->add("nvme.reads");
+    m->add("nvme.read_bytes", static_cast<int64_t>(size));
+  }
+  if (span_tracing_active()) {
+    if (SpanTracer* t = loop_->span_tracer()) {
+      if (start > loop_->now()) {
+        t->record("nvme", SpanKind::kQueue, "channel-wait", loop_->now(), start);
+      }
+      t->record("nvme", SpanKind::kDevice, "nvme-read", start, finish);
+    }
+  }
   loop_->schedule_at(finish, [done = std::move(done), data = std::move(data)]() mutable {
     done(std::move(data));
   });
@@ -96,9 +111,22 @@ void SimNvme::write(uint64_t off, std::vector<uint8_t> data, std::function<void(
   }
   const Duration service =
       params_.write_latency + transfer_time(data.size(), params_.write_bw_bpns);
-  const Time finish = schedule_on_channel(service);
+  Time start;
+  const Time finish = schedule_on_channel(service, &start);
   write_bytes(off, data);
   ++writes_;
+  if (MetricsRegistry* m = loop_->metrics()) {
+    m->add("nvme.writes");
+    m->add("nvme.write_bytes", static_cast<int64_t>(data.size()));
+  }
+  if (span_tracing_active()) {
+    if (SpanTracer* t = loop_->span_tracer()) {
+      if (start > loop_->now()) {
+        t->record("nvme", SpanKind::kQueue, "channel-wait", loop_->now(), start);
+      }
+      t->record("nvme", SpanKind::kDevice, "nvme-write", start, finish);
+    }
+  }
   loop_->schedule_at(finish, [done = std::move(done)]() { done(ok_status()); });
 }
 

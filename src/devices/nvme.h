@@ -56,8 +56,9 @@ class SimNvme {
   uint64_t writes_completed() const { return writes_; }
 
  private:
-  // Picks the earliest-free channel and occupies it for `service`; returns completion time.
-  Time schedule_on_channel(Duration service);
+  // Picks the earliest-free channel and occupies it for `service`; returns completion time
+  // and reports when service actually began (for queue-wait attribution).
+  Time schedule_on_channel(Duration service, Time* start_out);
   Status check_range(uint64_t off, uint64_t size) const;
 
   // Sparse block store.

@@ -1,10 +1,31 @@
 #include "src/fabric/network.h"
 
+#include <string>
 #include <utility>
 
 #include "src/base/assert.h"
+#include "src/sim/metrics.h"
 
 namespace fractos {
+
+namespace {
+
+// Mirrors one RDMA fault verdict into the metrics registry at the exact point the verdict is
+// drawn, so `net.faults.*` equals the injector's own FaultCounters key-for-key.
+void note_rdma_faults(EventLoop* loop, const FaultInjector::RdmaVerdict& v) {
+  MetricsRegistry* m = loop->metrics();
+  if (m == nullptr) {
+    return;
+  }
+  if (v.retries > 0) {
+    m->add("net.faults.rdma_retransmits", v.retries);
+  }
+  if (v.abort) {
+    m->add("net.faults.rdma_aborts");
+  }
+}
+
+}  // namespace
 
 Network::Network(EventLoop* loop, FabricParams params) : loop_(loop), params_(params) {
   FRACTOS_CHECK(loop != nullptr);
@@ -63,7 +84,27 @@ Time Network::schedule_transfer(Endpoint src, Endpoint dst, Traffic category,
     counters_.cross_bytes[cat] += wire_bytes;
   }
 
-  return start + serialization + wire_latency(src, dst);
+  const Time arrival = start + serialization + wire_latency(src, dst);
+  if (MetricsRegistry* m = loop_->metrics()) {
+    static const char* const kMsgKey[2] = {"net.messages.control", "net.messages.data"};
+    static const char* const kByteKey[2] = {"net.bytes.control", "net.bytes.data"};
+    m->add(kMsgKey[cat]);
+    m->add(kByteKey[cat], static_cast<int64_t>(wire_bytes));
+  }
+  if (span_tracing_active() && loop_->span_tracer() != nullptr) {
+    SpanTracer* t = loop_->span_tracer();
+    // Waiting for NIC/wire occupancy is queueing; the transfer itself (serialization +
+    // propagation) is fabric. Both windows are known up front, so record pre-closed spans.
+    if (start > loop_->now()) {
+      t->record("net", SpanKind::kQueue, "nic-wait", loop_->now(), start);
+    }
+    const uint64_t id =
+        t->record("net", SpanKind::kFabric, cross ? "wire" : "local", start, arrival);
+    if (id != 0) {
+      t->attr(id, "bytes", std::to_string(wire_bytes));
+    }
+  }
+  return arrival;
 }
 
 void Network::send(Endpoint src, Endpoint dst, Traffic category, std::vector<uint8_t> payload,
@@ -82,6 +123,18 @@ void Network::send(Endpoint src, Endpoint dst, Traffic category, std::vector<uin
   if (injector_ != nullptr) {
     const FaultInjector::Verdict v =
         injector_->on_message(src.node, dst.node, category, loop_->now());
+    if (MetricsRegistry* m = loop_->metrics()) {
+      // Mirrored at the verdict site so net.faults.* matches FaultCounters exactly.
+      if (v.drop) {
+        m->add("net.faults.drops");
+      }
+      if (v.duplicate) {
+        m->add("net.faults.duplicates");
+      }
+      if (v.extra_delay > Duration::zero()) {
+        m->add("net.faults.delayed");
+      }
+    }
     if (v.drop) {
       // Silent loss: unlike the failed-node path, nobody is told. Recovering from it is the
       // reliability layer's job (QueuePair RC retransmit, controller peer-op retries).
@@ -126,6 +179,7 @@ void Network::rdma_read(Endpoint initiator, uint32_t target, const RdmaKey& key,
   if (injector_ != nullptr) {
     const FaultInjector::RdmaVerdict v =
         injector_->on_rdma(initiator.node, target, loop_->now());
+    note_rdma_faults(loop_, v);
     if (v.abort) {
       loop_->schedule_after(v.delay, [done = std::move(done)]() mutable {
         done(ErrorCode::kTimeout);
@@ -178,6 +232,7 @@ void Network::rdma_write(Endpoint initiator, uint32_t target, const RdmaKey& key
   if (injector_ != nullptr) {
     const FaultInjector::RdmaVerdict v =
         injector_->on_rdma(initiator.node, target, loop_->now());
+    note_rdma_faults(loop_, v);
     if (v.abort) {
       loop_->schedule_after(v.delay, [done = std::move(done)]() mutable {
         done(Status(ErrorCode::kTimeout));
@@ -227,6 +282,8 @@ void Network::rdma_third_party(Endpoint initiator, RdmaSide src, RdmaSide dst, u
     const FaultInjector::RdmaVerdict v1 =
         injector_->on_rdma(initiator.node, src.node, loop_->now());
     const FaultInjector::RdmaVerdict v2 = injector_->on_rdma(src.node, dst.node, loop_->now());
+    note_rdma_faults(loop_, v1);
+    note_rdma_faults(loop_, v2);
     const Duration delay = v1.delay + v2.delay;
     if (v1.abort || v2.abort) {
       loop_->schedule_after(delay, [done = std::move(done)]() mutable {

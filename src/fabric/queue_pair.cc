@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/assert.h"
+#include "src/sim/metrics.h"
 
 namespace fractos {
 
@@ -11,6 +12,12 @@ namespace {
 
 // Wire size charged for a standalone RC acknowledgment (header-only packet).
 constexpr size_t kAckBytes = 16;
+
+void bump(Network* net, const char* key, int64_t delta = 1) {
+  if (MetricsRegistry* m = net->loop()->metrics()) {
+    m->add(key, delta);
+  }
+}
 
 }  // namespace
 
@@ -35,6 +42,7 @@ void QueuePair::send(Traffic category, std::vector<uint8_t> payload) {
   FRACTOS_CHECK(peer_ != nullptr);
   if (severed_) {
     ++dropped_;
+    bump(net_, "qp.dropped");
     return;
   }
   if (!reliable()) {
@@ -50,6 +58,7 @@ void QueuePair::send(Traffic category, std::vector<uint8_t> payload) {
                [this, alive = alive_]() {
                  if (*alive) {
                    ++dropped_;
+                   bump(net_, "qp.dropped");
                  }
                });
     return;
@@ -70,6 +79,7 @@ void QueuePair::transmit(uint64_t seq) {
   p.last_tx = net_->loop()->now();
   if (p.attempts > 1) {
     ++retransmits_;
+    bump(net_, "qp.retransmits");
   }
 
   QueuePair* peer = peer_;
@@ -109,6 +119,7 @@ void QueuePair::exhaust_retries() {
   // RoCE RC retry_cnt exhaustion: the connection moves to the error state. Everything still
   // unACKed is lost.
   dropped_ += unacked_.size();
+  bump(net_, "qp.dropped", static_cast<int64_t>(unacked_.size()));
   unacked_.clear();
   sever();
 }
@@ -127,6 +138,7 @@ void QueuePair::on_wire_data(uint64_t seq, std::vector<uint8_t> payload) {
   // both and re-ACKs its cumulative position so the sender can converge.
   if (seq < rx_next_) {
     ++duplicates_suppressed_;
+    bump(net_, "qp.duplicates_suppressed");
   }
   send_ack(rx_next_);
 }
@@ -136,6 +148,7 @@ void QueuePair::send_ack(uint64_t cumulative) {
     return;
   }
   ++acks_sent_;
+  bump(net_, "qp.acks_sent");
   QueuePair* peer = peer_;
   net_->send(local_, peer->local_, Traffic::kControl, std::vector<uint8_t>(kAckBytes),
              [peer, cumulative, palive = peer->alive_](std::vector<uint8_t>) {
@@ -181,6 +194,7 @@ void QueuePair::sever() {
   }
   severed_ = true;
   dropped_ += unacked_.size();
+  bump(net_, "qp.dropped", static_cast<int64_t>(unacked_.size()));
   unacked_.clear();
   if (peer_ != nullptr && !peer_->severed_) {
     QueuePair* peer = peer_;
@@ -199,6 +213,7 @@ void QueuePair::peer_severed() {
   }
   severed_ = true;
   dropped_ += unacked_.size();
+  bump(net_, "qp.dropped", static_cast<int64_t>(unacked_.size()));
   unacked_.clear();
   if (on_severed_ != nullptr) {
     on_severed_();

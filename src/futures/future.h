@@ -37,6 +37,7 @@
 
 #include "src/base/assert.h"
 #include "src/base/result.h"
+#include "src/sim/span.h"
 
 namespace fractos {
 
@@ -181,6 +182,20 @@ class Future {
       internal::deliver<T>(std::move(cb), std::move(*state_->value));
     } else {
       FRACTOS_CHECK_MSG(!state_->broken, "on_ready on a broken promise's future");
+      // While span tracing is on, a stored continuation carries the ambient trace context it
+      // was attached under, so delivery (from whatever stack sets the promise) re-joins the
+      // attaching request's trace. Ready futures above need no wrap: they deliver on the
+      // attaching stack, where the context is already ambient.
+      if (span_tracing_active()) {
+        const SpanContext ctx = ambient_span_context();
+        if (ctx.valid()) {
+          state_->continuation = [ctx, cb = std::move(cb)](T&& v) mutable {
+            SpanScope scope(ctx);
+            cb(std::move(v));
+          };
+          return;
+        }
+      }
       state_->continuation = std::move(cb);
     }
   }

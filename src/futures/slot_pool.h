@@ -16,13 +16,18 @@
 #define SRC_FUTURES_SLOT_POOL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/base/assert.h"
 #include "src/base/result.h"
 #include "src/futures/future.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/metrics.h"
+#include "src/sim/span.h"
 
 namespace fractos {
 
@@ -38,17 +43,41 @@ class SlotPool {
   SlotPool(const SlotPool&) = delete;
   SlotPool& operator=(const SlotPool&) = delete;
 
+  // Opts the pool into observability under `slots.<name>.*` metrics and kQueue spans for
+  // blocked acquires. Purely additive: an uninstrumented pool (loop == nullptr) behaves
+  // exactly as before, and an instrumented one never schedules events or advances time.
+  void instrument(EventLoop* loop, const std::string& name) {
+    loop_ = loop;
+    name_ = name;
+    key_acquires_ = "slots." + name + ".acquires";
+    key_waits_ = "slots." + name + ".waits";
+    key_wait_ns_ = "slots." + name + ".wait_ns";
+  }
+
   Future<Result<size_t>> acquire() {
     if (closed_) {
       return make_ready_future(Result<size_t>(ErrorCode::kAborted));
+    }
+    if (loop_ != nullptr && loop_->metrics() != nullptr) {
+      loop_->metrics()->add(key_acquires_);
     }
     if (!free_.empty()) {
       const size_t slot = free_.back();
       free_.pop_back();
       return make_ready_future(Result<size_t>(slot));
     }
-    Promise<Result<size_t>> p;
-    waiting_.push_back(p);
+    Waiter w;
+    if (loop_ != nullptr) {
+      w.enqueued = loop_->now();
+      if (loop_->metrics() != nullptr) {
+        loop_->metrics()->add(key_waits_);
+      }
+      if (span_tracing_active() && loop_->span_tracer() != nullptr) {
+        w.span = loop_->span_tracer()->begin(name_, SpanKind::kQueue, "slot-wait", loop_->now());
+      }
+    }
+    Promise<Result<size_t>> p = w.promise;
+    waiting_.push_back(std::move(w));
     return p.future();
   }
 
@@ -60,8 +89,11 @@ class SlotPool {
     closed_ = true;
     auto waiters = std::move(waiting_);
     waiting_.clear();
-    for (auto& p : waiters) {
-      p.set(Result<size_t>(status));
+    for (auto& w : waiters) {
+      if (loop_ != nullptr && loop_->span_tracer() != nullptr) {
+        loop_->span_tracer()->end_error(w.span, loop_->now(), "pool-closed");
+      }
+      w.promise.set(Result<size_t>(status));
     }
   }
 
@@ -70,9 +102,18 @@ class SlotPool {
   void release(size_t slot) {
     FRACTOS_DCHECK(slot < total_);
     if (!waiting_.empty()) {
-      Promise<Result<size_t>> next = std::move(waiting_.front());
+      Waiter next = std::move(waiting_.front());
       waiting_.pop_front();
-      next.set(Result<size_t>(slot));
+      if (loop_ != nullptr) {
+        if (loop_->span_tracer() != nullptr) {
+          loop_->span_tracer()->end(next.span, loop_->now());
+        }
+        if (loop_->metrics() != nullptr) {
+          loop_->metrics()->observe(key_wait_ns_,
+                                    static_cast<uint64_t>((loop_->now() - next.enqueued).ns()));
+        }
+      }
+      next.promise.set(Result<size_t>(slot));
       return;
     }
     free_.push_back(slot);
@@ -83,10 +124,21 @@ class SlotPool {
   size_t waiting() const { return waiting_.size(); }
 
  private:
+  struct Waiter {
+    Promise<Result<size_t>> promise;
+    uint64_t span = 0;  // kQueue span covering the wait (0 when tracing is off)
+    Time enqueued;
+  };
+
   size_t total_;
   bool closed_ = false;
   std::vector<size_t> free_;
-  std::deque<Promise<Result<size_t>>> waiting_;
+  std::deque<Waiter> waiting_;
+  EventLoop* loop_ = nullptr;  // set by instrument(); null pools are silent
+  std::string name_;
+  std::string key_acquires_;
+  std::string key_waits_;
+  std::string key_wait_ns_;
 };
 
 }  // namespace fractos

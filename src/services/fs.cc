@@ -31,6 +31,7 @@ struct FsIoState {
   // together, defeating the pipeline.
   bool stage1_busy = false;
   std::deque<std::function<void()>> stage1_waiting;
+  uint64_t span = 0;  // kService span covering the whole op (0 when tracing is off)
 
   void acquire_stage1(std::function<void()> fn) {
     if (stage1_busy) {
@@ -70,6 +71,7 @@ FsService::FsService(System* sys, uint32_t node, Controller& controller, Params 
     : sys_(sys), params_(params), slot_pool_(params.staging_slots) {
   const uint64_t heap = params_.staging_slots * params_.slot_bytes + (1 << 20);
   proc_ = &sys->spawn("fs-service", node, controller, heap);
+  slot_pool_.instrument(&sys->loop(), "fs." + std::to_string(node));
   slots_.resize(params_.staging_slots);
   for (uint32_t i = 0; i < params_.staging_slots; ++i) {
     Slot& slot = slots_[i];
@@ -363,6 +365,16 @@ void FsService::handle_io(uint32_t open_id, bool is_write, Process::Received r) 
   st->mem = mem;
   st->cont = reqs[0];
   st->err = reqs.size() >= 2 ? reqs[1] : kInvalidCap;
+  if (MetricsRegistry* m = sys_->loop().metrics()) {
+    m->add(is_write ? "fs.writes" : "fs.reads");
+    m->add(is_write ? "fs.write_bytes" : "fs.read_bytes", static_cast<int64_t>(size));
+  }
+  if (span_tracing_active()) {
+    if (SpanTracer* t = sys_->loop().span_tracer()) {
+      st->span = t->begin(proc_->name(), SpanKind::kService, is_write ? "fs-write" : "fs-read",
+                          sys_->loop().now());
+    }
+  }
   io_pump(std::move(st));
 }
 
@@ -373,6 +385,12 @@ void FsService::io_pump(std::shared_ptr<FsIoState> st) {
   if (st->failed) {
     if (st->in_flight == 0) {
       st->finished = true;
+      if (st->span != 0) {
+        if (SpanTracer* t = sys_->loop().span_tracer()) {
+          t->end_error(st->span, sys_->loop().now(), "io-failed");
+        }
+        st->span = 0;
+      }
       if (st->err != kInvalidCap) {
         proc_->request_invoke(st->err,
                               Process::Args{}.imm_u64(0, static_cast<uint64_t>(st->error)));
@@ -382,6 +400,12 @@ void FsService::io_pump(std::shared_ptr<FsIoState> st) {
   }
   if (st->completed == st->size) {
     st->finished = true;
+    if (st->span != 0) {
+      if (SpanTracer* t = sys_->loop().span_tracer()) {
+        t->end(st->span, sys_->loop().now());
+      }
+      st->span = 0;
+    }
     proc_->request_invoke(st->cont);
     return;
   }

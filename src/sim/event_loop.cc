@@ -11,7 +11,11 @@ void EventLoop::schedule_at(Time when, Callback cb) {
   if (when < now_) {
     when = now_;
   }
-  queue_.push(Event{when, next_seq_++, std::move(cb)});
+  Event ev{when, next_seq_++, std::move(cb), SpanContext{}};
+  if (span_tracing_active()) {
+    ev.ctx = ambient_span_context();
+  }
+  queue_.push(std::move(ev));
 }
 
 void EventLoop::schedule_after(Duration delay, Callback cb) {
@@ -29,7 +33,12 @@ void EventLoop::fire_next() {
   FRACTOS_DCHECK(ev.when >= now_);
   now_ = ev.when;
   ++steps_;
-  ev.cb();
+  if (span_tracing_active()) {
+    SpanScope scope(ev.ctx);
+    ev.cb();
+  } else {
+    ev.cb();
+  }
 }
 
 uint64_t EventLoop::run(uint64_t max_steps) {

@@ -13,10 +13,13 @@
 #include <queue>
 #include <vector>
 
+#include "src/sim/span.h"
 #include "src/sim/time.h"
 #include "src/sim/trace.h"
 
 namespace fractos {
+
+class MetricsRegistry;
 
 class EventLoop {
  public:
@@ -62,11 +65,23 @@ class EventLoop {
     }
   }
 
+  // --- structured spans & metrics (see src/sim/span.h, src/sim/metrics.h) ---
+  //
+  // While any SpanTracer is alive, every scheduled Event captures the ambient SpanContext
+  // and restores it when it fires, so trace context flows through timers and wire deliveries
+  // for free. Neither hook ever schedules events or advances time: attaching a tracer or a
+  // registry cannot shift a single simulated timestamp.
+  void set_span_tracer(SpanTracer* tracer) { span_tracer_ = tracer; }
+  SpanTracer* span_tracer() const { return span_tracer_; }
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   struct Event {
     Time when;
     uint64_t seq;
     Callback cb;
+    SpanContext ctx;  // ambient span context at schedule time (empty when tracing is off)
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -81,6 +96,8 @@ class EventLoop {
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   TraceFn tracer_;
+  SpanTracer* span_tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
   Time now_;
   uint64_t next_seq_ = 0;
   uint64_t steps_ = 0;

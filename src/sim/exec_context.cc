@@ -16,6 +16,12 @@ void ExecContext::run(Duration cost, EventLoop::Callback work) {
   FRACTOS_DCHECK(cost >= Duration::zero());
   const Duration scaled = cost / speed_;
   const Time start = max(loop_->now(), free_at_);
+  if (span_tracing_active() && start > loop_->now()) {
+    // The core is busy with earlier work: the gap until it frees up is queueing, not compute.
+    if (SpanTracer* t = loop_->span_tracer()) {
+      t->record(name_, SpanKind::kQueue, "core-wait", loop_->now(), start);
+    }
+  }
   const Time done = start + scaled;
   free_at_ = done;
   busy_ += scaled;

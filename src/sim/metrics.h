@@ -1,0 +1,59 @@
+// MetricsRegistry: named counters, gauges, and log2 histograms for the simulated cluster.
+//
+// Components register metrics lazily by incrementing them — Network (bytes, drops,
+// retransmits), Controllers (ops, dedup hits), SlotPools (waits), devices, services. Keys
+// follow `component.node.metric` (e.g. `ctrl.1.syscalls`, `fs.fs-node.ios`, `net.bytes.data`);
+// keys are created on first touch, so a snapshot contains exactly the metrics the run
+// exercised, in sorted order — deterministic, diffable, and goldenable (tests/metrics_test.cc).
+//
+// Zero-cost discipline: a registry is attached to the EventLoop (loop.set_metrics(&reg)) and
+// every site guards on the pointer — one branch when disabled, no strings built. The registry
+// never schedules events and only ever reads simulated time handed to it, so attaching one
+// cannot shift a single recorded bench number.
+
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/sim/stats.h"
+
+namespace fractos {
+
+class MetricsRegistry {
+ public:
+  // Counters / gauges.
+  void add(const std::string& key, int64_t delta = 1) { scalars_[key] += delta; }
+  void set(const std::string& key, int64_t value) { scalars_[key] = value; }
+  int64_t value(const std::string& key) const {
+    auto it = scalars_.find(key);
+    return it == scalars_.end() ? 0 : it->second;
+  }
+
+  // Distributions (Log2Histogram buckets).
+  void observe(const std::string& key, uint64_t sample) { hists_[key].add(sample); }
+  const Log2Histogram* histogram(const std::string& key) const {
+    auto it = hists_.find(key);
+    return it == hists_.end() ? nullptr : &it->second;
+  }
+
+  // Flattened, sorted key -> value view: scalars verbatim; each histogram `h` expands to
+  // `h.count` plus `h.b<NN>` for every non-empty bucket (NN zero-padded so lexicographic
+  // order is bucket order).
+  std::map<std::string, int64_t> snapshot() const;
+
+  // One "key value\n" line per snapshot entry — the golden-file format.
+  std::string serialize() const;
+
+  bool empty() const { return scalars_.empty() && hists_.empty(); }
+
+ private:
+  std::map<std::string, int64_t> scalars_;
+  std::map<std::string, Log2Histogram> hists_;
+};
+
+}  // namespace fractos
+
+#endif  // SRC_SIM_METRICS_H_

@@ -67,6 +67,26 @@ struct TraceRecorder {
     }
     return n;
   }
+
+  // Exact-event matches. contains/count above do *substring* matching, so a needle like
+  // "invoke" also matches "invoke-reply" — assertions about a specific event must use these.
+  bool contains_exact(std::string_view event, std::string_view actor = {}) const {
+    for (const auto& e : entries) {
+      if ((actor.empty() || e.actor == actor) && e.event == event) {
+        return true;
+      }
+    }
+    return false;
+  }
+  size_t count_exact(std::string_view event, std::string_view actor = {}) const {
+    size_t n = 0;
+    for (const auto& e : entries) {
+      if ((actor.empty() || e.actor == actor) && e.event == event) {
+        ++n;
+      }
+    }
+    return n;
+  }
 };
 
 }  // namespace fractos

@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,9 @@
 #include "src/services/block_adaptor.h"
 #include "src/services/fs.h"
 #include "src/services/gpu_adaptor.h"
+#include "src/sim/metrics.h"
 #include "src/sim/rng.h"
+#include "src/sim/span.h"
 
 namespace fractos {
 namespace {
@@ -90,14 +93,20 @@ FaultPlan chaos_plan(uint64_t seed) {
 }
 
 // One full chaos run: build the soak topology on a faulted fabric, run `ops` randomized
-// application ops tolerating per-op errors, drain, and snapshot the outcome.
-ChaosOutcome run_chaos(uint64_t seed, int ops) {
+// application ops tolerating per-op errors, drain, and snapshot the outcome. When `metrics`
+// or `tracer` is given, it is attached for the entire run (bootstrap included, so the fault
+// mirrors see every message) — instrumentation must not perturb the simulation, which the
+// observability tests check by comparing outcomes against an uninstrumented run.
+ChaosOutcome run_chaos(uint64_t seed, int ops, MetricsRegistry* metrics = nullptr,
+                       SpanTracer* tracer = nullptr) {
   constexpr uint64_t kFileBytes = 1 << 20;
   constexpr uint64_t kBufBytes = 64 << 10;
 
   SystemConfig cfg;
   cfg.faults = chaos_plan(seed);
   System sys(cfg);
+  sys.loop().set_metrics(metrics);
+  sys.loop().set_span_tracer(tracer);
   Rng rng(seed * 2654435761u + 1);
 
   const uint32_t cn = sys.add_node("client");
@@ -155,6 +164,14 @@ ChaosOutcome run_chaos(uint64_t seed, int ops) {
     const uint64_t io = 4096ull << rng.next_below(4);  // 4K..32K
     const uint64_t off = rng.next_below((kFileBytes - io) / 4096 + 1) * 4096;
     const auto& file = rng.next_bool() ? file_dax : file_fs;
+    // With a tracer attached, every op runs under its own root span so the downstream
+    // instrumentation (syscalls, peer ops, devices) has an ambient context to attach to.
+    uint64_t root = 0;
+    std::optional<SpanScope> scope;
+    if (tracer != nullptr) {
+      root = tracer->start_trace("chaos", "op-" + std::to_string(op), sys.loop().now());
+      scope.emplace(tracer->context_of(root));
+    }
     switch (rng.next_below(4)) {
       case 0: {  // write (no content model: a failed write may leave partial state)
         std::vector<uint8_t> data(io);
@@ -189,8 +206,14 @@ ChaosOutcome run_chaos(uint64_t seed, int ops) {
         break;
       }
     }
+    if (tracer != nullptr) {
+      scope.reset();
+      tracer->end(root, sys.loop().now());
+    }
   }
   sys.loop().run();  // drain retransmit timers, late replies, cleanup protocol
+  sys.loop().set_metrics(nullptr);
+  sys.loop().set_span_tracer(nullptr);
 
   out.end_ns = sys.loop().now().ns();
   out.traffic = sys.net().counters();
@@ -240,6 +263,50 @@ TEST(ChaosSoak, DifferentSeedsDiverge) {
   const ChaosOutcome a = run_chaos(base_seed(), 60);
   const ChaosOutcome b = run_chaos(base_seed() + 1, 60);
   EXPECT_FALSE(same_outcome(a, b));
+}
+
+// The fault mirrors are bumped at the injector's verdict site, so under any chaos plan the
+// net.faults.* metrics must equal the FaultInjector's own counters key-for-key. (drops
+// covers both dice-induced and flap-induced losses: the verdict reports both as `drop`.)
+TEST(ChaosObservability, FaultMetricsMirrorInjectorCounters) {
+  MetricsRegistry metrics;
+  SpanTracer tracer;
+  const ChaosOutcome out = run_chaos(base_seed(), 60, &metrics, &tracer);
+
+  ASSERT_GT(out.faults.total_injected(), 0u);
+  EXPECT_EQ(static_cast<uint64_t>(metrics.value("net.faults.drops")),
+            out.faults.dropped[0] + out.faults.dropped[1] + out.faults.partition_drops);
+  EXPECT_EQ(static_cast<uint64_t>(metrics.value("net.faults.duplicates")),
+            out.faults.duplicated[0] + out.faults.duplicated[1]);
+  EXPECT_EQ(static_cast<uint64_t>(metrics.value("net.faults.delayed")),
+            out.faults.delayed[0] + out.faults.delayed[1]);
+  EXPECT_EQ(static_cast<uint64_t>(metrics.value("net.faults.rdma_retransmits")),
+            out.faults.rdma_retransmits);
+  EXPECT_EQ(static_cast<uint64_t>(metrics.value("net.faults.rdma_aborts")),
+            out.faults.rdma_aborts);
+
+  // The QP reliability layer's own counters surface too: a lossy run must retransmit.
+  EXPECT_GT(metrics.value("qp.retransmits"), 0);
+
+  // Even under faults no span leaks: every syscall reply eventually lands (RC retransmit),
+  // every timed-out peer op is force-closed, every FS io reaches a terminal branch.
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  for (const Span& s : tracer.spans()) {
+    EXPECT_FALSE(s.open) << "span " << s.span_id << " (" << s.name << ") left open";
+  }
+}
+
+// Attaching a tracer and a metrics registry must not perturb the simulation: the
+// instrumented run's outcome (end time, traffic, faults, per-op results) is bit-identical
+// to the uninstrumented run with the same seed.
+TEST(ChaosObservability, InstrumentationDoesNotPerturbTheRun) {
+  const ChaosOutcome plain = run_chaos(base_seed(), 60);
+  MetricsRegistry metrics;
+  SpanTracer tracer;
+  const ChaosOutcome traced = run_chaos(base_seed(), 60, &metrics, &tracer);
+  EXPECT_TRUE(same_outcome(plain, traced))
+      << "end_ns " << plain.end_ns << " vs " << traced.end_ns << ", injected "
+      << plain.faults.total_injected() << " vs " << traced.faults.total_injected();
 }
 
 // A node outage at the fabric level eats heartbeats while the node keeps executing: the
@@ -303,12 +370,35 @@ TEST(ChaosPeerOps, TimeoutThenDedupAfterLinkHeals) {
   const CapId pbuf = sys.bootstrap_grant(q, qbuf, p).value();
   const uint64_t c1_objects_before = c1.table().total_count();
 
+  // Trace the doomed op: the controller's peer-op span must be closed with the timeout
+  // error when the deadline fires, not left dangling until the late reply arrives.
+  SpanTracer tracer;
+  sys.loop().set_span_tracer(&tracer);
+  const uint64_t root = tracer.start_trace("test", "diminish", sys.loop().now());
+
   // The request (and its resends) are stuck behind the flap; the 1 ms deadline fires first.
-  Result<CapId> first = sys.await(p.memory_diminish(pbuf, 0, 4096, Perms::kRead));
+  Result<CapId> first = sys.await([&]() {
+    SpanScope scope(tracer.context_of(root));
+    return p.memory_diminish(pbuf, 0, 4096, Perms::kRead);
+  }());
   ASSERT_FALSE(first.ok());
   EXPECT_EQ(first.error(), ErrorCode::kTimeout);
   EXPECT_EQ(c0.stats().peer_op_timeouts, 1u);
   EXPECT_GE(c0.stats().peer_retries, 1u);
+  tracer.end(root, sys.loop().now());
+
+  // The timed-out peer op's span is closed — with the error recorded — the moment the
+  // deadline fires, and the failed syscall's span carries an error too.
+  bool saw_timeout_span = false;
+  for (const Span& s : tracer.spans()) {
+    if (s.kind == SpanKind::kController && s.name == "peer-op") {
+      EXPECT_FALSE(s.open);
+      EXPECT_TRUE(s.error);
+      EXPECT_EQ(s.error_what, "timeout");
+      saw_timeout_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_timeout_span) << "no peer-op span recorded for the timed-out op";
 
   // Heal, deliver the queued request copies, and drain: exactly one execution at the owner,
   // the duplicates answered from the dedup cache, every reply late and ignored.
@@ -322,6 +412,10 @@ TEST(ChaosPeerOps, TimeoutThenDedupAfterLinkHeals) {
   const CapId second = sys.await_ok(p.memory_diminish(pbuf, 0, 4096, Perms::kRead));
   EXPECT_NE(second, kInvalidCap);
   EXPECT_EQ(c0.stats().peer_op_timeouts, 1u);
+
+  // Nothing leaks: the late-reply dedup path and the timeout path both close their spans.
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  sys.loop().set_span_tracer(nullptr);
 }
 
 }  // namespace

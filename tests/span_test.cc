@@ -1,0 +1,180 @@
+// Property tests for span tracing (src/sim/span.h): randomized seeded storage workloads must
+// produce a WELL-FORMED span forest — children contained in existing parents of the same
+// trace, parents closing no earlier than children, no span left open — and identical seeds
+// must serialize byte-identical traces (the tracer stamps simulated time only).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/services/block_adaptor.h"
+#include "src/services/fs.h"
+#include "src/sim/rng.h"
+#include "src/sim/span.h"
+#include "src/sim/tax_report.h"
+
+namespace fractos {
+namespace {
+
+constexpr uint64_t kFileBytes = 1 << 20;
+constexpr uint64_t kBufBytes = 64 << 10;
+
+// client / fs / storage stack with one file open in both FS and DAX modes.
+struct Stack {
+  System sys;
+  std::unique_ptr<SimNvme> nvme;
+  std::unique_ptr<BlockAdaptor> block;
+  std::unique_ptr<FsService> fs;
+  Process* client = nullptr;
+  uint64_t buf_addr = 0;
+  CapId buf = kInvalidCap;
+  FsClient::OpenFile file_fs, file_dax;
+
+  Stack() {
+    const uint32_t cn = sys.add_node("client");
+    const uint32_t fn = sys.add_node("fs");
+    const uint32_t sn = sys.add_node("storage");
+    Controller& cc = sys.add_controller(cn, Loc::kHost);
+    Controller& cf = sys.add_controller(fn, Loc::kHost);
+    Controller& cs = sys.add_controller(sn, Loc::kHost);
+    nvme = std::make_unique<SimNvme>(&sys.loop());
+    block = std::make_unique<BlockAdaptor>(&sys, sn, cs, nvme.get());
+    fs = FsService::bootstrap(&sys, fn, cf, block->process(), block->mgmt_endpoint());
+    client = &sys.spawn("client", cn, cc, 16 << 20);
+    const CapId create_ep =
+        sys.bootstrap_grant(fs->process(), fs->create_endpoint(), *client).value();
+    const CapId open_ep = sys.bootstrap_grant(fs->process(), fs->open_endpoint(), *client).value();
+    FRACTOS_CHECK(sys.await(FsClient::create(*client, create_ep, "f", kFileBytes)).ok());
+    file_fs = sys.await_ok(FsClient::open(*client, open_ep, "f", true, false));
+    file_dax = sys.await_ok(FsClient::open(*client, open_ep, "f", true, true));
+    buf_addr = client->alloc(kBufBytes);
+    buf = sys.await_ok(client->memory_create(buf_addr, kBufBytes, Perms::kReadWrite));
+  }
+};
+
+// Runs `ops` traced random reads/writes with the given seed; every op gets its own root
+// span. Returns the number of completed ops (== root spans started).
+size_t run_workload(uint64_t seed, SpanTracer& tracer, int ops = 20) {
+  Stack st;
+  st.sys.loop().set_span_tracer(&tracer);
+  Rng rng(seed);
+  size_t done = 0;
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t io = 4096ull << rng.next_below(3);
+    const uint64_t off = rng.next_below((kFileBytes - io) / 4096 + 1) * 4096;
+    const bool dax = rng.next_bool();
+    const bool write = rng.next_bool();
+    const auto& file = dax ? st.file_dax : st.file_fs;
+    const uint64_t root = tracer.start_trace("client", write ? "write" : "read",
+                                             st.sys.loop().now());
+    Future<Status> f = [&]() {
+      SpanScope scope(tracer.context_of(root));
+      return write ? FsClient::write(*st.client, file, off, io, st.buf)
+                   : FsClient::read(*st.client, file, off, io, st.buf);
+    }();
+    EXPECT_TRUE(st.sys.await(std::move(f)).ok()) << "op " << op;
+    tracer.end(root, st.sys.loop().now());
+    ++done;
+  }
+  st.sys.loop().run();
+  st.sys.loop().set_span_tracer(nullptr);
+  return done;
+}
+
+TEST(SpanTest, RandomWorkloadProducesWellFormedForest) {
+  for (const uint64_t seed : {11ull, 22ull, 33ull}) {
+    SpanTracer tracer;
+    const size_t ops = run_workload(seed, tracer);
+
+    // Nothing leaks open on a clean fabric.
+    EXPECT_EQ(tracer.open_spans(), 0u) << "seed " << seed;
+    ASSERT_FALSE(tracer.spans().empty());
+
+    std::set<uint64_t> roots;
+    for (const Span& s : tracer.spans()) {
+      EXPECT_FALSE(s.open);
+      EXPECT_LE(s.t_start.ns(), s.t_end.ns()) << "span " << s.span_id;
+      EXPECT_NE(s.trace_id, 0u);
+      if (s.parent == 0) {
+        EXPECT_EQ(s.kind, SpanKind::kRequest);
+        EXPECT_EQ(s.trace_id, s.span_id);  // the root id doubles as the trace id
+        roots.insert(s.span_id);
+        continue;
+      }
+      const Span* p = tracer.find(s.parent);
+      ASSERT_NE(p, nullptr) << "span " << s.span_id << " has a dangling parent";
+      EXPECT_EQ(p->trace_id, s.trace_id) << "span " << s.span_id;
+      EXPECT_LT(p->span_id, s.span_id) << "parents are created before children";
+      // Containment: a parent never closes earlier than any of its children.
+      EXPECT_GE(p->t_end.ns(), s.t_end.ns()) << "span " << s.span_id;
+    }
+    // One root per completed op, and every span belongs to one of those traces.
+    EXPECT_EQ(roots.size(), ops) << "seed " << seed;
+    for (const Span& s : tracer.spans()) {
+      EXPECT_TRUE(roots.contains(s.trace_id)) << "span " << s.span_id;
+    }
+    // Each trace did real work (syscalls at minimum) and attributes fully to buckets.
+    for (const uint64_t root : roots) {
+      EXPECT_GE(tracer.trace(root).size(), 2u);
+      const TaxBreakdown b = fold_tax(tracer, root);
+      EXPECT_EQ(b.sum_ns(), b.total_ns) << "trace " << root;
+    }
+  }
+}
+
+TEST(SpanTest, SameSeedSerializesByteIdentical) {
+  SpanTracer a;
+  SpanTracer b;
+  ASSERT_EQ(run_workload(99, a), run_workload(99, b));
+  const std::string sa = a.serialize();
+  ASSERT_FALSE(sa.empty());
+  EXPECT_EQ(sa, b.serialize());
+}
+
+TEST(SpanTest, DifferentSeedsDiverge) {
+  SpanTracer a;
+  SpanTracer b;
+  run_workload(1, a);
+  run_workload(2, b);
+  EXPECT_NE(a.serialize(), b.serialize());
+}
+
+TEST(SpanTest, TaxSweepAttributesDeepestSpanAndSumsToRoot) {
+  SpanTracer tracer;
+  const uint64_t root = tracer.start_trace("app", "req", Time::from_ns(0));
+  {
+    SpanScope scope(tracer.context_of(root));
+    tracer.record("net", SpanKind::kFabric, "wire", Time::from_ns(10), Time::from_ns(30));
+    tracer.record("ctrl", SpanKind::kController, "op", Time::from_ns(30), Time::from_ns(45));
+    // Same depth as the fabric span but created later: wins their overlap [20, 25).
+    tracer.record("dev", SpanKind::kDevice, "svc", Time::from_ns(20), Time::from_ns(25));
+  }
+  tracer.end(root, Time::from_ns(100));
+  const TaxBreakdown b = fold_tax(tracer, root);
+  EXPECT_EQ(b.total_ns, 100);
+  EXPECT_EQ(b.sum_ns(), 100);
+  EXPECT_EQ(b.ns[static_cast<size_t>(TaxBucket::kFabric)], 15);
+  EXPECT_EQ(b.ns[static_cast<size_t>(TaxBucket::kDevice)], 5);
+  EXPECT_EQ(b.ns[static_cast<size_t>(TaxBucket::kController)], 15);
+  EXPECT_EQ(b.ns[static_cast<size_t>(TaxBucket::kOther)], 65);
+}
+
+TEST(SpanTest, ParentsNeverCloseBeforeChildren) {
+  // A child recorded with an end in the simulated future (the fabric/device pattern) must
+  // drag an earlier parent close forward.
+  SpanTracer tracer;
+  const uint64_t root = tracer.start_trace("app", "req", Time::from_ns(0));
+  {
+    SpanScope scope(tracer.context_of(root));
+    tracer.record("dev", SpanKind::kDevice, "svc", Time::from_ns(5), Time::from_ns(500));
+  }
+  tracer.end(root, Time::from_ns(10));  // closing "now" is before the child's end
+  const Span* r = tracer.find(root);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->t_end.ns(), 500);
+}
+
+}  // namespace
+}  // namespace fractos

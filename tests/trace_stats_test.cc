@@ -36,14 +36,20 @@ TEST_F(TraceStatsTest, TracerSeesTheLifeOfAnRpc) {
   sys_.loop().run();
   EXPECT_EQ(handled, 1);
 
-  EXPECT_TRUE(rec.contains("syscall RequestCreate"));
-  EXPECT_TRUE(rec.contains("syscall RequestInvoke"));
+  // Exact-match assertions pin the complete event text: a wording change (or an event that
+  // merely shares a prefix) fails loudly instead of slipping past a substring check.
+  EXPECT_TRUE(rec.contains_exact("syscall RequestCreate from pid 2", "ctrl-2"));
+  EXPECT_TRUE(rec.contains_exact("syscall RequestInvoke from pid 1"));
   // The invocation crosses from ctrl-1 (a's controller) to ctrl-2, which delivers it; the
   // actor filter pins each event to the controller that must have emitted it.
-  EXPECT_TRUE(rec.contains("syscall RequestInvoke", "ctrl-1"));
-  EXPECT_TRUE(rec.contains("deliver request", "ctrl-2"));
-  EXPECT_FALSE(rec.contains("deliver request", "ctrl-1"));
-  EXPECT_EQ(rec.count("deliver request"), rec.count("deliver request", "ctrl-2"));
+  EXPECT_TRUE(rec.contains_exact("syscall RequestInvoke from pid 1", "ctrl-1"));
+  EXPECT_TRUE(rec.contains_exact("deliver request to pid 2 (0 caps)", "ctrl-2"));
+  EXPECT_FALSE(rec.contains_exact("deliver request to pid 2 (0 caps)", "ctrl-1"));
+  EXPECT_EQ(rec.count_exact("deliver request to pid 2 (0 caps)"),
+            rec.count_exact("deliver request to pid 2 (0 caps)", "ctrl-2"));
+  // Substring matching still works for prefix queries, but never claims an exact event.
+  EXPECT_TRUE(rec.contains("deliver request"));
+  EXPECT_FALSE(rec.contains_exact("deliver request"));
   // Events are time-ordered.
   for (size_t i = 1; i < rec.entries.size(); ++i) {
     EXPECT_LE(rec.entries[i - 1].when.ns(), rec.entries[i].when.ns());
@@ -57,13 +63,13 @@ TEST_F(TraceStatsTest, TracerSeesRevocationAndFailure) {
   ASSERT_TRUE(sys_.await(a_->cap_revoke(mem)).ok());
   sys_.loop().run();
   // The revocation runs at the owner (ctrl-1); the failure translation at b's controller.
-  EXPECT_TRUE(rec.contains("revoked 1 object(s)", "ctrl-1"));
-  EXPECT_FALSE(rec.contains("revoked 1 object(s)", "ctrl-2"));
+  EXPECT_TRUE(rec.contains_exact("revoked 1 object(s), 0 monitor fire(s)", "ctrl-1"));
+  EXPECT_FALSE(rec.contains_exact("revoked 1 object(s), 0 monitor fire(s)", "ctrl-2"));
 
   sys_.fail_process(*b_);
   sys_.loop().run();
-  EXPECT_TRUE(rec.contains("failed; translating to revocations", "ctrl-2"));
-  EXPECT_FALSE(rec.contains("failed; translating to revocations", "ctrl-1"));
+  EXPECT_TRUE(rec.contains_exact("process 2 failed; translating to revocations", "ctrl-2"));
+  EXPECT_FALSE(rec.contains_exact("process 2 failed; translating to revocations", "ctrl-1"));
 }
 
 TEST_F(TraceStatsTest, TracingDisabledByDefaultAndCostsNothing) {
