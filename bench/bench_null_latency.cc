@@ -21,12 +21,12 @@ double raw_loopback_us(Loc server_loc) {
   QueuePair client(&net, Endpoint{node, Loc::kHost});
   QueuePair server(&net, Endpoint{node, server_loc});
   QueuePair::connect(client, server);
-  server.set_receive_handler([&server](std::vector<uint8_t> b) {
+  server.set_receive_handler([&server](Payload b) {
     server.send(Traffic::kControl, std::move(b));
   });
   Samples rtt;
   bool got = false;
-  client.set_receive_handler([&](std::vector<uint8_t>) { got = true; });
+  client.set_receive_handler([&](Payload) { got = true; });
   for (int i = 0; i < 100; ++i) {
     got = false;
     const Time start = loop.now();

@@ -1,0 +1,279 @@
+// Wall-clock engine speed: how many simulated events (and end-to-end requests) per real
+// second the engine sustains. This is the one bench that measures the simulator itself, not
+// the simulated system — the ROADMAP's "runs as fast as the hardware allows" applies to the
+// reproduction too: chaos soaks and throughput sweeps scale with events/sec.
+//
+// Three soaks:
+//   * timer    — pure scheduler churn: self-rescheduling actors with deterministic pseudo-
+//                random delays spanning bucket-local, cross-bucket, and far-future horizons.
+//   * facever  — the full face-verification pipeline (FS + GPU + controllers), 8 in flight.
+//   * storage  — FractOS FS random reads through the block adaptor, payload-heavy.
+//
+// Every soak reports the final simulated clock and step count; those are engine-version
+// invariants (same-seed runs must be bit-identical), so the JSON doubles as a determinism
+// guard when comparing engines. Emits BENCH_simspeed.json (override: FRACTOS_BENCH_JSON).
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/face_verify.h"
+#include "src/sim/rng.h"
+
+namespace fractos {
+namespace {
+
+using bench::Table;
+using bench::fmt;
+
+struct SoakResult {
+  std::string name;
+  uint64_t events = 0;       // engine steps consumed by the soak
+  uint64_t requests = 0;     // end-to-end requests completed (0 for the timer soak)
+  double wall_ms = 0.0;
+  int64_t sim_now_ns = 0;    // engine-version invariant: must not change with the engine
+  uint64_t sim_steps = 0;    // ditto
+
+  double events_per_sec() const { return wall_ms > 0 ? events / (wall_ms / 1e3) : 0.0; }
+  double requests_per_sec() const { return wall_ms > 0 ? requests / (wall_ms / 1e3) : 0.0; }
+};
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Pure scheduler churn. Actors re-schedule themselves with delays drawn from a deterministic
+// Rng: mostly sub-microsecond (same / neighboring wheel buckets), some tens of microseconds
+// (cross-bucket), and an occasional millisecond hop (far-future heap on a wheel-based
+// engine). A slice of callbacks carries a fat capture so both the inline and the overflow
+// callback paths are exercised.
+SoakResult timer_soak(uint64_t total_events) {
+  EventLoop loop;
+  Rng rng(42);
+  uint64_t fired = 0;
+  uint64_t checksum = 0;
+
+  struct Actor {
+    EventLoop* loop;
+    Rng* rng;
+    uint64_t* fired;
+    uint64_t* checksum;
+    uint64_t budget;
+    void fire() {
+      ++*fired;
+      *checksum += *fired;
+      if (budget-- == 0) {
+        return;
+      }
+      const uint64_t draw = rng->next_u64();
+      Duration delay;
+      switch (draw & 0xF) {
+        case 0:
+          delay = Duration::nanos(static_cast<int64_t>(draw >> 4 & 0xFFFFF));  // up to ~1 ms
+          break;
+        case 1:
+        case 2:
+          delay = Duration::nanos(static_cast<int64_t>(draw >> 4 & 0xFFFF));  // up to ~65 us
+          break;
+        default:
+          delay = Duration::nanos(static_cast<int64_t>(draw >> 4 & 0x3FF));  // up to ~1 us
+      }
+      if ((draw & 0x70) == 0) {
+        // Fat capture: pushes the callback past any small-buffer optimization.
+        uint64_t pad[12] = {draw, *fired};
+        loop->schedule_after(delay, [this, pad]() {
+          *checksum += pad[0] & 1;
+          fire();
+        });
+      } else {
+        loop->schedule_after(delay, [this]() { fire(); });
+      }
+    }
+  };
+
+  constexpr int kActors = 64;
+  std::vector<Actor> actors;
+  actors.reserve(kActors);
+  for (int i = 0; i < kActors; ++i) {
+    actors.push_back(Actor{&loop, &rng, &fired, &checksum, total_events / kActors});
+    loop.schedule_after(Duration::nanos(i), [a = &actors.back()]() { a->fire(); });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  loop.run();
+  SoakResult r;
+  r.name = "timer";
+  r.wall_ms = wall_ms_since(t0);
+  r.events = loop.steps();
+  r.sim_now_ns = loop.now().ns();
+  r.sim_steps = loop.steps();
+  FRACTOS_CHECK(checksum != 0);
+  return r;
+}
+
+// Full face-verification pipeline: frontend -> FS(DAX) -> block adaptor -> GPU -> respond.
+SoakResult facever_soak(int total_requests) {
+  System sys;
+  auto cluster = FaceVerifyCluster::build(&sys);
+  FaceVerifyParams params;
+  params.image_bytes = 64 << 10;
+  params.images_per_batch = 8;
+  params.num_batches = 8;
+  params.pool_slots = 8;
+  params.per_image_compute = Duration::micros(120);
+  FaceVerifyFractos app(&sys, &cluster, Loc::kHost, params);
+  app.ingest_database();
+  sys.await_ok(app.verify(0));  // warm-up
+
+  int issued = 0;
+  int done = 0;
+  std::function<void()> next = [&]() {
+    if (issued == total_requests) {
+      return;
+    }
+    const uint32_t batch = static_cast<uint32_t>(issued++ % 8);
+    app.verify(batch).on_ready([&](Result<bool>&& r) {
+      FRACTOS_CHECK(r.ok() && r.value());
+      ++done;
+      next();
+    });
+  };
+
+  const uint64_t steps0 = sys.loop().steps();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8; ++i) {
+    next();
+  }
+  sys.loop().run_until([&]() { return done == total_requests; });
+  SoakResult r;
+  r.name = "facever";
+  r.wall_ms = wall_ms_since(t0);
+  r.events = sys.loop().steps() - steps0;
+  r.requests = static_cast<uint64_t>(total_requests);
+  r.sim_now_ns = sys.loop().now().ns();
+  r.sim_steps = sys.loop().steps();
+  return r;
+}
+
+// Payload-heavy storage path: FractOS FS random reads (256 KiB) through the block adaptor.
+SoakResult storage_soak(int total_ios) {
+  constexpr uint64_t kIo = 256 << 10;
+  constexpr int kInflight = 4;
+  constexpr uint64_t kFileBytes = 64ull << 20;
+
+  System sys;
+  const uint32_t cn = sys.add_node("client");
+  const uint32_t fn = sys.add_node("fs");
+  const uint32_t sn = sys.add_node("storage");
+  Controller& cc = sys.add_controller(cn, Loc::kHost);
+  Controller& cf = sys.add_controller(fn, Loc::kHost);
+  Controller& cs = sys.add_controller(sn, Loc::kHost);
+  (void)cc;
+  auto nvme = std::make_unique<SimNvme>(&sys.loop());
+  BlockAdaptor block(&sys, sn, cs, nvme.get());
+  auto fs = FsService::bootstrap(&sys, fn, cf, block.process(), block.mgmt_endpoint());
+  Process& client = sys.spawn("client", cn, cc, kInflight * kIo + (2 << 20));
+  const CapId create_ep =
+      sys.bootstrap_grant(fs->process(), fs->create_endpoint(), client).value();
+  const CapId open_ep = sys.bootstrap_grant(fs->process(), fs->open_endpoint(), client).value();
+  FRACTOS_CHECK(sys.await(FsClient::create(client, create_ep, "bench", kFileBytes)).ok());
+  auto file = sys.await_ok(FsClient::open(client, open_ep, "bench", false, false));
+  std::vector<CapId> bufs;
+  for (int i = 0; i < kInflight; ++i) {
+    bufs.push_back(
+        sys.await_ok(client.memory_create(client.alloc(kIo), kIo, Perms::kReadWrite)));
+  }
+
+  Rng rng(7);
+  int issued = 0;
+  int done = 0;
+  std::function<void()> next = [&]() {
+    if (issued == total_ios) {
+      return;
+    }
+    const int idx = issued++;
+    const uint64_t slots = kFileBytes / kIo;
+    const uint64_t off = rng.next_below(slots) * kIo;
+    FsClient::read(client, file, off, kIo, bufs[static_cast<size_t>(idx % kInflight)])
+        .on_ready([&](Status s) {
+          FRACTOS_CHECK(s.ok());
+          ++done;
+          next();
+        });
+  };
+
+  const uint64_t steps0 = sys.loop().steps();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kInflight; ++i) {
+    next();
+  }
+  sys.loop().run_until([&]() { return done == total_ios; });
+  SoakResult r;
+  r.name = "storage";
+  r.wall_ms = wall_ms_since(t0);
+  r.events = sys.loop().steps() - steps0;
+  r.requests = static_cast<uint64_t>(total_ios);
+  r.sim_now_ns = sys.loop().now().ns();
+  r.sim_steps = sys.loop().steps();
+  return r;
+}
+
+void write_json(const std::vector<SoakResult>& soaks) {
+  const char* path = std::getenv("FRACTOS_BENCH_JSON");
+  if (path == nullptr) {
+    path = "BENCH_simspeed.json";
+  }
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_simspeed: cannot open %s\n", path);
+    return;
+  }
+  uint64_t total_events = 0;
+  double total_ms = 0;
+  std::fprintf(f, "{\n  \"bench\": \"simspeed\",\n  \"soaks\": [\n");
+  for (size_t i = 0; i < soaks.size(); ++i) {
+    const SoakResult& s = soaks[i];
+    total_events += s.events;
+    total_ms += s.wall_ms;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %" PRIu64 ", \"requests\": %" PRIu64
+                 ", \"wall_ms\": %.3f, \"events_per_sec\": %.0f, \"requests_per_sec\": %.0f"
+                 ", \"sim_now_ns\": %" PRId64 ", \"sim_steps\": %" PRIu64 "}%s\n",
+                 s.name.c_str(), s.events, s.requests, s.wall_ms, s.events_per_sec(),
+                 s.requests_per_sec(), s.sim_now_ns, s.sim_steps,
+                 i + 1 < soaks.size() ? "," : "");
+  }
+  const double aggregate = total_ms > 0 ? total_events / (total_ms / 1e3) : 0.0;
+  std::fprintf(f, "  ],\n  \"aggregate_events_per_sec\": %.0f\n}\n", aggregate);
+  std::fclose(f);
+  std::printf("wrote %s (aggregate %.0f events/sec)\n", path, aggregate);
+}
+
+}  // namespace
+}  // namespace fractos
+
+int main() {
+  using namespace fractos;
+  std::printf("Engine wall-clock speed: events/sec and requests/sec by soak\n");
+
+  std::vector<SoakResult> soaks;
+  soaks.push_back(timer_soak(2'000'000));
+  soaks.push_back(facever_soak(256));
+  soaks.push_back(storage_soak(192));
+
+  Table t("simspeed — wall-clock engine throughput",
+          {"soak", "events", "wall ms", "events/s", "requests/s", "sim steps", "sim ns"});
+  for (const SoakResult& s : soaks) {
+    t.row({s.name, std::to_string(s.events), fmt(s.wall_ms, 1), fmt(s.events_per_sec(), 0),
+           fmt(s.requests_per_sec(), 0), std::to_string(s.sim_steps),
+           std::to_string(s.sim_now_ns)});
+  }
+  t.print();
+  write_json(soaks);
+  return 0;
+}

@@ -282,13 +282,13 @@ void BaselineFs::run_chunk(std::shared_ptr<BaselineIoState> st, size_t slot_idx,
 
   st->acquire_stage1([this, st, slot_idx, dev_off, op_off, chunk, chunk_finished]() {
     device_->read(dev_off, chunk, [this, st, slot_idx, op_off, chunk, chunk_finished](
-                                      Result<std::vector<uint8_t>> data) {
+                                      Result<Payload> data) {
       st->release_stage1();
       if (!data.ok()) {
         chunk_finished(data.error());
         return;
       }
-      proc_->write_mem(slots_[slot_idx].addr, data.value());
+      proc_->write_mem(slots_[slot_idx].addr, data.value().bytes());
       proc_->memory_copy(slots_[slot_idx].mem, st->mem, chunk, 0, op_off)
           .on_ready([chunk_finished](Status cs) { chunk_finished(cs); });
     });

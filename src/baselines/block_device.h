@@ -13,6 +13,7 @@
 
 #include "src/base/result.h"
 #include "src/devices/nvme.h"
+#include "src/fabric/payload.h"
 
 namespace fractos {
 
@@ -20,9 +21,8 @@ class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
   virtual void read(uint64_t off, uint64_t size,
-                    std::function<void(Result<std::vector<uint8_t>>)> done) = 0;
-  virtual void write(uint64_t off, std::vector<uint8_t> data,
-                     std::function<void(Status)> done) = 0;
+                    std::function<void(Result<Payload>)> done) = 0;
+  virtual void write(uint64_t off, Payload data, std::function<void(Status)> done) = 0;
   virtual uint64_t capacity() const = 0;
 };
 
@@ -32,11 +32,10 @@ class LocalNvmeDevice : public BlockDevice {
   explicit LocalNvmeDevice(SimNvme* nvme) : nvme_(nvme) {}
 
   void read(uint64_t off, uint64_t size,
-            std::function<void(Result<std::vector<uint8_t>>)> done) override {
+            std::function<void(Result<Payload>)> done) override {
     nvme_->read(off, size, std::move(done));
   }
-  void write(uint64_t off, std::vector<uint8_t> data,
-             std::function<void(Status)> done) override {
+  void write(uint64_t off, Payload data, std::function<void(Status)> done) override {
     nvme_->write(off, std::move(data), std::move(done));
   }
   uint64_t capacity() const override { return nvme_->capacity(); }

@@ -36,17 +36,15 @@ QueuePair& NfsServer::accept(Endpoint client_ep) {
   (void)client_ep;
   connections_.push_back(std::make_unique<QueuePair>(net_, Endpoint{node_, Loc::kHost}));
   QueuePair* qp = connections_.back().get();
-  qp->set_receive_handler([this, qp](std::vector<uint8_t> bytes) {
-    on_rpc(qp, std::move(bytes));
-  });
+  qp->set_receive_handler([this, qp](Payload bytes) { on_rpc(qp, bytes); });
   return *qp;
 }
 
-void NfsServer::on_rpc(QueuePair* qp, std::vector<uint8_t> bytes) {
-  Decoder d(bytes);
+void NfsServer::on_rpc(QueuePair* qp, const Payload& bytes) {
+  Decoder d(bytes.bytes());
   const uint8_t op = d.get_u8();
   const uint64_t seq = d.get_u64();
-  auto respond = [qp, seq](uint8_t status, std::vector<uint8_t> payload, Traffic cat) {
+  auto respond = [qp, seq](uint8_t status, const std::vector<uint8_t>& payload, Traffic cat) {
     Encoder e;
     e.put_u8(kReply);
     e.put_u64(seq);
@@ -84,12 +82,12 @@ void NfsServer::on_rpc(QueuePair* qp, std::vector<uint8_t> bytes) {
           respond(1, {}, Traffic::kControl);
           return;
         }
-        device_->read(it->second.base + off, size, [respond](Result<std::vector<uint8_t>> r) {
+        device_->read(it->second.base + off, size, [respond](Result<Payload> r) {
           if (!r.ok()) {
             respond(1, {}, Traffic::kControl);
             return;
           }
-          respond(0, std::move(r).value(), Traffic::kData);
+          respond(0, r.value().bytes(), Traffic::kData);
         });
       });
       break;
@@ -119,7 +117,7 @@ NfsClient::NfsClient(Network* net, uint32_t node, NfsServer* server)
     : net_(net), qp_(net, Endpoint{node, Loc::kHost}) {
   QueuePair& remote = server->accept(qp_.local());
   QueuePair::connect(qp_, remote);
-  qp_.set_receive_handler([this](std::vector<uint8_t> bytes) { on_reply(std::move(bytes)); });
+  qp_.set_receive_handler([this](Payload bytes) { on_reply(bytes); });
 }
 
 Future<Result<std::vector<uint8_t>>> NfsClient::call(std::vector<uint8_t> request,
@@ -131,8 +129,8 @@ Future<Result<std::vector<uint8_t>>> NfsClient::call(std::vector<uint8_t> reques
   return promise.future();
 }
 
-void NfsClient::on_reply(std::vector<uint8_t> bytes) {
-  Decoder d(bytes);
+void NfsClient::on_reply(const Payload& bytes) {
+  Decoder d(bytes.bytes());
   const uint8_t op = d.get_u8();
   const uint64_t seq = d.get_u64();
   const uint8_t status = d.get_u8();

@@ -41,7 +41,7 @@ class NfsServer {
     uint64_t base = 0;
     uint64_t size = 0;
   };
-  void on_rpc(QueuePair* qp, std::vector<uint8_t> bytes);
+  void on_rpc(QueuePair* qp, const Payload& bytes);
 
   Network* net_;
   uint32_t node_;
@@ -69,7 +69,7 @@ class NfsClient {
 
  private:
   Future<Result<std::vector<uint8_t>>> call(std::vector<uint8_t> request, Traffic category);
-  void on_reply(std::vector<uint8_t> bytes);
+  void on_reply(const Payload& bytes);
 
   Network* net_;
   QueuePair qp_;

@@ -24,14 +24,12 @@ QueuePair& NvmeofTarget::accept(Endpoint initiator_ep) {
   (void)initiator_ep;
   connections_.push_back(std::make_unique<QueuePair>(net_, Endpoint{node_, Loc::kHost}));
   QueuePair* qp = connections_.back().get();
-  qp->set_receive_handler([this, qp](std::vector<uint8_t> bytes) {
-    on_command(qp, std::move(bytes));
-  });
+  qp->set_receive_handler([this, qp](Payload bytes) { on_command(qp, bytes); });
   return *qp;
 }
 
-void NvmeofTarget::on_command(QueuePair* qp, std::vector<uint8_t> bytes) {
-  Decoder d(bytes);
+void NvmeofTarget::on_command(QueuePair* qp, const Payload& bytes) {
+  Decoder d(bytes.bytes());
   const uint8_t op = d.get_u8();
   const uint64_t seq = d.get_u64();
   const uint64_t off = d.get_u64();
@@ -40,12 +38,14 @@ void NvmeofTarget::on_command(QueuePair* qp, std::vector<uint8_t> bytes) {
     const uint64_t size = d.get_u64();
     FRACTOS_CHECK(d.ok());
     cpu.run(params_.command_cost, [this, qp, seq, off, size]() {
-      nvme_->read(off, size, [qp, seq](Result<std::vector<uint8_t>> r) {
+      nvme_->read(off, size, [qp, seq](Result<Payload> r) {
         Encoder e;
         e.put_u8(kOpCompletion);
         e.put_u64(seq);
         e.put_u8(r.ok() ? 0 : static_cast<uint8_t>(r.error()));
-        e.put_bytes(r.ok() ? r.value() : std::vector<uint8_t>{});
+        // The capsule format embeds data in the completion message, so the baseline pays an
+        // encode copy here — the disaggregation tax FractOS's RDMA path avoids.
+        e.put_bytes(r.ok() ? r.value().bytes() : std::vector<uint8_t>{});
         qp->send(Traffic::kData, e.take());
       });
     });
@@ -73,13 +73,11 @@ NvmeofInitiator::NvmeofInitiator(Network* net, uint32_t node, NvmeofTarget* targ
     : net_(net), target_(target), qp_(net, Endpoint{node, Loc::kHost}) {
   QueuePair& remote = target->accept(qp_.local());
   QueuePair::connect(qp_, remote);
-  qp_.set_receive_handler([this](std::vector<uint8_t> bytes) {
-    on_completion(std::move(bytes));
-  });
+  qp_.set_receive_handler([this](Payload bytes) { on_completion(bytes); });
 }
 
-void NvmeofInitiator::on_completion(std::vector<uint8_t> bytes) {
-  Decoder d(bytes);
+void NvmeofInitiator::on_completion(const Payload& bytes) {
+  Decoder d(bytes.bytes());
   const uint8_t op = d.get_u8();
   const uint64_t seq = d.get_u64();
   const uint8_t status = d.get_u8();
@@ -92,12 +90,12 @@ void NvmeofInitiator::on_completion(std::vector<uint8_t> bytes) {
   if (status != 0) {
     done(static_cast<ErrorCode>(status));
   } else {
-    done(std::move(data));
+    done(Payload(std::move(data)));
   }
 }
 
 void NvmeofInitiator::read(uint64_t off, uint64_t size,
-                           std::function<void(Result<std::vector<uint8_t>>)> done) {
+                           std::function<void(Result<Payload>)> done) {
   const uint64_t seq = next_seq_++;
   pending_.emplace(seq, std::move(done));
   Encoder e;
@@ -108,17 +106,16 @@ void NvmeofInitiator::read(uint64_t off, uint64_t size,
   qp_.send(Traffic::kControl, e.take());
 }
 
-void NvmeofInitiator::write(uint64_t off, std::vector<uint8_t> data,
-                            std::function<void(Status)> done) {
+void NvmeofInitiator::write(uint64_t off, Payload data, std::function<void(Status)> done) {
   const uint64_t seq = next_seq_++;
-  pending_.emplace(seq, [done = std::move(done)](Result<std::vector<uint8_t>> r) {
+  pending_.emplace(seq, [done = std::move(done)](Result<Payload> r) {
     done(r.ok() ? ok_status() : Status(r.error()));
   });
   Encoder e;
   e.put_u8(kOpWrite);
   e.put_u64(seq);
   e.put_u64(off);
-  e.put_bytes(data);
+  e.put_bytes(data.bytes());
   qp_.send(Traffic::kData, e.take());
 }
 

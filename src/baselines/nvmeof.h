@@ -36,7 +36,7 @@ class NvmeofTarget {
   QueuePair& accept(Endpoint initiator_ep);
 
  private:
-  void on_command(QueuePair* qp, std::vector<uint8_t> bytes);
+  void on_command(QueuePair* qp, const Payload& bytes);
 
   Network* net_;
   uint32_t node_;
@@ -51,19 +51,18 @@ class NvmeofInitiator : public BlockDevice {
   NvmeofInitiator(Network* net, uint32_t node, NvmeofTarget* target);
 
   void read(uint64_t off, uint64_t size,
-            std::function<void(Result<std::vector<uint8_t>>)> done) override;
-  void write(uint64_t off, std::vector<uint8_t> data,
-             std::function<void(Status)> done) override;
+            std::function<void(Result<Payload>)> done) override;
+  void write(uint64_t off, Payload data, std::function<void(Status)> done) override;
   uint64_t capacity() const override { return target_->nvme().capacity(); }
 
  private:
-  void on_completion(std::vector<uint8_t> bytes);
+  void on_completion(const Payload& bytes);
 
   Network* net_;
   NvmeofTarget* target_;
   QueuePair qp_;
   uint64_t next_seq_ = 1;
-  std::unordered_map<uint64_t, std::function<void(Result<std::vector<uint8_t>>)>> pending_;
+  std::unordered_map<uint64_t, std::function<void(Result<Payload>)>> pending_;
 };
 
 }  // namespace fractos

@@ -61,8 +61,7 @@ std::vector<uint8_t> PageCache::gather(uint64_t off, uint64_t size) {
   return out;
 }
 
-void PageCache::read(uint64_t off, uint64_t size,
-                     std::function<void(Result<std::vector<uint8_t>>)> done) {
+void PageCache::read(uint64_t off, uint64_t size, std::function<void(Result<Payload>)> done) {
   if (off + size > capacity()) {
     loop_->post([done = std::move(done)]() { done(ErrorCode::kOutOfRange); });
     return;
@@ -82,7 +81,7 @@ void PageCache::read(uint64_t off, uint64_t size,
   if (all_cached) {
     ++hits_;
     const uint64_t n_pages = last - first + 1;
-    auto data = gather(off, size);
+    Payload data(gather(off, size));
     loop_->schedule_after(params_.hit_cost_per_page * static_cast<double>(n_pages),
                           [done = std::move(done), data = std::move(data)]() mutable {
                             done(std::move(data));
@@ -107,12 +106,12 @@ void PageCache::read(uint64_t off, uint64_t size,
   backing_->read(
       fetch_off, fetch_size,
       [this, off, size, fetch_first, fetch_off, fetch_size,
-       done = std::move(done)](Result<std::vector<uint8_t>> r) mutable {
+       done = std::move(done)](Result<Payload> r) mutable {
         if (!r.ok()) {
           done(r.error());
           return;
         }
-        const std::vector<uint8_t>& bytes = r.value();
+        const std::vector<uint8_t>& bytes = r.value().bytes();
         for (uint64_t p = fetch_first; (p - fetch_first + 1) * params_.page_bytes <= fetch_size;
              ++p) {
           const uint64_t start = (p - fetch_first) * params_.page_bytes;
@@ -123,13 +122,13 @@ void PageCache::read(uint64_t off, uint64_t size,
         // Serve from the fetched run directly: a request larger than the cache capacity may
         // already have evicted its own head pages.
         const uint64_t start = off - fetch_off;
-        done(std::vector<uint8_t>(bytes.begin() + static_cast<ptrdiff_t>(start),
-                                  bytes.begin() + static_cast<ptrdiff_t>(start + size)));
+        done(Payload(std::vector<uint8_t>(
+            bytes.begin() + static_cast<ptrdiff_t>(start),
+            bytes.begin() + static_cast<ptrdiff_t>(start + size))));
       });
 }
 
-void PageCache::write(uint64_t off, std::vector<uint8_t> data,
-                      std::function<void(Status)> done) {
+void PageCache::write(uint64_t off, Payload data, std::function<void(Status)> done) {
   if (off + data.size() > capacity()) {
     loop_->post([done = std::move(done)]() { done(ErrorCode::kOutOfRange); });
     return;
@@ -140,7 +139,8 @@ void PageCache::write(uint64_t off, std::vector<uint8_t> data,
   // issued immediately; the caller completes at memcpy speed. This is the "absorbs writes"
   // behaviour of Fig. 10.
   const uint64_t page_bytes = params_.page_bytes;
-  const uint64_t size = data.size();
+  const std::vector<uint8_t>& src = data.bytes();
+  const uint64_t size = src.size();
   uint64_t pos = 0;
   while (pos < size) {
     const uint64_t abs = off + pos;
@@ -148,11 +148,11 @@ void PageCache::write(uint64_t off, std::vector<uint8_t> data,
     const uint64_t in_page = abs % page_bytes;
     const uint64_t n = std::min(size - pos, page_bytes - in_page);
     if (in_page == 0 && n == page_bytes) {
-      install_page(page, std::vector<uint8_t>(data.begin() + static_cast<ptrdiff_t>(pos),
-                                              data.begin() + static_cast<ptrdiff_t>(pos + n)));
+      install_page(page, std::vector<uint8_t>(src.begin() + static_cast<ptrdiff_t>(pos),
+                                              src.begin() + static_cast<ptrdiff_t>(pos + n)));
     } else if (page_cached(page)) {
       Page& p = pages_.at(page);
-      std::copy_n(data.begin() + static_cast<ptrdiff_t>(pos), n,
+      std::copy_n(src.begin() + static_cast<ptrdiff_t>(pos), n,
                   p.bytes.begin() + static_cast<ptrdiff_t>(in_page));
       touch(page);
     }

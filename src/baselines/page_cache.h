@@ -34,9 +34,8 @@ class PageCache : public BlockDevice {
   PageCache(EventLoop* loop, BlockDevice* backing, Params params);
 
   void read(uint64_t off, uint64_t size,
-            std::function<void(Result<std::vector<uint8_t>>)> done) override;
-  void write(uint64_t off, std::vector<uint8_t> data,
-             std::function<void(Status)> done) override;
+            std::function<void(Result<Payload>)> done) override;
+  void write(uint64_t off, Payload data, std::function<void(Status)> done) override;
   uint64_t capacity() const override { return backing_->capacity(); }
 
   uint64_t hits() const { return hits_; }

@@ -35,14 +35,12 @@ QueuePair& RcudaDaemon::accept(Endpoint client_ep) {
   (void)client_ep;
   connections_.push_back(std::make_unique<QueuePair>(net_, Endpoint{node(), Loc::kHost}));
   QueuePair* qp = connections_.back().get();
-  qp->set_receive_handler([this, qp](std::vector<uint8_t> bytes) {
-    on_call(qp, std::move(bytes));
-  });
+  qp->set_receive_handler([this, qp](Payload bytes) { on_call(qp, bytes); });
   return *qp;
 }
 
-void RcudaDaemon::on_call(QueuePair* qp, std::vector<uint8_t> bytes) {
-  Decoder d(bytes);
+void RcudaDaemon::on_call(QueuePair* qp, const Payload& bytes) {
+  Decoder d(bytes.bytes());
   const uint8_t op = d.get_u8();
   const uint64_t seq = d.get_u64();
 
@@ -161,7 +159,7 @@ RcudaClient::RcudaClient(Network* net, uint32_t node, RcudaDaemon* daemon, Param
     : net_(net), node_(node), params_(params), qp_(net, Endpoint{node, Loc::kHost}) {
   QueuePair& remote = daemon->accept(qp_.local());
   QueuePair::connect(qp_, remote);
-  qp_.set_receive_handler([this](std::vector<uint8_t> bytes) { on_reply(std::move(bytes)); });
+  qp_.set_receive_handler([this](Payload bytes) { on_reply(bytes); });
 }
 
 Future<Result<std::vector<uint8_t>>> RcudaClient::call(std::vector<uint8_t> request,
@@ -177,8 +175,8 @@ Future<Result<std::vector<uint8_t>>> RcudaClient::call(std::vector<uint8_t> requ
   return promise.future();
 }
 
-void RcudaClient::on_reply(std::vector<uint8_t> bytes) {
-  Decoder d(bytes);
+void RcudaClient::on_reply(const Payload& bytes) {
+  Decoder d(bytes.bytes());
   const uint8_t op = d.get_u8();
   const uint64_t seq = d.get_u64();
   const uint8_t status = d.get_u8();

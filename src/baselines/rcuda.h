@@ -44,7 +44,7 @@ class RcudaDaemon {
   QueuePair& accept(Endpoint client_ep);
 
  private:
-  void on_call(QueuePair* qp, std::vector<uint8_t> bytes);
+  void on_call(QueuePair* qp, const Payload& bytes);
 
   Network* net_;
   SimGpu* gpu_;
@@ -80,7 +80,7 @@ class RcudaClient {
 
  private:
   Future<Result<std::vector<uint8_t>>> call(std::vector<uint8_t> request, Traffic category);
-  void on_reply(std::vector<uint8_t> bytes);
+  void on_reply(const Payload& bytes);
 
   Network* net_;
   uint32_t node_;

@@ -19,7 +19,7 @@ class Channel {
   using SeveredHandler = std::function<void()>;
 
   Channel(Network* net, Endpoint local) : qp_(net, local) {
-    qp_.set_receive_handler([this](std::vector<uint8_t> bytes) { on_bytes(std::move(bytes)); });
+    qp_.set_receive_handler([this](Payload bytes) { on_bytes(bytes); });
   }
 
   static void connect(Channel& a, Channel& b) { QueuePair::connect(a.qp_, b.qp_); }
@@ -37,6 +37,11 @@ class Channel {
     qp_.send(category, encode_envelope(env));
   }
 
+  // Pre-encoded variant: retry loops (controller peer-op resends) encode an Envelope once
+  // with encode() and re-send the same refcounted frame on every attempt.
+  static Payload encode(const Envelope& env) { return Payload(encode_envelope(env)); }
+  void send_encoded(Traffic category, Payload frame) { qp_.send(category, std::move(frame)); }
+
   void sever() { qp_.sever(); }
 
   // Transport-level controls and counters, exposed for reliability tuning and assertions.
@@ -47,11 +52,11 @@ class Channel {
 
   // Test hook: feeds raw bytes to the receive path as if they arrived on the wire (the
   // Process API always encodes, so hostile raw frames can only be injected this way).
-  void inject_raw_for_test(std::vector<uint8_t> bytes) { on_bytes(std::move(bytes)); }
+  void inject_raw_for_test(std::vector<uint8_t> bytes) { on_bytes(Payload(std::move(bytes))); }
 
  private:
-  void on_bytes(std::vector<uint8_t> bytes) {
-    auto env = decode_envelope(bytes);
+  void on_bytes(const Payload& bytes) {
+    auto env = decode_envelope(bytes.bytes());
     if (!env.ok()) {
       // Bytes on a channel come from an UNTRUSTED Process (or a peer with a bug): a trusted
       // Controller must never abort on malformed input — drop it and count it.

@@ -14,6 +14,16 @@ namespace {
 // Bound on the completed-peer-op reply cache (receiver-side dedup, lossy fabric only).
 constexpr size_t kCompletedPeerOpCacheCap = 4096;
 
+// "peer-<type>" span names, interned lazily on first use (MsgType is a uint8_t enum).
+NameId peer_msg_type_span_name(MsgType t) {
+  static NameId cache[256] = {};
+  NameId& id = cache[static_cast<uint8_t>(t)];
+  if (id == kInvalidNameId) {
+    id = intern_name(std::string("peer-") + msg_type_name(t));
+  }
+  return id;
+}
+
 }  // namespace
 
 Controller::Controller(Network* net, Config config)
@@ -21,13 +31,14 @@ Controller::Controller(Network* net, Config config)
   FRACTOS_CHECK(net != nullptr);
   exec_ = &net_->node(config_.endpoint.node).context(config_.endpoint.loc);
   name_ = "ctrl-" + std::to_string(config_.addr);
+  name_id_ = intern_name(name_);
   const std::string mp = "ctrl." + std::to_string(config_.addr) + ".";
-  mkeys_.syscalls = mp + "syscalls";
-  mkeys_.deliveries = mp + "deliveries";
-  mkeys_.translations = mp + "translations";
-  mkeys_.peer_retries = mp + "peer_retries";
-  mkeys_.peer_op_timeouts = mp + "peer_op_timeouts";
-  mkeys_.peer_dedup_hits = mp + "peer_dedup_hits";
+  mkeys_.syscalls = intern_name(mp + "syscalls");
+  mkeys_.deliveries = intern_name(mp + "deliveries");
+  mkeys_.translations = intern_name(mp + "translations");
+  mkeys_.peer_retries = intern_name(mp + "peer_retries");
+  mkeys_.peer_op_timeouts = intern_name(mp + "peer_op_timeouts");
+  mkeys_.peer_dedup_hits = intern_name(mp + "peer_dedup_hits");
 }
 
 Controller::~Controller() {
@@ -150,8 +161,8 @@ void Controller::on_process_msg(ProcessId pid, Envelope env) {
   // exec_->run itself records the core-wait slice as kQueue, which wins attribution for it.
   uint64_t span = 0;
   if (span_tracing_active() && net_->loop()->span_tracer() != nullptr) {
-    span = net_->loop()->span_tracer()->begin(name_, SpanKind::kController,
-                                              msg_type_name(env.type), net_->loop()->now());
+    span = net_->loop()->span_tracer()->begin(
+        name_id_, SpanKind::kController, msg_type_span_name(env.type), net_->loop()->now());
   }
   exec_->run(cost, [this, pid, span, env = std::move(env)]() mutable {
     auto it = procs_.find(pid);
@@ -174,7 +185,7 @@ void Controller::on_peer_msg(ControllerAddr peer, Envelope env) {
   uint64_t span = 0;
   if (span_tracing_active() && net_->loop()->span_tracer() != nullptr) {
     span = net_->loop()->span_tracer()->begin(
-        name_, SpanKind::kController, std::string("peer-") + msg_type_name(env.type),
+        name_id_, SpanKind::kController, peer_msg_type_span_name(env.type),
         net_->loop()->now());
   }
   exec_->run(cost, [this, peer, span, env = std::move(env)]() mutable {
@@ -230,7 +241,8 @@ void Controller::note_translation(Duration cost) {
     // the execution window is exactly [now - cost/speed, now].
     const Time now = net_->loop()->now();
     const Duration scaled = cost / exec_->speed();
-    net_->loop()->span_tracer()->record(name_, SpanKind::kTranslation, "cap-serialize",
+    static const NameId kCapSerialize = intern_name("cap-serialize");
+    net_->loop()->span_tracer()->record(name_id_, SpanKind::kTranslation, kCapSerialize,
                                         Time::from_ns(now.ns() - scaled.ns()), now);
   }
 }
@@ -514,7 +526,7 @@ void Controller::bounce_copy_chunked(Endpoint self, CapEntry src, CapEntry dst, 
           st->self, st->src.mem.node, RdmaKey{st->src.ref.owner, st->src.ref.index,
                                               st->src.ref.reboot_count},
           st->src.mem.pool, st->src.mem.addr + off, len,
-          [st, pump, off, len](Result<std::vector<uint8_t>> data) {
+          [st, pump, off, len](Result<Payload> data) {
             --st->reads_in_flight;
             if (st->failed) {
               return;
@@ -524,6 +536,8 @@ void Controller::bounce_copy_chunked(Endpoint self, CapEntry src, CapEntry dst, 
               st->done(data.error());
               return;
             }
+            // Hand the read's Payload handle straight to the write — the bounce "copy"
+            // through the Controller moves no bytes in the simulator.
             st->net->rdma_write(
                 st->self, st->dst.mem.node,
                 RdmaKey{st->dst.ref.owner, st->dst.ref.index, st->dst.ref.reboot_count},
@@ -1246,8 +1260,9 @@ Future<Result<PeerReplyMsg>> Controller::call_peer(ControllerAddr peer, uint64_t
   pending_ops_.emplace(op_id, promise);
   pending_op_peer_.emplace(op_id, peer);
   if (span_tracing_active() && net_->loop()->span_tracer() != nullptr) {
-    const uint64_t span = net_->loop()->span_tracer()->begin(name_, SpanKind::kController,
-                                                             "peer-op", net_->loop()->now());
+    static const NameId kPeerOp = intern_name("peer-op");
+    const uint64_t span = net_->loop()->span_tracer()->begin(name_id_, SpanKind::kController,
+                                                             kPeerOp, net_->loop()->now());
     if (span != 0) {
       pending_op_spans_.emplace(op_id, span);
     }
@@ -1258,7 +1273,7 @@ Future<Result<PeerReplyMsg>> Controller::call_peer(ControllerAddr peer, uint64_t
     // timers are armed and simulated time is untouched — the pre-existing fast path.
     return inner;
   }
-  schedule_peer_resend(peer, op_id, std::move(env), 1);
+  schedule_peer_resend(peer, op_id, Channel::encode(env), 1);
   Future<Result<PeerReplyMsg>> bounded =
       with_timeout(*net_->loop(), config_.peer_op_deadline, std::move(inner));
   // Scheduled after with_timeout's own deadline event (same instant, later sequence number):
@@ -1269,14 +1284,14 @@ Future<Result<PeerReplyMsg>> Controller::call_peer(ControllerAddr peer, uint64_t
   return bounded;
 }
 
-void Controller::schedule_peer_resend(ControllerAddr peer, uint64_t op_id, Envelope env,
+void Controller::schedule_peer_resend(ControllerAddr peer, uint64_t op_id, Payload frame,
                                       uint32_t attempt) {
   if (attempt > config_.peer_op_retry_budget) {
     return;
   }
   const Duration delay =
       config_.peer_op_rto * static_cast<double>(uint64_t{1} << std::min(attempt - 1, 16u));
-  net_->loop()->schedule_after(delay, [this, peer, op_id, env = std::move(env),
+  net_->loop()->schedule_after(delay, [this, peer, op_id, frame = std::move(frame),
                                        attempt]() mutable {
     if (failed_ || !pending_ops_.contains(op_id)) {
       return;  // answered, timed out, or this Controller failed
@@ -1285,8 +1300,11 @@ void Controller::schedule_peer_resend(ControllerAddr peer, uint64_t op_id, Envel
     if (MetricsRegistry* m = net_->loop()->metrics()) {
       m->add(mkeys_.peer_retries);
     }
-    send_peer(peer, env);
-    schedule_peer_resend(peer, op_id, std::move(env), attempt + 1);
+    auto it = peers_.find(peer);
+    if (it != peers_.end() && !it->second.chan->severed()) {
+      it->second.chan->send_encoded(Traffic::kControl, frame);
+    }
+    schedule_peer_resend(peer, op_id, std::move(frame), attempt + 1);
   });
 }
 

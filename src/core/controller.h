@@ -35,6 +35,7 @@
 #include "src/core/costs.h"
 #include "src/fabric/network.h"
 #include "src/futures/future.h"
+#include "src/sim/intern.h"
 
 namespace fractos {
 
@@ -231,7 +232,10 @@ class Controller {
   // with_timeout(peer_op_deadline) — a lost conversation surfaces as kTimeout on the error
   // channel instead of hanging the simulation.
   Future<Result<PeerReplyMsg>> call_peer(ControllerAddr peer, uint64_t op_id, Envelope env);
-  void schedule_peer_resend(ControllerAddr peer, uint64_t op_id, Envelope env, uint32_t attempt);
+  // Resends carry the frame pre-encoded: one Envelope serialization per op, shared by every
+  // retransmission attempt (the Payload copy is a refcount bump).
+  void schedule_peer_resend(ControllerAddr peer, uint64_t op_id, Payload frame,
+                            uint32_t attempt);
   // Deadline bookkeeping: drops the pending promise at op deadline (its with_timeout wrapper
   // has already delivered kTimeout) and counts the timeout.
   void forget_peer_op(uint64_t op_id);
@@ -298,15 +302,17 @@ class Controller {
   uint64_t deliveries_queued_ = 0;
   bool failed_ = false;
   ControllerStats stats_;
-  std::string name_;  // "ctrl-<addr>", for trace lines
-  // Precomputed metric keys (ctrl.<addr>.*) so hot paths never concatenate strings.
+  std::string name_;           // "ctrl-<addr>", for trace lines
+  NameId name_id_ = kInvalidNameId;  // interned name_, the span actor
+  // Pre-interned metric keys (ctrl.<addr>.*) so hot paths neither concatenate nor look up
+  // strings.
   struct MetricKeys {
-    std::string syscalls;
-    std::string deliveries;
-    std::string translations;
-    std::string peer_retries;
-    std::string peer_op_timeouts;
-    std::string peer_dedup_hits;
+    NameId syscalls = kInvalidNameId;
+    NameId deliveries = kInvalidNameId;
+    NameId translations = kInvalidNameId;
+    NameId peer_retries = kInvalidNameId;
+    NameId peer_op_timeouts = kInvalidNameId;
+    NameId peer_dedup_hits = kInvalidNameId;
   } mkeys_;
 };
 

@@ -18,9 +18,9 @@ void NodeMonitor::watch(uint32_t node) {
   w->agent->set_mode(QueuePair::Mode::kDatagram);
   w->receiver->set_mode(QueuePair::Mode::kDatagram);
   QueuePair::connect(*w->agent, *w->receiver);
-  w->agent->set_receive_handler([](std::vector<uint8_t>) {});
+  w->agent->set_receive_handler([](Payload) {});
   Watched* raw = w.get();
-  w->receiver->set_receive_handler([this, raw](std::vector<uint8_t>) {
+  w->receiver->set_receive_handler([this, raw](Payload) {
     raw->last_beat = sys_->loop().now();
     if (raw->reported) {
       // A node we declared dead is beating again: the report was a false positive (its
@@ -62,7 +62,9 @@ void NodeMonitor::beat(size_t idx) {
   // A dead node's agent cannot send (the fabric drops its messages); the send below is what
   // a live node's heartbeat daemon would do.
   if (!sys_->net().node(w.node).failed()) {
-    w.agent->send(Traffic::kControl, std::vector<uint8_t>(8, 0xbe));
+    // Every heartbeat aliases one shared frame — periodic beats allocate nothing.
+    static const Payload kBeat(std::vector<uint8_t>(8, 0xbe));
+    w.agent->send(Traffic::kControl, kBeat);
   }
   const uint64_t epoch = epoch_;
   sys_->loop().schedule_after(params_.heartbeat_interval, [this, idx, epoch]() {

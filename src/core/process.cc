@@ -62,6 +62,7 @@ Process::Process(Network* net, ProcessId pid, std::string name, uint32_t node, P
       heap_pool_(heap_pool),
       chan_(net, Endpoint{node, Loc::kHost}) {
   (void)controller_ep;  // the System wires the channel to the Controller side
+  name_id_ = intern_name(name_);
   chan_.set_handler([this](Envelope env) { on_envelope(std::move(env)); });
 }
 
@@ -72,7 +73,7 @@ uint64_t Process::send_syscall(Envelope env) {
   if (span_tracing_active()) {
     if (SpanTracer* t = net_->loop()->span_tracer()) {
       const uint64_t span =
-          t->begin(name_, SpanKind::kSyscall, msg_type_name(env.type), net_->loop()->now());
+          t->begin(name_id_, SpanKind::kSyscall, msg_type_span_name(env.type), net_->loop()->now());
       if (span != 0) {
         pending_spans_.emplace(env.seq, span);
       }

@@ -41,6 +41,7 @@
 #include "src/cap/types.h"
 #include "src/core/channel.h"
 #include "src/futures/future.h"
+#include "src/sim/intern.h"
 #include "src/fabric/network.h"
 
 namespace fractos {
@@ -151,6 +152,7 @@ class Process {
   Network* net_;
   ProcessId pid_;
   std::string name_;
+  NameId name_id_ = kInvalidNameId;  // interned name_, the span actor
   uint32_t node_;
   PoolId heap_pool_;
   Channel chan_;

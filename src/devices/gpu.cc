@@ -91,16 +91,25 @@ void SimGpu::launch(KernelId id, std::vector<uint64_t> args, std::function<void(
   engine_free_ = start + total;
   busy_ += total;
   ++launches_;
+  struct GpuNames {
+    NameId launches = intern_name("gpu.launches");
+    NameId kernel_ns = intern_name("gpu.kernel_ns");
+    NameId gpu = intern_name("gpu");
+    NameId engine_wait = intern_name("engine-wait");
+    NameId kernel = intern_name("kernel");
+  };
   if (MetricsRegistry* m = net_->loop()->metrics()) {
-    m->add("gpu.launches");
-    m->observe("gpu.kernel_ns", static_cast<uint64_t>(total.ns()));
+    static const GpuNames names;
+    m->add(names.launches);
+    m->observe(names.kernel_ns, static_cast<uint64_t>(total.ns()));
   }
   if (span_tracing_active()) {
     if (SpanTracer* t = net_->loop()->span_tracer()) {
+      static const GpuNames names;
       if (start > net_->loop()->now()) {
-        t->record("gpu", SpanKind::kQueue, "engine-wait", net_->loop()->now(), start);
+        t->record(names.gpu, SpanKind::kQueue, names.engine_wait, net_->loop()->now(), start);
       }
-      t->record("gpu", SpanKind::kDevice, "kernel", start, engine_free_);
+      t->record(names.gpu, SpanKind::kDevice, names.kernel, start, engine_free_);
     }
   }
   net_->loop()->schedule_at(engine_free_, [done = std::move(done)]() { done(ok_status()); });

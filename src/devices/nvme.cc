@@ -10,6 +10,26 @@
 
 namespace fractos {
 
+namespace {
+
+struct NvmeNames {
+  NameId reads = intern_name("nvme.reads");
+  NameId read_bytes = intern_name("nvme.read_bytes");
+  NameId writes = intern_name("nvme.writes");
+  NameId write_bytes = intern_name("nvme.write_bytes");
+  NameId nvme = intern_name("nvme");
+  NameId channel_wait = intern_name("channel-wait");
+  NameId nvme_read = intern_name("nvme-read");
+  NameId nvme_write = intern_name("nvme-write");
+};
+
+const NvmeNames& nvme_names() {
+  static const NvmeNames n;
+  return n;
+}
+
+}  // namespace
+
 SimNvme::SimNvme(EventLoop* loop, Params params) : loop_(loop), params_(params) {
   FRACTOS_CHECK(loop != nullptr);
   FRACTOS_CHECK(params_.channels > 0);
@@ -45,7 +65,11 @@ std::vector<uint8_t>& SimNvme::block_for(uint64_t block_idx) {
 }
 
 void SimNvme::read_bytes(uint64_t off, uint64_t size, std::vector<uint8_t>& out) const {
-  out.assign(size, 0);
+  // Append per block instead of zero-filling up front: a pre-zeroed buffer writes every byte
+  // twice on the (common) all-blocks-present path, and these reads are the storage soaks'
+  // single largest memory touch.
+  out.clear();
+  out.reserve(size);
   uint64_t pos = 0;
   while (pos < size) {
     const uint64_t abs = off + pos;
@@ -54,8 +78,10 @@ void SimNvme::read_bytes(uint64_t off, uint64_t size, std::vector<uint8_t>& out)
     const uint64_t n = std::min(size - pos, params_.block_bytes - in_block);
     auto it = blocks_.find(block);
     if (it != blocks_.end()) {
-      std::copy_n(it->second.begin() + static_cast<ptrdiff_t>(in_block), n,
-                  out.begin() + static_cast<ptrdiff_t>(pos));
+      out.insert(out.end(), it->second.begin() + static_cast<ptrdiff_t>(in_block),
+                 it->second.begin() + static_cast<ptrdiff_t>(in_block + n));
+    } else {
+      out.insert(out.end(), n, 0);
     }
     pos += n;
   }
@@ -75,28 +101,30 @@ void SimNvme::write_bytes(uint64_t off, const std::vector<uint8_t>& data) {
   }
 }
 
-void SimNvme::read(uint64_t off, uint64_t size,
-                   std::function<void(Result<std::vector<uint8_t>>)> done) {
+void SimNvme::read(uint64_t off, uint64_t size, std::function<void(Result<Payload>)> done) {
   if (Status s = check_range(off, size); !s.ok()) {
     loop_->post([done = std::move(done), s]() { done(s.error()); });
     return;
   }
-  std::vector<uint8_t> data;
-  read_bytes(off, size, data);
+  std::vector<uint8_t> raw;
+  read_bytes(off, size, raw);
+  Payload data(std::move(raw));  // the one copy: block store -> Payload rep
   const Duration service = params_.read_latency + transfer_time(size, params_.read_bw_bpns);
   Time start;
   const Time finish = schedule_on_channel(service, &start);
   ++reads_;
   if (MetricsRegistry* m = loop_->metrics()) {
-    m->add("nvme.reads");
-    m->add("nvme.read_bytes", static_cast<int64_t>(size));
+    const NvmeNames& n = nvme_names();
+    m->add(n.reads);
+    m->add(n.read_bytes, static_cast<int64_t>(size));
   }
   if (span_tracing_active()) {
     if (SpanTracer* t = loop_->span_tracer()) {
+      const NvmeNames& n = nvme_names();
       if (start > loop_->now()) {
-        t->record("nvme", SpanKind::kQueue, "channel-wait", loop_->now(), start);
+        t->record(n.nvme, SpanKind::kQueue, n.channel_wait, loop_->now(), start);
       }
-      t->record("nvme", SpanKind::kDevice, "nvme-read", start, finish);
+      t->record(n.nvme, SpanKind::kDevice, n.nvme_read, start, finish);
     }
   }
   loop_->schedule_at(finish, [done = std::move(done), data = std::move(data)]() mutable {
@@ -104,7 +132,7 @@ void SimNvme::read(uint64_t off, uint64_t size,
   });
 }
 
-void SimNvme::write(uint64_t off, std::vector<uint8_t> data, std::function<void(Status)> done) {
+void SimNvme::write(uint64_t off, Payload data, std::function<void(Status)> done) {
   if (Status s = check_range(off, data.size()); !s.ok()) {
     loop_->post([done = std::move(done), s]() { done(s); });
     return;
@@ -113,18 +141,20 @@ void SimNvme::write(uint64_t off, std::vector<uint8_t> data, std::function<void(
       params_.write_latency + transfer_time(data.size(), params_.write_bw_bpns);
   Time start;
   const Time finish = schedule_on_channel(service, &start);
-  write_bytes(off, data);
+  write_bytes(off, data.bytes());
   ++writes_;
   if (MetricsRegistry* m = loop_->metrics()) {
-    m->add("nvme.writes");
-    m->add("nvme.write_bytes", static_cast<int64_t>(data.size()));
+    const NvmeNames& n = nvme_names();
+    m->add(n.writes);
+    m->add(n.write_bytes, static_cast<int64_t>(data.size()));
   }
   if (span_tracing_active()) {
     if (SpanTracer* t = loop_->span_tracer()) {
+      const NvmeNames& n = nvme_names();
       if (start > loop_->now()) {
-        t->record("nvme", SpanKind::kQueue, "channel-wait", loop_->now(), start);
+        t->record(n.nvme, SpanKind::kQueue, n.channel_wait, loop_->now(), start);
       }
-      t->record("nvme", SpanKind::kDevice, "nvme-write", start, finish);
+      t->record(n.nvme, SpanKind::kDevice, n.nvme_write, start, finish);
     }
   }
   loop_->schedule_at(finish, [done = std::move(done)]() { done(ok_status()); });

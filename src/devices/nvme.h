@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/base/result.h"
+#include "src/fabric/payload.h"
 #include "src/sim/event_loop.h"
 
 namespace fractos {
@@ -42,11 +43,12 @@ class SimNvme {
   uint64_t capacity() const { return params_.capacity_bytes; }
 
   // Reads `size` bytes at byte offset `off`; `done` gets the data after the modeled service
-  // time. Out-of-range access fails immediately.
-  void read(uint64_t off, uint64_t size, std::function<void(Result<std::vector<uint8_t>>)> done);
+  // time. Out-of-range access fails immediately. The result is a refcounted Payload: the
+  // block-store copy happens once, here, and the handle rides the completion for free.
+  void read(uint64_t off, uint64_t size, std::function<void(Result<Payload>)> done);
 
   // Writes `data` at byte offset `off`.
-  void write(uint64_t off, std::vector<uint8_t> data, std::function<void(Status)> done);
+  void write(uint64_t off, Payload data, std::function<void(Status)> done);
 
   // Direct (zero-time) access for test setup / verification.
   std::vector<uint8_t> peek(uint64_t off, uint64_t size) const;

@@ -18,11 +18,28 @@ void note_rdma_faults(EventLoop* loop, const FaultInjector::RdmaVerdict& v) {
     return;
   }
   if (v.retries > 0) {
-    m->add("net.faults.rdma_retransmits", v.retries);
+    static const NameId kRetransmits = intern_name("net.faults.rdma_retransmits");
+    m->add(kRetransmits, v.retries);
   }
   if (v.abort) {
-    m->add("net.faults.rdma_aborts");
+    static const NameId kAborts = intern_name("net.faults.rdma_aborts");
+    m->add(kAborts);
   }
+}
+
+// Interned names for the per-transfer fast path (one hash lookup per process, ever).
+struct NetNames {
+  NameId msg[2] = {intern_name("net.messages.control"), intern_name("net.messages.data")};
+  NameId bytes[2] = {intern_name("net.bytes.control"), intern_name("net.bytes.data")};
+  NameId net = intern_name("net");
+  NameId nic_wait = intern_name("nic-wait");
+  NameId wire = intern_name("wire");
+  NameId local = intern_name("local");
+};
+
+const NetNames& net_names() {
+  static const NetNames n;
+  return n;
 }
 
 }  // namespace
@@ -86,20 +103,20 @@ Time Network::schedule_transfer(Endpoint src, Endpoint dst, Traffic category,
 
   const Time arrival = start + serialization + wire_latency(src, dst);
   if (MetricsRegistry* m = loop_->metrics()) {
-    static const char* const kMsgKey[2] = {"net.messages.control", "net.messages.data"};
-    static const char* const kByteKey[2] = {"net.bytes.control", "net.bytes.data"};
-    m->add(kMsgKey[cat]);
-    m->add(kByteKey[cat], static_cast<int64_t>(wire_bytes));
+    const NetNames& n = net_names();
+    m->add(n.msg[cat]);
+    m->add(n.bytes[cat], static_cast<int64_t>(wire_bytes));
   }
   if (span_tracing_active() && loop_->span_tracer() != nullptr) {
     SpanTracer* t = loop_->span_tracer();
+    const NetNames& n = net_names();
     // Waiting for NIC/wire occupancy is queueing; the transfer itself (serialization +
     // propagation) is fabric. Both windows are known up front, so record pre-closed spans.
     if (start > loop_->now()) {
-      t->record("net", SpanKind::kQueue, "nic-wait", loop_->now(), start);
+      t->record(n.net, SpanKind::kQueue, n.nic_wait, loop_->now(), start);
     }
     const uint64_t id =
-        t->record("net", SpanKind::kFabric, cross ? "wire" : "local", start, arrival);
+        t->record(n.net, SpanKind::kFabric, cross ? n.wire : n.local, start, arrival);
     if (id != 0) {
       t->attr(id, "bytes", std::to_string(wire_bytes));
     }
@@ -107,9 +124,8 @@ Time Network::schedule_transfer(Endpoint src, Endpoint dst, Traffic category,
   return arrival;
 }
 
-void Network::send(Endpoint src, Endpoint dst, Traffic category, std::vector<uint8_t> payload,
-                   std::function<void(std::vector<uint8_t>)> deliver,
-                   std::function<void()> dropped) {
+void Network::send(Endpoint src, Endpoint dst, Traffic category, Payload payload,
+                   std::function<void(Payload)> deliver, std::function<void()> dropped) {
   FRACTOS_CHECK(src.node < nodes_.size() && dst.node < nodes_.size());
   if (nodes_[src.node]->failed() || nodes_[dst.node]->failed()) {
     if (dropped != nullptr) {
@@ -125,14 +141,17 @@ void Network::send(Endpoint src, Endpoint dst, Traffic category, std::vector<uin
         injector_->on_message(src.node, dst.node, category, loop_->now());
     if (MetricsRegistry* m = loop_->metrics()) {
       // Mirrored at the verdict site so net.faults.* matches FaultCounters exactly.
+      static const NameId kDrops = intern_name("net.faults.drops");
+      static const NameId kDuplicates = intern_name("net.faults.duplicates");
+      static const NameId kDelayed = intern_name("net.faults.delayed");
       if (v.drop) {
-        m->add("net.faults.drops");
+        m->add(kDrops);
       }
       if (v.duplicate) {
-        m->add("net.faults.duplicates");
+        m->add(kDuplicates);
       }
       if (v.extra_delay > Duration::zero()) {
-        m->add("net.faults.delayed");
+        m->add(kDelayed);
       }
     }
     if (v.drop) {
@@ -149,6 +168,7 @@ void Network::send(Endpoint src, Endpoint dst, Traffic category, std::vector<uin
   if (duplicate) {
     // A duplicated message is charged twice on the wire and delivered twice; receiver-side
     // dedup (QueuePair sequence numbers) is what keeps it invisible to the layers above.
+    // Both copies alias the same Payload rep — duplication costs a refcount bump, not bytes.
     const Time dup_arrival = schedule_transfer(src, dst, category, payload.size());
     const uint32_t dd = dst.node;
     loop_->schedule_at(dup_arrival, [this, dd, payload, deliver]() mutable {
@@ -174,7 +194,7 @@ void Network::send(Endpoint src, Endpoint dst, Traffic category, std::vector<uin
 
 void Network::rdma_read(Endpoint initiator, uint32_t target, const RdmaKey& key, PoolId pool,
                         uint64_t addr, uint64_t size,
-                        std::function<void(Result<std::vector<uint8_t>>)> done) {
+                        std::function<void(Result<Payload>)> done) {
   FRACTOS_CHECK(initiator.node < nodes_.size() && target < nodes_.size());
   if (injector_ != nullptr) {
     const FaultInjector::RdmaVerdict v =
@@ -199,7 +219,7 @@ void Network::rdma_read(Endpoint initiator, uint32_t target, const RdmaKey& key,
 
 void Network::rdma_read_impl(Endpoint initiator, uint32_t target, const RdmaKey& key,
                              PoolId pool, uint64_t addr, uint64_t size,
-                             std::function<void(Result<std::vector<uint8_t>>)> done) {
+                             std::function<void(Result<Payload>)> done) {
   const Endpoint tgt_ep{target, Loc::kHost};
 
   // Request leg: a header-only work request to the target NIC.
@@ -215,8 +235,10 @@ void Network::rdma_read_impl(Endpoint initiator, uint32_t target, const RdmaKey&
       return;
     }
     const std::vector<uint8_t>& mem = t.pool(pool);
-    std::vector<uint8_t> data(mem.begin() + static_cast<ptrdiff_t>(addr),
-                              mem.begin() + static_cast<ptrdiff_t>(addr + size));
+    // The one origin copy: pool bytes into a fresh Payload rep. Every downstream hop shares
+    // this rep.
+    Payload data(std::vector<uint8_t>(mem.begin() + static_cast<ptrdiff_t>(addr),
+                                      mem.begin() + static_cast<ptrdiff_t>(addr + size)));
     // Response leg carries the payload.
     const Time arrival = schedule_transfer(tgt_ep, initiator, Traffic::kData, size);
     loop_->schedule_at(arrival, [done = std::move(done), data = std::move(data)]() mutable {
@@ -226,8 +248,7 @@ void Network::rdma_read_impl(Endpoint initiator, uint32_t target, const RdmaKey&
 }
 
 void Network::rdma_write(Endpoint initiator, uint32_t target, const RdmaKey& key, PoolId pool,
-                         uint64_t addr, std::vector<uint8_t> data,
-                         std::function<void(Status)> done) {
+                         uint64_t addr, Payload data, std::function<void(Status)> done) {
   FRACTOS_CHECK(initiator.node < nodes_.size() && target < nodes_.size());
   if (injector_ != nullptr) {
     const FaultInjector::RdmaVerdict v =
@@ -251,12 +272,12 @@ void Network::rdma_write(Endpoint initiator, uint32_t target, const RdmaKey& key
 }
 
 void Network::rdma_write_impl(Endpoint initiator, uint32_t target, const RdmaKey& key,
-                              PoolId pool, uint64_t addr, std::vector<uint8_t> data,
+                              PoolId pool, uint64_t addr, Payload data,
                               std::function<void(Status)> done) {
   const Endpoint tgt_ep{target, Loc::kHost};
   const uint64_t size = data.size();
 
-  // Request leg carries the payload.
+  // Request leg carries the payload (a handle — the bytes move only at the final pool copy).
   const Time arrival = schedule_transfer(initiator, tgt_ep, Traffic::kData, size);
   loop_->schedule_at(arrival, [this, target, key, pool, addr, tgt_ep, initiator,
                                data = std::move(data), done = std::move(done)]() mutable {
@@ -264,7 +285,7 @@ void Network::rdma_write_impl(Endpoint initiator, uint32_t target, const RdmaKey
     const Status auth = t.authorize_rdma(key, pool, addr, data.size(), /*is_write=*/true);
     if (auth.ok()) {
       std::vector<uint8_t>& mem = t.pool(pool);
-      std::copy(data.begin(), data.end(), mem.begin() + static_cast<ptrdiff_t>(addr));
+      std::copy_n(data.data(), data.size(), mem.begin() + static_cast<ptrdiff_t>(addr));
     }
     // ACK/NAK: header-only response.
     const Time ack = schedule_transfer(tgt_ep, initiator, Traffic::kData, 0);

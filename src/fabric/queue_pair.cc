@@ -13,7 +13,20 @@ namespace {
 // Wire size charged for a standalone RC acknowledgment (header-only packet).
 constexpr size_t kAckBytes = 16;
 
-void bump(Network* net, const char* key, int64_t delta = 1) {
+// Interned once; every bump afterwards is a slot-indexed add with no string in sight.
+struct QpNames {
+  NameId dropped = intern_name("qp.dropped");
+  NameId retransmits = intern_name("qp.retransmits");
+  NameId duplicates_suppressed = intern_name("qp.duplicates_suppressed");
+  NameId acks_sent = intern_name("qp.acks_sent");
+};
+
+const QpNames& qp_names() {
+  static const QpNames n;
+  return n;
+}
+
+void bump(Network* net, NameId key, int64_t delta = 1) {
   if (MetricsRegistry* m = net->loop()->metrics()) {
     m->add(key, delta);
   }
@@ -38,11 +51,11 @@ Endpoint QueuePair::remote() const {
   return peer_->local_;
 }
 
-void QueuePair::send(Traffic category, std::vector<uint8_t> payload) {
+void QueuePair::send(Traffic category, Payload payload) {
   FRACTOS_CHECK(peer_ != nullptr);
   if (severed_) {
     ++dropped_;
-    bump(net_, "qp.dropped");
+    bump(net_, qp_names().dropped);
     return;
   }
   if (!reliable()) {
@@ -50,7 +63,7 @@ void QueuePair::send(Traffic category, std::vector<uint8_t> payload) {
     // callback only fires for sends eaten by node failure.
     QueuePair* peer = peer_;
     net_->send(local_, peer->local_, category, std::move(payload),
-               [peer, palive = peer->alive_](std::vector<uint8_t> bytes) {
+               [peer, palive = peer->alive_](Payload bytes) {
                  if (*palive) {
                    peer->deliver(std::move(bytes));
                  }
@@ -58,7 +71,7 @@ void QueuePair::send(Traffic category, std::vector<uint8_t> payload) {
                [this, alive = alive_]() {
                  if (*alive) {
                    ++dropped_;
-                   bump(net_, "qp.dropped");
+                   bump(net_, qp_names().dropped);
                  }
                });
     return;
@@ -79,12 +92,14 @@ void QueuePair::transmit(uint64_t seq) {
   p.last_tx = net_->loop()->now();
   if (p.attempts > 1) {
     ++retransmits_;
-    bump(net_, "qp.retransmits");
+    bump(net_, qp_names().retransmits);
   }
 
   QueuePair* peer = peer_;
+  // `p.payload` is copied per transmission — a refcount bump, not a byte copy, so a burst of
+  // retransmits of a 256 KiB frame costs nothing beyond the modeled wire time.
   net_->send(local_, peer->local_, p.category, p.payload,
-             [peer, seq, palive = peer->alive_](std::vector<uint8_t> bytes) {
+             [peer, seq, palive = peer->alive_](Payload bytes) {
                if (*palive) {
                  peer->on_wire_data(seq, std::move(bytes));
                }
@@ -119,12 +134,12 @@ void QueuePair::exhaust_retries() {
   // RoCE RC retry_cnt exhaustion: the connection moves to the error state. Everything still
   // unACKed is lost.
   dropped_ += unacked_.size();
-  bump(net_, "qp.dropped", static_cast<int64_t>(unacked_.size()));
+  bump(net_, qp_names().dropped, static_cast<int64_t>(unacked_.size()));
   unacked_.clear();
   sever();
 }
 
-void QueuePair::on_wire_data(uint64_t seq, std::vector<uint8_t> payload) {
+void QueuePair::on_wire_data(uint64_t seq, Payload payload) {
   if (severed_) {
     return;
   }
@@ -138,7 +153,7 @@ void QueuePair::on_wire_data(uint64_t seq, std::vector<uint8_t> payload) {
   // both and re-ACKs its cumulative position so the sender can converge.
   if (seq < rx_next_) {
     ++duplicates_suppressed_;
-    bump(net_, "qp.duplicates_suppressed");
+    bump(net_, qp_names().duplicates_suppressed);
   }
   send_ack(rx_next_);
 }
@@ -148,10 +163,12 @@ void QueuePair::send_ack(uint64_t cumulative) {
     return;
   }
   ++acks_sent_;
-  bump(net_, "qp.acks_sent");
+  bump(net_, qp_names().acks_sent);
   QueuePair* peer = peer_;
-  net_->send(local_, peer->local_, Traffic::kControl, std::vector<uint8_t>(kAckBytes),
-             [peer, cumulative, palive = peer->alive_](std::vector<uint8_t>) {
+  // One shared ACK frame for the lifetime of the program: every ACK aliases the same rep.
+  static const Payload kAckFrame = Payload::zeros(kAckBytes);
+  net_->send(local_, peer->local_, Traffic::kControl, kAckFrame,
+             [peer, cumulative, palive = peer->alive_](Payload) {
                if (*palive) {
                  peer->on_ack(cumulative);
                }
@@ -180,7 +197,7 @@ void QueuePair::on_ack(uint64_t cumulative) {
   }
 }
 
-void QueuePair::deliver(std::vector<uint8_t> payload) {
+void QueuePair::deliver(Payload payload) {
   if (severed_) {
     return;
   }
@@ -194,7 +211,7 @@ void QueuePair::sever() {
   }
   severed_ = true;
   dropped_ += unacked_.size();
-  bump(net_, "qp.dropped", static_cast<int64_t>(unacked_.size()));
+  bump(net_, qp_names().dropped, static_cast<int64_t>(unacked_.size()));
   unacked_.clear();
   if (peer_ != nullptr && !peer_->severed_) {
     QueuePair* peer = peer_;
@@ -213,7 +230,7 @@ void QueuePair::peer_severed() {
   }
   severed_ = true;
   dropped_ += unacked_.size();
-  bump(net_, "qp.dropped", static_cast<int64_t>(unacked_.size()));
+  bump(net_, qp_names().dropped, static_cast<int64_t>(unacked_.size()));
   unacked_.clear();
   if (on_severed_ != nullptr) {
     on_severed_();

@@ -32,7 +32,7 @@ namespace fractos {
 
 class QueuePair {
  public:
-  using ReceiveHandler = std::function<void(std::vector<uint8_t>)>;
+  using ReceiveHandler = std::function<void(Payload)>;
   using SeveredHandler = std::function<void()>;
 
   // kReliable = RC service (retransmit on a lossy fabric); kDatagram = UD service (lossy
@@ -69,8 +69,9 @@ class QueuePair {
   }
 
   // Sends `payload` to the peer; its receive handler runs after the modeled latency.
-  // Sends on a severed pair are dropped and counted in dropped().
-  void send(Traffic category, std::vector<uint8_t> payload);
+  // Sends on a severed pair are dropped and counted in dropped(). The payload is a
+  // refcounted handle: RC retransmissions re-send the same rep without copying bytes.
+  void send(Traffic category, Payload payload);
 
   // Tears the connection down from this side. The peer's severed handler fires after one
   // propagation delay (the transport detecting the broken connection). Unacknowledged
@@ -87,7 +88,7 @@ class QueuePair {
  private:
   struct Pending {
     Traffic category = Traffic::kControl;
-    std::vector<uint8_t> payload;
+    Payload payload;
     uint32_t attempts = 0;
     Time last_tx;  // when this entry last hit the wire (drives go-back-N resume)
   };
@@ -96,10 +97,10 @@ class QueuePair {
   void transmit(uint64_t seq);
   void arm_retransmit(uint64_t seq, uint32_t attempt);
   void exhaust_retries();
-  void on_wire_data(uint64_t seq, std::vector<uint8_t> payload);
+  void on_wire_data(uint64_t seq, Payload payload);
   void send_ack(uint64_t cumulative);
   void on_ack(uint64_t cumulative);
-  void deliver(std::vector<uint8_t> payload);
+  void deliver(Payload payload);
   void peer_severed();
 
   Network* net_;

@@ -26,6 +26,7 @@
 #include "src/base/result.h"
 #include "src/futures/future.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/intern.h"
 #include "src/sim/metrics.h"
 #include "src/sim/span.h"
 
@@ -48,10 +49,10 @@ class SlotPool {
   // exactly as before, and an instrumented one never schedules events or advances time.
   void instrument(EventLoop* loop, const std::string& name) {
     loop_ = loop;
-    name_ = name;
-    key_acquires_ = "slots." + name + ".acquires";
-    key_waits_ = "slots." + name + ".waits";
-    key_wait_ns_ = "slots." + name + ".wait_ns";
+    name_id_ = intern_name(name);
+    key_acquires_ = intern_name("slots." + name + ".acquires");
+    key_waits_ = intern_name("slots." + name + ".waits");
+    key_wait_ns_ = intern_name("slots." + name + ".wait_ns");
   }
 
   Future<Result<size_t>> acquire() {
@@ -73,7 +74,8 @@ class SlotPool {
         loop_->metrics()->add(key_waits_);
       }
       if (span_tracing_active() && loop_->span_tracer() != nullptr) {
-        w.span = loop_->span_tracer()->begin(name_, SpanKind::kQueue, "slot-wait", loop_->now());
+        static const NameId kSlotWait = intern_name("slot-wait");
+        w.span = loop_->span_tracer()->begin(name_id_, SpanKind::kQueue, kSlotWait, loop_->now());
       }
     }
     Promise<Result<size_t>> p = w.promise;
@@ -135,10 +137,10 @@ class SlotPool {
   std::vector<size_t> free_;
   std::deque<Waiter> waiting_;
   EventLoop* loop_ = nullptr;  // set by instrument(); null pools are silent
-  std::string name_;
-  std::string key_acquires_;
-  std::string key_waits_;
-  std::string key_wait_ns_;
+  NameId name_id_ = kInvalidNameId;     // span actor
+  NameId key_acquires_ = kInvalidNameId;  // slots.<name>.* metric keys, pre-interned
+  NameId key_waits_ = kInvalidNameId;
+  NameId key_wait_ns_ = kInvalidNameId;
 };
 
 }  // namespace fractos

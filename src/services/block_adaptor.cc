@@ -153,7 +153,7 @@ void BlockAdaptor::handle_read(uint32_t vol_id, Process::Received r) {
       ++rs->device_in_flight;
       nvme_->read(device_off + sub_off, sub,
                   [this, rs, pump, finish_check, slot, sub_off, sub,
-                   dst](Result<std::vector<uint8_t>> data) {
+                   dst](Result<Payload> data) {
                     --rs->device_in_flight;
                     if (!data.ok()) {
                       rs->failed = true;
@@ -162,7 +162,7 @@ void BlockAdaptor::handle_read(uint32_t vol_id, Process::Received r) {
                       return;
                     }
                     // DMA from the device lands in the staging slot...
-                    proc_->write_mem(slot.addr + sub_off, data.value());
+                    proc_->write_mem(slot.addr + sub_off, data.value().bytes());
                     // ...and moves on to the destination — which may be GPU memory on
                     // another node (the b step of Fig. 2) — while the next sub-chunk reads.
                     ++rs->copies_in_flight;

@@ -365,14 +365,23 @@ void FsService::handle_io(uint32_t open_id, bool is_write, Process::Received r) 
   st->mem = mem;
   st->cont = reqs[0];
   st->err = reqs.size() >= 2 ? reqs[1] : kInvalidCap;
+  struct FsNames {
+    NameId writes = intern_name("fs.writes");
+    NameId reads = intern_name("fs.reads");
+    NameId write_bytes = intern_name("fs.write_bytes");
+    NameId read_bytes = intern_name("fs.read_bytes");
+    NameId fs_write = intern_name("fs-write");
+    NameId fs_read = intern_name("fs-read");
+  };
+  static const FsNames names;
   if (MetricsRegistry* m = sys_->loop().metrics()) {
-    m->add(is_write ? "fs.writes" : "fs.reads");
-    m->add(is_write ? "fs.write_bytes" : "fs.read_bytes", static_cast<int64_t>(size));
+    m->add(is_write ? names.writes : names.reads);
+    m->add(is_write ? names.write_bytes : names.read_bytes, static_cast<int64_t>(size));
   }
   if (span_tracing_active()) {
     if (SpanTracer* t = sys_->loop().span_tracer()) {
-      st->span = t->begin(proc_->name(), SpanKind::kService, is_write ? "fs-write" : "fs-read",
-                          sys_->loop().now());
+      st->span = t->begin(intern_name(proc_->name()), SpanKind::kService,
+                          is_write ? names.fs_write : names.fs_read, sys_->loop().now());
     }
   }
   io_pump(std::move(st));

@@ -1,5 +1,8 @@
 #include "src/sim/event_loop.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstddef>
 #include <utility>
 
 #include "src/base/assert.h"
@@ -7,7 +10,7 @@
 namespace fractos {
 
 void EventLoop::schedule_at(Time when, Callback cb) {
-  FRACTOS_DCHECK(cb != nullptr);
+  FRACTOS_DCHECK(static_cast<bool>(cb));
   if (when < now_) {
     when = now_;
   }
@@ -15,7 +18,7 @@ void EventLoop::schedule_at(Time when, Callback cb) {
   if (span_tracing_active()) {
     ev.ctx = ambient_span_context();
   }
-  queue_.push(std::move(ev));
+  insert(std::move(ev));
 }
 
 void EventLoop::schedule_after(Duration delay, Callback cb) {
@@ -25,11 +28,113 @@ void EventLoop::schedule_after(Duration delay, Callback cb) {
 
 void EventLoop::post(Callback cb) { schedule_at(now_, std::move(cb)); }
 
+void EventLoop::insert(Event&& ev) {
+  ++pending_;
+  const uint64_t b = bucket_no(ev.when);
+  if (draining_ && b <= wheel_pos_) {
+    // The event lands in the bucket currently being drained (or an already-scanned empty
+    // one): splice it into the unfired remainder at its exact (when, seq) position. Its seq
+    // is the largest issued so far, so it goes after every remaining equal-when event —
+    // identical to what a global priority queue would do.
+    if (drain_pos_ > 64 && drain_pos_ * 2 > drain_.size()) {
+      // A long-draining bucket (e.g. the cursor parked on a far-future event while near-time
+      // work churns through here) would otherwise accumulate fired slots without bound.
+      drain_.erase(drain_.begin(), drain_.begin() + static_cast<ptrdiff_t>(drain_pos_));
+      drain_pos_ = 0;
+    }
+    const auto it =
+        std::upper_bound(drain_.begin() + static_cast<ptrdiff_t>(drain_pos_), drain_.end(),
+                         ev.when, [](Time when, const Event& e) { return when < e.when; });
+    drain_.insert(it, std::move(ev));
+    return;
+  }
+  if (b < wheel_pos_ + kNumBuckets) {
+    std::vector<Event>& bucket = buckets_[b & kWheelMask];
+    if (bucket.empty()) {
+      occupancy_[(b & kWheelMask) >> 6] |= uint64_t{1} << (b & 63);
+    }
+    bucket.push_back(std::move(ev));
+    ++wheel_count_;
+  } else {
+    heap_.push_back(std::move(ev));
+    std::push_heap(heap_.begin(), heap_.end(), [](const Event& a, const Event& b2) {
+      return a.when != b2.when ? a.when > b2.when : a.seq > b2.seq;
+    });
+  }
+}
+
+uint64_t EventLoop::next_occupied_bucket(uint64_t pos) const {
+  const uint64_t start = pos & kWheelMask;
+  uint64_t word_i = start >> 6;
+  uint64_t w = occupancy_[word_i] & (~uint64_t{0} << (start & 63));
+  for (uint64_t n = 0; n <= kNumBuckets / 64; ++n) {
+    if (w != 0) {
+      const uint64_t idx = (word_i << 6) + static_cast<uint64_t>(std::countr_zero(w));
+      return pos + ((idx - start) & kWheelMask);
+    }
+    word_i = (word_i + 1) & (kNumBuckets / 64 - 1);
+    w = occupancy_[word_i];
+  }
+  FRACTOS_CHECK(false);  // unreachable: wheel_count_ > 0 guarantees an occupied bucket
+  return pos;
+}
+
+bool EventLoop::prepare_next() {
+  if (drain_pos_ < drain_.size()) {
+    return true;
+  }
+  if (draining_) {
+    drain_.clear();
+    drain_pos_ = 0;
+    draining_ = false;
+  }
+  if (pending_ == 0) {
+    return false;
+  }
+
+  // The next bucket to drain: the nearest non-empty wheel bucket, unless the heap's minimum
+  // is due sooner (possible after the cursor advanced past a heap event's bucket, or when
+  // the wheel is empty and the cursor must jump — the re-base case).
+  uint64_t b = UINT64_MAX;
+  if (wheel_count_ > 0) {
+    b = next_occupied_bucket(wheel_pos_);
+  }
+  if (!heap_.empty()) {
+    const uint64_t heap_b = bucket_no(heap_.front().when);
+    if (heap_b < b) {
+      b = heap_b;
+    }
+  }
+  wheel_pos_ = b;
+
+  // Load the bucket (swap keeps the retired drain vector's capacity warm inside the ring),
+  // merge in every heap event due in it, and establish the exact firing order once.
+  std::vector<Event>& bucket = buckets_[b & kWheelMask];
+  occupancy_[(b & kWheelMask) >> 6] &= ~(uint64_t{1} << (b & 63));
+  drain_.swap(bucket);
+  wheel_count_ -= drain_.size();
+  const auto later = [](const Event& a, const Event& b2) {
+    return a.when != b2.when ? a.when > b2.when : a.seq > b2.seq;
+  };
+  while (!heap_.empty() && bucket_no(heap_.front().when) <= b) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    drain_.push_back(std::move(heap_.back()));
+    heap_.pop_back();
+  }
+  std::sort(drain_.begin(), drain_.end(), [](const Event& a, const Event& b2) {
+    return a.when != b2.when ? a.when < b2.when : a.seq < b2.seq;
+  });
+  drain_pos_ = 0;
+  draining_ = true;
+  return true;
+}
+
 void EventLoop::fire_next() {
-  // The event must be moved out before running: the callback may schedule new events and
-  // reallocate the queue's storage.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  // The event must be moved out before running: the callback may schedule into the current
+  // bucket and reallocate drain_'s storage.
+  Event ev = std::move(drain_[drain_pos_]);
+  ++drain_pos_;
+  --pending_;
   FRACTOS_DCHECK(ev.when >= now_);
   now_ = ev.when;
   ++steps_;
@@ -43,30 +148,15 @@ void EventLoop::fire_next() {
 
 uint64_t EventLoop::run(uint64_t max_steps) {
   uint64_t processed = 0;
-  while (!queue_.empty() && processed < max_steps) {
+  while (processed < max_steps && prepare_next()) {
     fire_next();
     ++processed;
   }
   return processed;
 }
 
-bool EventLoop::run_until(const std::function<bool()>& pred, uint64_t max_steps) {
-  if (pred()) {
-    return true;
-  }
-  uint64_t processed = 0;
-  while (!queue_.empty() && processed < max_steps) {
-    fire_next();
-    ++processed;
-    if (pred()) {
-      return true;
-    }
-  }
-  return false;
-}
-
 void EventLoop::run_until_time(Time deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  while (prepare_next() && drain_[drain_pos_].when <= deadline) {
     fire_next();
   }
   if (now_ < deadline) {

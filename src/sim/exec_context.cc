@@ -7,7 +7,7 @@
 namespace fractos {
 
 ExecContext::ExecContext(EventLoop* loop, std::string name, double speed)
-    : loop_(loop), name_(std::move(name)), speed_(speed) {
+    : loop_(loop), name_(std::move(name)), name_id_(intern_name(name_)), speed_(speed) {
   FRACTOS_CHECK(loop != nullptr);
   FRACTOS_CHECK(speed > 0.0);
 }
@@ -19,7 +19,8 @@ void ExecContext::run(Duration cost, EventLoop::Callback work) {
   if (span_tracing_active() && start > loop_->now()) {
     // The core is busy with earlier work: the gap until it frees up is queueing, not compute.
     if (SpanTracer* t = loop_->span_tracer()) {
-      t->record(name_, SpanKind::kQueue, "core-wait", loop_->now(), start);
+      static const NameId kCoreWait = intern_name("core-wait");
+      t->record(name_id_, SpanKind::kQueue, kCoreWait, loop_->now(), start);
     }
   }
   const Time done = start + scaled;

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/sim/event_loop.h"
+#include "src/sim/intern.h"
 #include "src/sim/time.h"
 
 namespace fractos {
@@ -39,6 +40,7 @@ class ExecContext {
  private:
   EventLoop* loop_;
   std::string name_;
+  NameId name_id_;  // interned name_, the span actor
   double speed_;
   Time free_at_;
   Duration busy_;

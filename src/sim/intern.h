@@ -1,0 +1,38 @@
+// Process-wide string interning for metric keys and span actor/name strings.
+//
+// Hot instrumentation sites fire millions of times per simulated second; building a
+// std::string key and walking a std::map on every bump dominates their wall-clock cost.
+// Interning turns each name into a small stable integer once — after that, metric bumps
+// index a per-registry slot array and spans store a 4-byte id instead of copying a string.
+//
+// Ids are assigned in first-intern order, so their numeric values depend on run order —
+// nothing serialized may ever depend on an id value. Serialized output (metric snapshots,
+// span dumps) always goes through `interned_name()` back to the string, and the registries
+// keep their string-sorted layouts, so goldens stay byte-identical.
+//
+// The table is append-only and process-wide (Meyer's singleton, safe from static
+// initializers in other translation units), sized for the few hundred distinct names a run
+// creates. Single-threaded by design, like the rest of the simulator.
+
+#ifndef SRC_SIM_INTERN_H_
+#define SRC_SIM_INTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fractos {
+
+using NameId = uint32_t;
+inline constexpr NameId kInvalidNameId = 0;  // never assigned; interned_name(0) is ""
+
+// Returns the stable id (>= 1) for `name`, inserting it on first sight.
+NameId intern_name(std::string_view name);
+
+// Reverse lookup; the returned reference lives for the whole process. Unknown ids
+// (including kInvalidNameId) map to the empty string.
+const std::string& interned_name(NameId id);
+
+}  // namespace fractos
+
+#endif  // SRC_SIM_INTERN_H_

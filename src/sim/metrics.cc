@@ -21,6 +21,28 @@ std::map<std::string, int64_t> MetricsRegistry::snapshot() const {
   return out;
 }
 
+int64_t* MetricsRegistry::scalar_slot(NameId id) {
+  if (id >= scalar_slots_.size()) {
+    scalar_slots_.resize(id + 1, nullptr);
+  }
+  int64_t*& slot = scalar_slots_[id];
+  if (slot == nullptr) {
+    slot = &scalars_[interned_name(id)];
+  }
+  return slot;
+}
+
+Log2Histogram* MetricsRegistry::hist_slot(NameId id) {
+  if (id >= hist_slots_.size()) {
+    hist_slots_.resize(id + 1, nullptr);
+  }
+  Log2Histogram*& slot = hist_slots_[id];
+  if (slot == nullptr) {
+    slot = &hists_[interned_name(id)];
+  }
+  return slot;
+}
+
 std::string MetricsRegistry::serialize() const {
   std::string out;
   char buf[32];

@@ -29,14 +29,14 @@ const char* span_kind_name(SpanKind kind) {
   return "?";
 }
 
-uint64_t SpanTracer::start_trace(const std::string& actor, const std::string& name, Time now) {
+uint64_t SpanTracer::start_trace(NameId actor, NameId name, Time now) {
   Span s;
   s.span_id = spans_.size() + 1;
   s.trace_id = s.span_id;
   s.parent = 0;
-  s.actor = actor;
+  s.actor_id = actor;
   s.kind = SpanKind::kRequest;
-  s.name = name;
+  s.name_id = name;
   s.t_start = now;
   s.t_end = now;
   s.open = true;
@@ -45,8 +45,7 @@ uint64_t SpanTracer::start_trace(const std::string& actor, const std::string& na
   return spans_.back().span_id;
 }
 
-uint64_t SpanTracer::begin(const std::string& actor, SpanKind kind, const std::string& name,
-                           Time now) {
+uint64_t SpanTracer::begin(NameId actor, SpanKind kind, NameId name, Time now) {
   const SpanContext ctx = ambient_span_context();
   if (!ctx.valid()) {
     return 0;
@@ -55,9 +54,9 @@ uint64_t SpanTracer::begin(const std::string& actor, SpanKind kind, const std::s
   s.span_id = spans_.size() + 1;
   s.trace_id = ctx.trace_id;
   s.parent = ctx.span_id;
-  s.actor = actor;
+  s.actor_id = actor;
   s.kind = kind;
-  s.name = name;
+  s.name_id = name;
   s.t_start = now;
   s.t_end = now;
   s.open = true;
@@ -66,8 +65,8 @@ uint64_t SpanTracer::begin(const std::string& actor, SpanKind kind, const std::s
   return spans_.back().span_id;
 }
 
-uint64_t SpanTracer::record(const std::string& actor, SpanKind kind, const std::string& name,
-                            Time t_start, Time t_end) {
+uint64_t SpanTracer::record(NameId actor, SpanKind kind, NameId name, Time t_start,
+                            Time t_end) {
   const SpanContext ctx = ambient_span_context();
   if (!ctx.valid()) {
     return 0;
@@ -77,9 +76,9 @@ uint64_t SpanTracer::record(const std::string& actor, SpanKind kind, const std::
   s.span_id = spans_.size() + 1;
   s.trace_id = ctx.trace_id;
   s.parent = ctx.span_id;
-  s.actor = actor;
+  s.actor_id = actor;
   s.kind = kind;
-  s.name = name;
+  s.name_id = name;
   s.t_start = t_start;
   s.t_end = t_end;
   s.open = false;
@@ -124,7 +123,7 @@ void SpanTracer::end(uint64_t span_id, Time now) {
   bubble_end(s.parent, s.t_end);
 }
 
-void SpanTracer::end_error(uint64_t span_id, Time now, const std::string& what) {
+void SpanTracer::end_error(uint64_t span_id, Time now, std::string_view what) {
   if (span_id == 0) {
     return;
   }
@@ -134,7 +133,7 @@ void SpanTracer::end_error(uint64_t span_id, Time now, const std::string& what) 
   s.error_what = what;
 }
 
-void SpanTracer::attr(uint64_t span_id, const std::string& key, const std::string& value) {
+void SpanTracer::attr(uint64_t span_id, std::string_view key, std::string_view value) {
   if (span_id == 0) {
     return;
   }
@@ -174,8 +173,8 @@ std::string SpanTracer::serialize() const {
     std::snprintf(buf, sizeof(buf),
                   "span id=%" PRIu64 " trace=%" PRIu64 " parent=%" PRIu64
                   " actor=%s kind=%s name=%s start=%" PRId64 " end=%" PRId64 " status=",
-                  s.span_id, s.trace_id, s.parent, s.actor.c_str(), span_kind_name(s.kind),
-                  s.name.c_str(), s.t_start.ns(), s.t_end.ns());
+                  s.span_id, s.trace_id, s.parent, s.actor().c_str(), span_kind_name(s.kind),
+                  s.name().c_str(), s.t_start.ns(), s.t_end.ns());
     out += buf;
     if (s.open) {
       out += "open";

@@ -17,15 +17,23 @@
 // site is one branch on an inline global counter; no string is built, no context is copied,
 // and no simulated-time event is ever scheduled by the tracer itself. Spans are stamped with
 // simulated time only, so identical seeds serialize to byte-identical traces.
+//
+// Actor and name strings are interned (src/sim/intern.h): a Span stores two 4-byte ids, and
+// hot sites that fire per message/IO pass pre-interned NameIds so a traced run never
+// constructs a std::string key on the instrumentation path. The string_view overloads intern
+// on the fly for cold sites and tests; serialization resolves ids back to strings, so dumps
+// are unchanged.
 
 #ifndef SRC_SIM_SPAN_H_
 #define SRC_SIM_SPAN_H_
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "src/sim/intern.h"
 #include "src/sim/time.h"
 
 namespace fractos {
@@ -82,9 +90,11 @@ struct Span {
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
   uint64_t parent = 0;  // 0 for trace roots
-  std::string actor;
+  NameId actor_id = kInvalidNameId;
   SpanKind kind = SpanKind::kRequest;
-  std::string name;
+  NameId name_id = kInvalidNameId;
+  const std::string& actor() const { return interned_name(actor_id); }
+  const std::string& name() const { return interned_name(name_id); }
   Time t_start;
   Time t_end;
   bool open = false;
@@ -108,25 +118,34 @@ class SpanTracer {
 
   // Opens a trace root (kind kRequest) and returns its span id, which doubles as the trace
   // id. The caller installs it with SpanScope(tracer.context_of(id)).
-  uint64_t start_trace(const std::string& actor, const std::string& name, Time now);
+  uint64_t start_trace(std::string_view actor, std::string_view name, Time now) {
+    return start_trace(intern_name(actor), intern_name(name), now);
+  }
+  uint64_t start_trace(NameId actor, NameId name, Time now);
 
   // Opens a child of the ambient context. Returns 0 — on which every later operation is a
   // no-op — when no trace context is ambient, so call sites need no second branch.
-  uint64_t begin(const std::string& actor, SpanKind kind, const std::string& name, Time now);
+  uint64_t begin(std::string_view actor, SpanKind kind, std::string_view name, Time now) {
+    return begin(intern_name(actor), kind, intern_name(name), now);
+  }
+  uint64_t begin(NameId actor, SpanKind kind, NameId name, Time now);
 
   // Records an already-bounded child of the ambient context (fabric transfers and device
   // service windows know both endpoints up front; t_end may lie in the simulated future).
   // Returns the span id, or 0 when no context is ambient.
-  uint64_t record(const std::string& actor, SpanKind kind, const std::string& name, Time t_start,
-                  Time t_end);
+  uint64_t record(std::string_view actor, SpanKind kind, std::string_view name, Time t_start,
+                  Time t_end) {
+    return record(intern_name(actor), kind, intern_name(name), t_start, t_end);
+  }
+  uint64_t record(NameId actor, SpanKind kind, NameId name, Time t_start, Time t_end);
 
   // Closes a span at max(now, latest child end). No-op for id 0 or an already-closed span.
   void end(uint64_t span_id, Time now);
 
   // Closes a span and marks it failed (e.g. "timeout", "channel-closed").
-  void end_error(uint64_t span_id, Time now, const std::string& what);
+  void end_error(uint64_t span_id, Time now, std::string_view what);
 
-  void attr(uint64_t span_id, const std::string& key, const std::string& value);
+  void attr(uint64_t span_id, std::string_view key, std::string_view value);
 
   SpanContext context_of(uint64_t span_id) const;
 

@@ -180,7 +180,7 @@ std::string chrome_trace_json(const SpanTracer& tracer) {
     }
     first = false;
     out += "\n{\"name\":";
-    append_json_string(out, s.name);
+    append_json_string(out, s.name());
     out += ",\"cat\":\"";
     out += span_kind_name(s.kind);
     out += "\",\"ph\":\"X\",\"ts\":";
@@ -189,7 +189,7 @@ std::string chrome_trace_json(const SpanTracer& tracer) {
     append_us(out, (s.t_end - s.t_start).ns());
     std::snprintf(buf, sizeof(buf), ",\"pid\":%" PRIu64 ",\"tid\":", s.trace_id);
     out += buf;
-    append_json_string(out, s.actor);
+    append_json_string(out, s.actor());
     out += ",\"args\":{";
     std::snprintf(buf, sizeof(buf), "\"span_id\":%" PRIu64 ",\"parent\":%" PRIu64, s.span_id,
                   s.parent);

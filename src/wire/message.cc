@@ -228,6 +228,15 @@ const char* msg_type_name(MsgType t) {
   return "unknown";
 }
 
+NameId msg_type_span_name(MsgType t) {
+  static NameId cache[256] = {};
+  NameId& id = cache[static_cast<uint8_t>(t)];
+  if (id == kInvalidNameId) {
+    id = intern_name(msg_type_name(t));
+  }
+  return id;
+}
+
 std::vector<uint8_t> encode_envelope(const Envelope& env) {
   Encoder e;
   e.put_u8(static_cast<uint8_t>(env.type));

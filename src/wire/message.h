@@ -23,6 +23,7 @@
 
 #include "src/base/result.h"
 #include "src/cap/types.h"
+#include "src/sim/intern.h"
 #include "src/wire/buffer.h"
 
 namespace fractos {
@@ -56,6 +57,10 @@ enum class MsgType : uint8_t {
 };
 
 const char* msg_type_name(MsgType t);
+
+// msg_type_name, pre-interned and cached per type — span sites that label a span with the
+// message type pay an array index instead of building a string key.
+NameId msg_type_span_name(MsgType t);
 
 // An immediate-argument extent of a Request: bytes at a fixed offset in the argument buffer
 // (Table 1: "(offset, size, addr)" triples; the addr'ed bytes are captured at create time).

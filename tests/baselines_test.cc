@@ -32,8 +32,12 @@ class PageCacheTest : public ::testing::Test {
   Result<std::vector<uint8_t>> read_sync(BlockDevice& d, uint64_t off, uint64_t size) {
     Result<std::vector<uint8_t>> out = ErrorCode::kInternal;
     bool done = false;
-    d.read(off, size, [&](Result<std::vector<uint8_t>> r) {
-      out = std::move(r);
+    d.read(off, size, [&](Result<Payload> r) {
+      if (r.ok()) {
+        out = r.value().to_vector();
+      } else {
+        out = r.error();
+      }
       done = true;
     });
     loop_.run();
@@ -106,7 +110,7 @@ TEST_F(PageCacheTest, LruEvictionBoundsMemory) {
   for (int i = 0; i < 64; ++i) {
     bool done = false;
     small.read(static_cast<uint64_t>(i) * 65536, 4096,
-               [&](Result<std::vector<uint8_t>>) { done = true; });
+               [&](Result<Payload>) { done = true; });
     loop_.run();
     ASSERT_TRUE(done);
   }
@@ -136,17 +140,17 @@ TEST_F(NvmeofTest, RemoteReadWriteRoundTrip) {
   initiator_->write(4096, data, [&](Status s) { ws = s; });
   loop_.run();
   ASSERT_TRUE(ws.ok());
-  Result<std::vector<uint8_t>> r = ErrorCode::kInternal;
-  initiator_->read(4096, 8192, [&](Result<std::vector<uint8_t>> rr) { r = std::move(rr); });
+  Result<Payload> r = ErrorCode::kInternal;
+  initiator_->read(4096, 8192, [&](Result<Payload> rr) { r = std::move(rr); });
   loop_.run();
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r.value(), data);
+  EXPECT_EQ(r.value().bytes(), data);
 }
 
 TEST_F(NvmeofTest, ReadLatencyIsRttPlusDevice) {
-  Result<std::vector<uint8_t>> r = ErrorCode::kInternal;
+  Result<Payload> r = ErrorCode::kInternal;
   const Time start = loop_.now();
-  initiator_->read(0, 4096, [&](Result<std::vector<uint8_t>> rr) { r = std::move(rr); });
+  initiator_->read(0, 4096, [&](Result<Payload> rr) { r = std::move(rr); });
   loop_.run();
   ASSERT_TRUE(r.ok());
   const double us = (loop_.now() - start).to_us();

@@ -292,7 +292,7 @@ TEST(ChaosObservability, FaultMetricsMirrorInjectorCounters) {
   // every timed-out peer op is force-closed, every FS io reaches a terminal branch.
   EXPECT_EQ(tracer.open_spans(), 0u);
   for (const Span& s : tracer.spans()) {
-    EXPECT_FALSE(s.open) << "span " << s.span_id << " (" << s.name << ") left open";
+    EXPECT_FALSE(s.open) << "span " << s.span_id << " (" << s.name() << ") left open";
   }
 }
 
@@ -391,7 +391,7 @@ TEST(ChaosPeerOps, TimeoutThenDedupAfterLinkHeals) {
   // deadline fires, and the failed syscall's span carries an error too.
   bool saw_timeout_span = false;
   for (const Span& s : tracer.spans()) {
-    if (s.kind == SpanKind::kController && s.name == "peer-op") {
+    if (s.kind == SpanKind::kController && s.name() == "peer-op") {
       EXPECT_FALSE(s.open);
       EXPECT_TRUE(s.error);
       EXPECT_EQ(s.error_what, "timeout");

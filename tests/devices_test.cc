@@ -131,19 +131,19 @@ TEST_F(NvmeTest, WriteThenReadRoundTripsData) {
   });
   loop_.run();
   ASSERT_TRUE(wrote);
-  Result<std::vector<uint8_t>> got = ErrorCode::kInternal;
-  nvme_.read(5000, data.size(), [&](Result<std::vector<uint8_t>> r) { got = std::move(r); });
+  Result<Payload> got = ErrorCode::kInternal;
+  nvme_.read(5000, data.size(), [&](Result<Payload> r) { got = std::move(r); });
   loop_.run();
   ASSERT_TRUE(got.ok());
-  EXPECT_EQ(got.value(), data);
+  EXPECT_EQ(got.value().bytes(), data);
 }
 
 TEST_F(NvmeTest, UnwrittenBlocksReadZero) {
-  Result<std::vector<uint8_t>> got = ErrorCode::kInternal;
-  nvme_.read(1 << 20, 4096, [&](Result<std::vector<uint8_t>> r) { got = std::move(r); });
+  Result<Payload> got = ErrorCode::kInternal;
+  nvme_.read(1 << 20, 4096, [&](Result<Payload> r) { got = std::move(r); });
   loop_.run();
   ASSERT_TRUE(got.ok());
-  for (uint8_t b : got.value()) {
+  for (uint8_t b : got.value().bytes()) {
     EXPECT_EQ(b, 0);
   }
 }
@@ -151,7 +151,7 @@ TEST_F(NvmeTest, UnwrittenBlocksReadZero) {
 TEST_F(NvmeTest, RandomReadLatencyCalibration) {
   // ~70us for a 4 KiB random read (Section 6.4: "the NVMe latency dominates (70 usec)").
   bool done = false;
-  nvme_.read(0, 4096, [&](Result<std::vector<uint8_t>>) { done = true; });
+  nvme_.read(0, 4096, [&](Result<Payload>) { done = true; });
   loop_.run();
   EXPECT_TRUE(done);
   EXPECT_NEAR(static_cast<double>(loop_.now().ns()) / 1000.0, 70.0, 2.0);
@@ -170,7 +170,7 @@ TEST_F(NvmeTest, ChannelsOverlapQueuedIo) {
   int done = 0;
   for (int i = 0; i < 8; ++i) {
     nvme_.read(static_cast<uint64_t>(i) * 4096, 4096,
-               [&](Result<std::vector<uint8_t>>) { ++done; });
+               [&](Result<Payload>) { ++done; });
   }
   loop_.run();
   EXPECT_EQ(done, 8);
@@ -179,9 +179,9 @@ TEST_F(NvmeTest, ChannelsOverlapQueuedIo) {
 }
 
 TEST_F(NvmeTest, OutOfRangeRejected) {
-  Result<std::vector<uint8_t>> got = ErrorCode::kInternal;
+  Result<Payload> got = ErrorCode::kInternal;
   nvme_.read(nvme_.capacity() - 100, 4096,
-             [&](Result<std::vector<uint8_t>> r) { got = std::move(r); });
+             [&](Result<Payload> r) { got = std::move(r); });
   Status ws = ok_status();
   nvme_.write(nvme_.capacity(), {1}, [&](Status s) { ws = s; });
   loop_.run();
@@ -201,7 +201,7 @@ TEST_F(NvmeTest, LargeReadStreamsAtBandwidth) {
   nvme_.write(0, std::vector<uint8_t>(1 << 20, 1), [&](Status) {});
   loop_.run();
   const Time start = loop_.now();
-  nvme_.read(0, 1 << 20, [&](Result<std::vector<uint8_t>>) { done = true; });
+  nvme_.read(0, 1 << 20, [&](Result<Payload>) { done = true; });
   loop_.run();
   EXPECT_TRUE(done);
   const double us = (loop_.now() - start).to_us();

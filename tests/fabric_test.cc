@@ -37,7 +37,7 @@ TEST_F(FabricTest, WireLatencyCalibration) {
 TEST_F(FabricTest, SendDeliversAfterLatency) {
   bool got = false;
   net_.send(Endpoint{n0_, Loc::kHost}, Endpoint{n1_, Loc::kHost}, Traffic::kControl, {1, 2, 3},
-            [&](std::vector<uint8_t> bytes) {
+            [&](Payload bytes) {
               got = true;
               EXPECT_EQ(bytes.size(), 3u);
             });
@@ -54,7 +54,7 @@ TEST_F(FabricTest, BandwidthOccupancySerializesMessages) {
   for (int i = 0; i < 2; ++i) {
     net_.send(Endpoint{n0_, Loc::kHost}, Endpoint{n1_, Loc::kHost}, Traffic::kData,
               std::vector<uint8_t>(size),
-              [&](std::vector<uint8_t>) { arrivals.push_back(loop_.now().ns()); });
+              [&](Payload) { arrivals.push_back(loop_.now().ns()); });
   }
   loop_.run();
   ASSERT_EQ(arrivals.size(), 2u);
@@ -70,7 +70,7 @@ TEST_F(FabricTest, ThroughputApproachesLineRate) {
   int received = 0;
   for (int i = 0; i < count; ++i) {
     net_.send(Endpoint{n0_, Loc::kHost}, Endpoint{n1_, Loc::kHost}, Traffic::kData,
-              std::vector<uint8_t>(msg), [&](std::vector<uint8_t>) { ++received; });
+              std::vector<uint8_t>(msg), [&](Payload) { ++received; });
   }
   loop_.run();
   EXPECT_EQ(received, count);
@@ -81,9 +81,9 @@ TEST_F(FabricTest, ThroughputApproachesLineRate) {
 
 TEST_F(FabricTest, TrafficCountersByCategory) {
   net_.send(Endpoint{n0_, Loc::kHost}, Endpoint{n1_, Loc::kHost}, Traffic::kControl,
-            std::vector<uint8_t>(10), [](std::vector<uint8_t>) {});
+            std::vector<uint8_t>(10), [](Payload) {});
   net_.send(Endpoint{n0_, Loc::kHost}, Endpoint{n0_, Loc::kHost}, Traffic::kData,
-            std::vector<uint8_t>(100), [](std::vector<uint8_t>) {});
+            std::vector<uint8_t>(100), [](Payload) {});
   loop_.run();
   const TrafficCounters& c = net_.counters();
   EXPECT_EQ(c.control_messages(), 1u);
@@ -98,7 +98,7 @@ TEST_F(FabricTest, TrafficCountersByCategory) {
 TEST_F(FabricTest, LargeMessageChargesHeaderPerMtuSegment) {
   const uint64_t size = 10000;  // 3 segments at 4096 MTU
   net_.send(Endpoint{n0_, Loc::kHost}, Endpoint{n1_, Loc::kHost}, Traffic::kData,
-            std::vector<uint8_t>(size), [](std::vector<uint8_t>) {});
+            std::vector<uint8_t>(size), [](Payload) {});
   loop_.run();
   EXPECT_EQ(net_.counters().bytes[1], size + 3 * 66);
 }
@@ -109,12 +109,12 @@ TEST_F(FabricTest, RdmaReadMovesRealBytes) {
   for (int i = 0; i < 16; ++i) {
     target.pool(pool)[static_cast<size_t>(i)] = static_cast<uint8_t>(i * 3);
   }
-  Result<std::vector<uint8_t>> got = ErrorCode::kInternal;
+  Result<Payload> got = ErrorCode::kInternal;
   net_.rdma_read(Endpoint{n0_, Loc::kHost}, n1_, RdmaKey{}, pool, 0, 16,
-                 [&](Result<std::vector<uint8_t>> r) { got = std::move(r); });
+                 [&](Result<Payload> r) { got = std::move(r); });
   loop_.run();
   ASSERT_TRUE(got.ok());
-  EXPECT_EQ(got.value()[5], 15);
+  EXPECT_EQ(got.value().bytes()[5], 15);
   // Round trip: ~2 * 1.65us for a small payload.
   EXPECT_NEAR(static_cast<double>(loop_.now().ns()), 3300 + 2 * 66 / 1.25 + 16 / 1.25, 30.0);
 }
@@ -149,9 +149,9 @@ TEST_F(FabricTest, RdmaAuthorizerDeniesAndKeyIsForwarded) {
   EXPECT_EQ(seen.generation, 3u);
   EXPECT_EQ(target.pool(pool)[0], 0);  // nothing written
 
-  Result<std::vector<uint8_t>> rs = ErrorCode::kInternal;
+  Result<Payload> rs = ErrorCode::kInternal;
   net_.rdma_read(Endpoint{n0_, Loc::kHost}, n1_, RdmaKey{}, pool, 0, 1,
-                 [&](Result<std::vector<uint8_t>> r) { rs = std::move(r); });
+                 [&](Result<Payload> r) { rs = std::move(r); });
   loop_.run();
   EXPECT_TRUE(rs.ok());
 }
@@ -159,9 +159,9 @@ TEST_F(FabricTest, RdmaAuthorizerDeniesAndKeyIsForwarded) {
 TEST_F(FabricTest, RdmaOutOfRangeFails) {
   Node& target = net_.node(n1_);
   const PoolId pool = target.add_pool(128);
-  Result<std::vector<uint8_t>> got = ErrorCode::kInternal;
+  Result<Payload> got = ErrorCode::kInternal;
   net_.rdma_read(Endpoint{n0_, Loc::kHost}, n1_, RdmaKey{}, pool, 100, 100,
-                 [&](Result<std::vector<uint8_t>> r) { got = std::move(r); });
+                 [&](Result<Payload> r) { got = std::move(r); });
   loop_.run();
   EXPECT_EQ(got.error(), ErrorCode::kOutOfRange);
 }
@@ -193,7 +193,7 @@ TEST_F(FabricTest, FailedNodeDropsMessages) {
   bool delivered = false;
   bool dropped = false;
   net_.send(Endpoint{n0_, Loc::kHost}, Endpoint{n1_, Loc::kHost}, Traffic::kControl, {1},
-            [&](std::vector<uint8_t>) { delivered = true; }, [&]() { dropped = true; });
+            [&](Payload) { delivered = true; }, [&]() { dropped = true; });
   loop_.run();
   EXPECT_FALSE(delivered);
   EXPECT_TRUE(dropped);
@@ -203,7 +203,7 @@ TEST_F(FabricTest, NodeFailedWhileMessageInFlight) {
   bool delivered = false;
   bool dropped = false;
   net_.send(Endpoint{n0_, Loc::kHost}, Endpoint{n1_, Loc::kHost}, Traffic::kControl, {1},
-            [&](std::vector<uint8_t>) { delivered = true; }, [&]() { dropped = true; });
+            [&](Payload) { delivered = true; }, [&]() { dropped = true; });
   net_.node(n1_).fail();  // before delivery fires
   loop_.run();
   EXPECT_FALSE(delivered);
@@ -214,9 +214,9 @@ TEST_F(FabricTest, RdmaToFailedNodeFails) {
   Node& target = net_.node(n1_);
   const PoolId pool = target.add_pool(128);
   target.fail();
-  Result<std::vector<uint8_t>> got = ErrorCode::kInternal;
+  Result<Payload> got = ErrorCode::kInternal;
   net_.rdma_read(Endpoint{n0_, Loc::kHost}, n1_, RdmaKey{}, pool, 0, 16,
-                 [&](Result<std::vector<uint8_t>> r) { got = std::move(r); });
+                 [&](Result<Payload> r) { got = std::move(r); });
   loop_.run();
   EXPECT_EQ(got.error(), ErrorCode::kChannelClosed);
 }
@@ -228,8 +228,8 @@ TEST_F(QueuePairTest, BidirectionalOrderedDelivery) {
   QueuePair b(&net_, Endpoint{n1_, Loc::kHost});
   QueuePair::connect(a, b);
   std::vector<uint8_t> seen;
-  b.set_receive_handler([&](std::vector<uint8_t> bytes) { seen.push_back(bytes[0]); });
-  a.set_receive_handler([](std::vector<uint8_t>) {});
+  b.set_receive_handler([&](Payload bytes) { seen.push_back(bytes.bytes()[0]); });
+  a.set_receive_handler([](Payload) {});
   for (uint8_t i = 0; i < 5; ++i) {
     a.send(Traffic::kControl, {i});
   }
@@ -242,8 +242,8 @@ TEST_F(QueuePairTest, SeverNotifiesPeerOnce) {
   QueuePair a(&net_, Endpoint{n0_, Loc::kHost});
   QueuePair b(&net_, Endpoint{n1_, Loc::kHost});
   QueuePair::connect(a, b);
-  a.set_receive_handler([](std::vector<uint8_t>) {});
-  b.set_receive_handler([](std::vector<uint8_t>) {});
+  a.set_receive_handler([](Payload) {});
+  b.set_receive_handler([](Payload) {});
   int severed = 0;
   b.set_severed_handler([&]() { ++severed; });
   a.sever();
@@ -259,7 +259,7 @@ TEST_F(QueuePairTest, SendsAfterSeverAreDropped) {
   QueuePair b(&net_, Endpoint{n1_, Loc::kHost});
   QueuePair::connect(a, b);
   int got = 0;
-  b.set_receive_handler([&](std::vector<uint8_t>) { ++got; });
+  b.set_receive_handler([&](Payload) { ++got; });
   a.sever();
   a.send(Traffic::kControl, {1});
   a.send(Traffic::kData, {2});
@@ -273,7 +273,7 @@ TEST_F(QueuePairTest, SendToFailedNodeCountsDrop) {
   QueuePair a(&net_, Endpoint{n0_, Loc::kHost});
   QueuePair b(&net_, Endpoint{n1_, Loc::kHost});
   QueuePair::connect(a, b);
-  b.set_receive_handler([](std::vector<uint8_t>) {});
+  b.set_receive_handler([](Payload) {});
   net_.node(n1_).fail();
   a.send(Traffic::kControl, {1});
   loop_.run();
@@ -299,8 +299,8 @@ TEST_F(LossyQueuePairTest, ReliableDeliveryUnderHeavyDrop) {
   a.set_retry_policy(Duration::micros(30), 20);
   b.set_retry_policy(Duration::micros(30), 20);
   std::vector<uint8_t> seen;
-  b.set_receive_handler([&](std::vector<uint8_t> bytes) { seen.push_back(bytes[0]); });
-  a.set_receive_handler([](std::vector<uint8_t>) {});
+  b.set_receive_handler([&](Payload bytes) { seen.push_back(bytes.bytes()[0]); });
+  a.set_receive_handler([](Payload) {});
   std::vector<uint8_t> want;
   for (uint8_t i = 0; i < 40; ++i) {
     a.send(Traffic::kControl, {i});
@@ -321,8 +321,8 @@ TEST_F(LossyQueuePairTest, ExhaustedRetryBudgetSeversPair) {
   QueuePair b(&net_, Endpoint{n1_, Loc::kHost});
   QueuePair::connect(a, b);
   a.set_retry_policy(Duration::micros(10), 4);
-  a.set_receive_handler([](std::vector<uint8_t>) {});
-  b.set_receive_handler([](std::vector<uint8_t>) {});
+  a.set_receive_handler([](Payload) {});
+  b.set_receive_handler([](Payload) {});
   int peer_severed = 0;
   b.set_severed_handler([&]() { ++peer_severed; });
   a.send(Traffic::kControl, {1});
@@ -342,8 +342,8 @@ TEST_F(LossyQueuePairTest, DatagramModeHasNoRetransmission) {
   a.set_mode(QueuePair::Mode::kDatagram);
   b.set_mode(QueuePair::Mode::kDatagram);
   int got = 0;
-  b.set_receive_handler([&](std::vector<uint8_t>) { ++got; });
-  a.set_receive_handler([](std::vector<uint8_t>) {});
+  b.set_receive_handler([&](Payload) { ++got; });
+  a.set_receive_handler([](Payload) {});
   a.send(Traffic::kControl, {1});
   loop_.run();
   // UD semantics: the drop is final — no retry, no sever, the pair stays usable.
