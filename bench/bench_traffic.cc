@@ -23,6 +23,8 @@ struct Measured {
   uint64_t control_msgs = 0;
   uint64_t data_msgs = 0;
   uint64_t total_bytes = 0;
+  uint64_t rack_local_bytes = 0;  // cross-node bytes that never left the ToR
+  uint64_t cross_rack_bytes = 0;  // cross-node bytes that crossed the spine layer
   double latency_us = 0;
 };
 
@@ -51,6 +53,8 @@ Measured measure_fractos() {
   m.control_msgs = c.cross_messages[0];
   m.data_msgs = c.cross_messages[1];
   m.total_bytes = c.total_cross_bytes();
+  m.rack_local_bytes = c.total_rack_local_bytes();
+  m.cross_rack_bytes = c.total_cross_rack_bytes();
   return m;
 }
 
@@ -69,6 +73,8 @@ Measured measure_baseline() {
   m.control_msgs = c.cross_messages[0];
   m.data_msgs = c.cross_messages[1];
   m.total_bytes = c.total_cross_bytes();
+  m.rack_local_bytes = c.total_rack_local_bytes();
+  m.cross_rack_bytes = c.total_cross_rack_bytes();
   return m;
 }
 
@@ -92,6 +98,10 @@ int main() {
          fmt(static_cast<double>(b.data_msgs) / f.data_msgs, 2) + "x"});
   t.row({"bytes on the wire", std::to_string(f.total_bytes), std::to_string(b.total_bytes),
          fmt(static_cast<double>(b.total_bytes) / f.total_bytes, 2) + "x"});
+  t.row({"  rack-local bytes", std::to_string(f.rack_local_bytes),
+         std::to_string(b.rack_local_bytes), "-"});
+  t.row({"  cross-rack bytes", std::to_string(f.cross_rack_bytes),
+         std::to_string(b.cross_rack_bytes), "-"});
   t.row({"end-to-end latency",
          fmt(f.latency_us, 1) + " us", fmt(b.latency_us, 1) + " us",
          fmt(b.latency_us / f.latency_us, 2) + "x"});

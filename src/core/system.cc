@@ -5,7 +5,7 @@
 namespace fractos {
 
 System::System(SystemConfig config) : config_(config) {
-  net_ = std::make_unique<Network>(&loop_, config_.fabric);
+  net_ = std::make_unique<Network>(&loop_, config_.fabric, config_.topology);
   if (config_.faults.has_value()) {
     net_->install_fault_injector(*config_.faults);
   }

@@ -25,6 +25,9 @@ namespace fractos {
 
 struct SystemConfig {
   FabricParams fabric;
+  // Fabric topology: single-switch (the calibrated flat default) or a ToR/spine fat tree
+  // with per-port congestion modeling (src/fabric/topology.h).
+  TopologySpec topology;
   ControllerCosts host_costs = ControllerCosts::host();
   ControllerCosts snic_costs = ControllerCosts::snic();
   uint32_t congestion_window = 1024;

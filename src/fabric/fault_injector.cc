@@ -74,7 +74,8 @@ FaultInjector::Verdict FaultInjector::on_message(uint32_t src_node, uint32_t dst
   return v;
 }
 
-FaultInjector::RdmaVerdict FaultInjector::on_rdma(uint32_t a, uint32_t b, Time now) {
+FaultInjector::RdmaVerdict FaultInjector::on_rdma(uint32_t a, uint32_t b, Time now,
+                                                  bool path_blocked) {
   RdmaVerdict v;
 
   // A blocked link defeats every retransmit: the modeled NIC burns its whole budget (with
@@ -87,7 +88,7 @@ FaultInjector::RdmaVerdict FaultInjector::on_rdma(uint32_t a, uint32_t b, Time n
     return d;
   };
 
-  if (link_blocked(a, b, now)) {
+  if (path_blocked || link_blocked(a, b, now)) {
     v.retries = plan_.rdma_retry_budget;
     v.abort = true;
     v.delay = backoff_total(plan_.rdma_retry_budget);

@@ -47,6 +47,9 @@ struct FaultPlan {
   Duration max_jitter = Duration::micros(25);
 
   // Per-link overrides win over the global drop probabilities. Links are unordered pairs.
+  // Endpoints may be node ids or topology switch ids (Topology::tor_id / spine_id): a flap
+  // on {tor_id(r), spine_id(s)} partitions exactly that uplink, and every message or RDMA
+  // verb routed across it is dropped for the window.
   struct LinkOverride {
     uint32_t a = 0;
     uint32_t b = 0;
@@ -121,12 +124,18 @@ class FaultInjector {
 
   // What happens to one RDMA verb between two nodes: zero or more modeled NIC retransmits
   // (delay accumulates with exponential backoff), or an abort once the budget is exhausted.
+  // `path_blocked` reports a blocked topology link along the routed path (a spine or ToR
+  // flap the direct (a, b) check cannot see); it defeats every retransmit, like a flap.
   struct RdmaVerdict {
     uint32_t retries = 0;
     bool abort = false;
     Duration delay = Duration::zero();
   };
-  RdmaVerdict on_rdma(uint32_t a, uint32_t b, Time now);
+  RdmaVerdict on_rdma(uint32_t a, uint32_t b, Time now, bool path_blocked = false);
+
+  // Records a deterministic drop of a message whose route crossed a blocked topology link
+  // (the Network detects those per hop; the flat (a, b) check in on_message cannot).
+  void note_partition_drop() { ++counters_.partition_drops; }
 
   // True when the (a,b) link is blocked by a flap or either node is in an outage window.
   bool link_blocked(uint32_t a, uint32_t b, Time now) const;

@@ -35,6 +35,8 @@ struct NetNames {
   NameId nic_wait = intern_name("nic-wait");
   NameId wire = intern_name("wire");
   NameId local = intern_name("local");
+  NameId hop = intern_name("hop");
+  NameId port_wait = intern_name("port-wait");
 };
 
 const NetNames& net_names() {
@@ -44,7 +46,8 @@ const NetNames& net_names() {
 
 }  // namespace
 
-Network::Network(EventLoop* loop, FabricParams params) : loop_(loop), params_(params) {
+Network::Network(EventLoop* loop, FabricParams params, TopologySpec topology)
+    : loop_(loop), params_(params), topology_(topology) {
   FRACTOS_CHECK(loop != nullptr);
 }
 
@@ -54,6 +57,7 @@ uint32_t Network::add_node(std::string name, bool with_snic) {
   egress_free_.push_back(Time{});
   ingress_free_.push_back(Time{});
   local_free_.push_back(Time{});
+  topology_.on_node_added(id);
   return id;
 }
 
@@ -64,6 +68,9 @@ Node& Network::node(uint32_t id) {
 
 Duration Network::wire_latency(Endpoint a, Endpoint b) const {
   if (a.node != b.node) {
+    if (!topology_.flat()) {
+      return topology_.spec().sw.link_oneway * static_cast<double>(topology_.num_links(a, b));
+    }
     return params_.cross_node_oneway;
   }
   if (a.loc != b.loc) {
@@ -75,13 +82,35 @@ Duration Network::wire_latency(Endpoint a, Endpoint b) const {
 Time Network::schedule_transfer(Endpoint src, Endpoint dst, Traffic category,
                                 uint64_t payload_bytes) {
   const bool cross = src.node != dst.node;
-  const double bw = cross ? params_.wire_bandwidth_bpns : params_.local_bandwidth_bpns;
   const uint64_t wire_bytes =
       payload_bytes + params_.header_bytes * segment_count(payload_bytes, params_.mtu_bytes);
 
-  // Cross-node transfers occupy the 10 Gbps wire (sender egress + receiver ingress);
-  // same-node (NIC loopback / PCIe) transfers occupy a separate, faster local path and do
-  // not steal wire bandwidth.
+  const size_t cat = static_cast<size_t>(category);
+  counters_.messages[cat] += 1;
+  counters_.bytes[cat] += wire_bytes;
+  if (cross) {
+    counters_.cross_messages[cat] += 1;
+    counters_.cross_bytes[cat] += wire_bytes;
+    if (topology_.same_rack(src.node, dst.node)) {
+      counters_.rack_local_messages[cat] += 1;
+      counters_.rack_local_bytes[cat] += wire_bytes;
+    }
+  }
+  if (MetricsRegistry* m = loop_->metrics()) {
+    const NetNames& n = net_names();
+    m->add(n.msg[cat]);
+    m->add(n.bytes[cat], static_cast<int64_t>(wire_bytes));
+  }
+
+  if (cross && !topology_.flat()) {
+    return schedule_routed_transfer(src, dst, wire_bytes);
+  }
+
+  // Flat/local path — the calibrated pre-topology model, bit-identical to the recorded
+  // benches. Cross-node transfers occupy the 10 Gbps wire (sender egress + receiver
+  // ingress); same-node (NIC loopback / PCIe) transfers occupy a separate, faster local
+  // path and do not steal wire bandwidth.
+  const double bw = cross ? params_.wire_bandwidth_bpns : params_.local_bandwidth_bpns;
   const Duration serialization = transfer_time(wire_bytes, bw);
   Time start;
   if (cross) {
@@ -93,20 +122,7 @@ Time Network::schedule_transfer(Endpoint src, Endpoint dst, Traffic category,
     local_free_[src.node] = start + serialization;
   }
 
-  const size_t cat = static_cast<size_t>(category);
-  counters_.messages[cat] += 1;
-  counters_.bytes[cat] += wire_bytes;
-  if (cross) {
-    counters_.cross_messages[cat] += 1;
-    counters_.cross_bytes[cat] += wire_bytes;
-  }
-
   const Time arrival = start + serialization + wire_latency(src, dst);
-  if (MetricsRegistry* m = loop_->metrics()) {
-    const NetNames& n = net_names();
-    m->add(n.msg[cat]);
-    m->add(n.bytes[cat], static_cast<int64_t>(wire_bytes));
-  }
   if (span_tracing_active() && loop_->span_tracer() != nullptr) {
     SpanTracer* t = loop_->span_tracer();
     const NetNames& n = net_names();
@@ -124,6 +140,68 @@ Time Network::schedule_transfer(Endpoint src, Endpoint dst, Traffic category,
   return arrival;
 }
 
+Time Network::schedule_routed_transfer(Endpoint src, Endpoint dst, uint64_t wire_bytes) {
+  const Duration link = topology_.spec().sw.link_oneway;
+  const Duration nic_ser = transfer_time(wire_bytes, params_.wire_bandwidth_bpns);
+  topology_.route(src, dst, &route_scratch_);
+  FRACTOS_CHECK(!route_scratch_.empty());
+
+  SpanTracer* t =
+      span_tracing_active() && loop_->span_tracer() != nullptr ? loop_->span_tracer() : nullptr;
+  const NetNames& n = net_names();
+
+  // Store-and-forward at message granularity: the sender NIC serializes onto its ToR link,
+  // then every switch on the route re-serializes onto its egress link after draining the
+  // queue ahead. The final ToR egress IS the delivery link, so the receiver NIC charges no
+  // extra serialization.
+  const Time nic_start = max(loop_->now(), egress_free_[src.node]);
+  egress_free_[src.node] = nic_start + nic_ser;
+  Time at = nic_start + nic_ser + link;
+  if (t != nullptr) {
+    if (nic_start > loop_->now()) {
+      t->record(n.net, SpanKind::kQueue, n.nic_wait, loop_->now(), nic_start);
+    }
+    const uint64_t id = t->record(n.net, SpanKind::kFabric, n.wire, nic_start, at);
+    if (id != 0) {
+      t->attr(id, "bytes", std::to_string(wire_bytes));
+    }
+  }
+
+  for (const Topology::Hop& hop : route_scratch_) {
+    if (hop.sw == nullptr) {
+      continue;  // the NIC hop, charged above
+    }
+    const Switch::Transit tr = hop.sw->traverse(hop.port, at, wire_bytes);
+    if (t != nullptr) {
+      // Head-of-line wait at the egress port is congestion (its own tax bucket, so the
+      // disaggregation-tax breakdown attributes fabric queueing per hop); the
+      // serialization + propagation that follows is fabric proper.
+      if (tr.queued > Duration::zero()) {
+        t->record(n.net, SpanKind::kFabricQueue, n.port_wait, at, at + tr.queued);
+      }
+      t->record(n.net, SpanKind::kFabric, n.hop, at + tr.queued, tr.depart + link);
+    }
+    at = tr.depart + link;
+  }
+  return at;
+}
+
+bool Network::route_blocked(Endpoint src, Endpoint dst, Time now) {
+  if (injector_ == nullptr || topology_.flat() || src.node == dst.node) {
+    return false;
+  }
+  if (injector_->plan().flaps.empty()) {
+    return false;  // only flap schedules can name switch links
+  }
+  topology_.route(src, dst, &route_scratch_);
+  for (const Topology::Hop& hop : route_scratch_) {
+    if (injector_->link_blocked(hop.link_a, hop.link_b, now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Network::send(Endpoint src, Endpoint dst, Traffic category, Payload payload,
                    std::function<void(Payload)> deliver, std::function<void()> dropped) {
   FRACTOS_CHECK(src.node < nodes_.size() && dst.node < nodes_.size());
@@ -137,6 +215,16 @@ void Network::send(Endpoint src, Endpoint dst, Traffic category, Payload payload
   Duration extra_delay = Duration::zero();
   bool duplicate = false;
   if (injector_ != nullptr) {
+    // A blocked topology link (spine/ToR flap) eats the message deterministically, before
+    // any probabilistic draw — mirroring how on_message treats node-to-node partitions.
+    if (route_blocked(src, dst, loop_->now())) {
+      injector_->note_partition_drop();
+      if (MetricsRegistry* m = loop_->metrics()) {
+        static const NameId kDrops = intern_name("net.faults.drops");
+        m->add(kDrops);
+      }
+      return;
+    }
     const FaultInjector::Verdict v =
         injector_->on_message(src.node, dst.node, category, loop_->now());
     if (MetricsRegistry* m = loop_->metrics()) {
@@ -197,8 +285,9 @@ void Network::rdma_read(Endpoint initiator, uint32_t target, const RdmaKey& key,
                         std::function<void(Result<Payload>)> done) {
   FRACTOS_CHECK(initiator.node < nodes_.size() && target < nodes_.size());
   if (injector_ != nullptr) {
+    const bool blocked = route_blocked(initiator, Endpoint{target, Loc::kHost}, loop_->now());
     const FaultInjector::RdmaVerdict v =
-        injector_->on_rdma(initiator.node, target, loop_->now());
+        injector_->on_rdma(initiator.node, target, loop_->now(), blocked);
     note_rdma_faults(loop_, v);
     if (v.abort) {
       loop_->schedule_after(v.delay, [done = std::move(done)]() mutable {
@@ -251,8 +340,9 @@ void Network::rdma_write(Endpoint initiator, uint32_t target, const RdmaKey& key
                          uint64_t addr, Payload data, std::function<void(Status)> done) {
   FRACTOS_CHECK(initiator.node < nodes_.size() && target < nodes_.size());
   if (injector_ != nullptr) {
+    const bool blocked = route_blocked(initiator, Endpoint{target, Loc::kHost}, loop_->now());
     const FaultInjector::RdmaVerdict v =
-        injector_->on_rdma(initiator.node, target, loop_->now());
+        injector_->on_rdma(initiator.node, target, loop_->now(), blocked);
     note_rdma_faults(loop_, v);
     if (v.abort) {
       loop_->schedule_after(v.delay, [done = std::move(done)]() mutable {
@@ -300,9 +390,12 @@ void Network::rdma_third_party(Endpoint initiator, RdmaSide src, RdmaSide dst, u
   if (injector_ != nullptr) {
     // Two wire legs are exposed to faults: the work request (initiator -> src NIC) and the
     // third-party data leg (src -> dst). Either aborting fails the whole verb.
-    const FaultInjector::RdmaVerdict v1 =
-        injector_->on_rdma(initiator.node, src.node, loop_->now());
-    const FaultInjector::RdmaVerdict v2 = injector_->on_rdma(src.node, dst.node, loop_->now());
+    const Endpoint src_ep{src.node, Loc::kHost};
+    const Endpoint dst_ep{dst.node, Loc::kHost};
+    const FaultInjector::RdmaVerdict v1 = injector_->on_rdma(
+        initiator.node, src.node, loop_->now(), route_blocked(initiator, src_ep, loop_->now()));
+    const FaultInjector::RdmaVerdict v2 = injector_->on_rdma(
+        src.node, dst.node, loop_->now(), route_blocked(src_ep, dst_ep, loop_->now()));
     note_rdma_faults(loop_, v1);
     note_rdma_faults(loop_, v2);
     const Duration delay = v1.delay + v2.delay;

@@ -1,0 +1,81 @@
+#include "src/fabric/switch.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+
+namespace fractos {
+
+Switch::Port& Switch::ensure_port(uint32_t port) {
+  if (port >= ports_.size()) {
+    ports_.resize(port + 1);
+  }
+  return ports_[port];
+}
+
+const PortStats& Switch::port_stats(uint32_t port) const {
+  FRACTOS_CHECK(port < ports_.size());
+  return ports_[port].stats;
+}
+
+Switch::Transit Switch::traverse(uint32_t port, Time enq, uint64_t wire_bytes) {
+  Port& p = ensure_port(port);
+  const Duration ser = transfer_time(wire_bytes, params_.port_bandwidth_bpns);
+  const Time start = max(enq, p.free_at);
+
+  // Backlog already committed to this port when the message reaches it. With PFC, a frame
+  // that would overflow the buffer is held at the upstream hop until the queue drains — the
+  // wait is the same either way, but the occupancy we record is the bounded in-queue share.
+  const int64_t backlog_ns = p.free_at > enq ? (p.free_at - enq).ns() : 0;
+  const uint64_t backlog_bytes =
+      static_cast<uint64_t>(static_cast<double>(backlog_ns) * params_.port_bandwidth_bpns);
+  uint64_t occupancy = backlog_bytes + wire_bytes;
+  const bool paused = occupancy > params_.port_buffer_bytes;
+  if (paused) {
+    occupancy = params_.port_buffer_bytes;
+  }
+
+  Transit t;
+  t.depart = start + ser;
+  t.queued = start - enq;
+  t.ecn_marked = occupancy >= params_.ecn_threshold_bytes;
+
+  p.free_at = t.depart;
+  p.stats.messages += 1;
+  p.stats.bytes += wire_bytes;
+  p.stats.queue_wait_ns += t.queued.ns();
+  p.stats.max_queue_bytes = std::max(p.stats.max_queue_bytes, occupancy);
+  if (t.ecn_marked) {
+    p.stats.ecn_marks += 1;
+  }
+  if (paused) {
+    p.stats.pause_events += 1;
+  }
+  return t;
+}
+
+uint64_t Switch::max_queue_bytes() const {
+  uint64_t m = 0;
+  for (const Port& p : ports_) {
+    m = std::max(m, p.stats.max_queue_bytes);
+  }
+  return m;
+}
+
+uint64_t Switch::total_ecn_marks() const {
+  uint64_t n = 0;
+  for (const Port& p : ports_) {
+    n += p.stats.ecn_marks;
+  }
+  return n;
+}
+
+uint64_t Switch::total_pause_events() const {
+  uint64_t n = 0;
+  for (const Port& p : ports_) {
+    n += p.stats.pause_events;
+  }
+  return n;
+}
+
+}  // namespace fractos

@@ -25,6 +25,8 @@ const char* span_kind_name(SpanKind kind) {
       return "device";
     case SpanKind::kService:
       return "service";
+    case SpanKind::kFabricQueue:
+      return "fabric-queue";
   }
   return "?";
 }

@@ -48,6 +48,7 @@ enum class SpanKind : uint8_t {
   kQueue = 5,        // waiting for a busy resource (core, device channel, slot pool)
   kDevice = 6,       // device service time (NVMe channel, GPU engine)
   kService = 7,      // service-level operation (FS I/O, app verify)
+  kFabricQueue = 8,  // head-of-line wait in a switch egress queue (fabric congestion)
 };
 
 const char* span_kind_name(SpanKind kind);

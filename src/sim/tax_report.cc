@@ -23,6 +23,8 @@ const char* tax_bucket_name(TaxBucket b) {
       return "device";
     case TaxBucket::kOther:
       return "other";
+    case TaxBucket::kFabricQueue:
+      return "fabric.queue";
   }
   return "?";
 }
@@ -37,6 +39,8 @@ TaxBucket tax_bucket_of(SpanKind kind) {
       return TaxBucket::kTranslation;
     case SpanKind::kQueue:
       return TaxBucket::kQueue;
+    case SpanKind::kFabricQueue:
+      return TaxBucket::kFabricQueue;
     case SpanKind::kDevice:
       return TaxBucket::kDevice;
     case SpanKind::kRequest:

@@ -27,8 +27,9 @@ enum class TaxBucket : uint8_t {
   kQueue = 3,        // waiting on busy cores, device channels, slot pools
   kDevice = 4,       // device service time
   kOther = 5,        // everything else (process-side logic, protocol gaps)
+  kFabricQueue = 6,  // per-hop head-of-line wait in switch egress queues (congestion)
 };
-inline constexpr size_t kNumTaxBuckets = 6;
+inline constexpr size_t kNumTaxBuckets = 7;
 
 const char* tax_bucket_name(TaxBucket b);
 TaxBucket tax_bucket_of(SpanKind kind);

@@ -418,5 +418,84 @@ TEST(ChaosPeerOps, TimeoutThenDedupAfterLinkHeals) {
   sys.loop().set_span_tracer(nullptr);
 }
 
+// A seeded spine-link-flap schedule on a fat-tree topology: both uplinks of rack 0 flap for
+// a window derived from the seed, partitioning rack 0 from rack 1 regardless of which spine
+// ECMP picks. Cross-rack peer ops issued across the window must all resolve — ok before and
+// after, kTimeout during — with the partition drops counted, and the whole run must be
+// bit-identical when repeated with the same seed.
+ChaosOutcome run_spine_flap_chaos(uint64_t seed) {
+  Rng r(seed ^ 0x5bd1e995u);
+  const int64_t flap_start = kFlapFloorNs + int64_t(r.next_below(1'000'000));
+  // The flap must outlast the peer-op deadline (1 ms) by more than the 250 us op pacing,
+  // or a lucky draw lets every blocked op resend its way to success after the heal and the
+  // window produces zero timeouts. 1.5 .. 2.5 ms guarantees a >=500 us stretch in which
+  // any issued op is doomed, for every seed.
+  const int64_t flap_len = 1'500'000 + int64_t(r.next_below(1'000'000));
+
+  SystemConfig cfg;
+  cfg.topology = TopologySpec::fat_tree(2, 2);
+  FaultPlan plan;
+  plan.seed = seed;
+  for (uint32_t s = 0; s < 2; ++s) {
+    plan.flaps.push_back({Topology::tor_id(0), Topology::spine_id(s), Time::from_ns(flap_start),
+                          Time::from_ns(flap_start + flap_len)});
+  }
+  cfg.faults = plan;
+  System sys(cfg);
+  for (int i = 0; i < 4; ++i) {
+    sys.add_node("n" + std::to_string(i));
+  }
+  Controller& c0 = sys.add_controller(0, Loc::kHost);
+  Controller& c2 = sys.add_controller(2, Loc::kHost);
+  Process& p = sys.spawn("p", 0, c0);
+  Process& q = sys.spawn("q", 2, c2);
+  const CapId qbuf = sys.await_ok(q.memory_create(q.alloc(8192), 8192, Perms::kReadWrite));
+  const CapId pbuf = sys.bootstrap_grant(q, qbuf, p).value();
+  FRACTOS_CHECK_MSG(sys.loop().now().ns() < kFlapFloorNs, "spine-flap setup overran the floor");
+
+  ChaosOutcome out;
+  // 30 cross-rack derives, paced 250 us apart: the op train straddles the flap window.
+  for (int op = 0; op < 30; ++op) {
+    const Result<CapId> res = sys.await(p.memory_diminish(pbuf, 0, 4096, Perms::kRead));
+    if (res.ok()) {
+      ++out.ok_ops;
+    } else {
+      ++out.errors[res.error()];
+    }
+    sys.loop().run_until_time(sys.loop().now() + Duration::micros(250));
+  }
+  sys.loop().run();
+
+  out.end_ns = sys.loop().now().ns();
+  out.traffic = sys.net().counters();
+  out.faults = sys.fault_injector()->counters();
+  out.live_objects = c2.table().live_count();
+  out.total_objects = c2.table().total_count();
+  return out;
+}
+
+TEST(ChaosSpineFlap, CrossRackOpsResolveAcrossTheFlapWindow) {
+  const ChaosOutcome out = run_spine_flap_chaos(base_seed());
+  EXPECT_EQ(out.total_ops(), 30);
+  EXPECT_GT(out.ok_ops, 0) << "no op succeeded outside the flap window";
+  EXPECT_GT(out.errors.count(ErrorCode::kTimeout), 0u)
+      << "no op hit the partition — flap window missed the op train";
+  for (const auto& [code, count] : out.errors) {
+    EXPECT_EQ(code, ErrorCode::kTimeout) << "count " << count;
+  }
+  // The drops were the deterministic topology-link kind, not dice.
+  EXPECT_GT(out.faults.partition_drops, 0u);
+  EXPECT_EQ(out.faults.dropped[0] + out.faults.dropped[1], 0u);
+}
+
+TEST(ChaosSpineFlap, SameSeedIsBitIdentical) {
+  const ChaosOutcome a = run_spine_flap_chaos(base_seed());
+  const ChaosOutcome b = run_spine_flap_chaos(base_seed());
+  EXPECT_TRUE(same_outcome(a, b))
+      << "end_ns " << a.end_ns << " vs " << b.end_ns << ", ok " << a.ok_ops << " vs "
+      << b.ok_ops << ", partition_drops " << a.faults.partition_drops << " vs "
+      << b.faults.partition_drops;
+}
+
 }  // namespace
 }  // namespace fractos
