@@ -6,6 +6,12 @@ namespace fractos {
 
 CapSpace::CapSpace(uint32_t quota) : quota_(quota) {}
 
+uint64_t CapSpace::ref_key(const ObjectRef& ref) {
+  // Collisions are tolerated (buckets verify the full ref), so a cheap fold suffices.
+  return (static_cast<uint64_t>(ref.owner) << 40) ^
+         (static_cast<uint64_t>(ref.reboot_count) << 32) ^ ref.index;
+}
+
 Result<CapId> CapSpace::install(CapEntry entry) {
   if (live_ >= quota_) {
     return ErrorCode::kResourceExhausted;
@@ -13,7 +19,10 @@ Result<CapId> CapSpace::install(CapEntry entry) {
   // cids are NEVER reused: a stale cid held after revocation/purge must not silently alias a
   // newer capability (the confused-deputy hazard of POSIX fd reuse).
   const CapId cid = next_cid_++;
-  slots_.emplace(cid, entry);
+  std::vector<CapId>& cids = by_ref_[ref_key(entry.ref)];
+  std::erase_if(cids, [this](CapId c) { return !slots_.contains(c); });
+  cids.push_back(cid);
+  slots_.emplace(cid, std::move(entry));
   ++live_;
   return cid;
 }
@@ -36,16 +45,29 @@ Status CapSpace::remove(CapId cid) {
 
 size_t CapSpace::purge_refs(const std::vector<ObjectRef>& revoked) {
   size_t purged = 0;
-  for (auto it = slots_.begin(); it != slots_.end();) {
-    const ObjectRef& ref = it->second.ref;
-    const bool hit = std::any_of(revoked.begin(), revoked.end(),
-                                 [&ref](const ObjectRef& r) { return r == ref; });
-    if (hit) {
-      it = slots_.erase(it);
-      --live_;
-      ++purged;
-    } else {
-      ++it;
+  for (const ObjectRef& r : revoked) {
+    auto bit = by_ref_.find(ref_key(r));
+    if (bit == by_ref_.end()) {
+      continue;
+    }
+    std::vector<CapId>& cids = bit->second;
+    for (auto it = cids.begin(); it != cids.end();) {
+      auto sit = slots_.find(*it);
+      if (sit == slots_.end()) {
+        it = cids.erase(it);  // removed through remove(); dropped lazily here
+        continue;
+      }
+      if (sit->second.ref == r) {
+        slots_.erase(sit);
+        --live_;
+        ++purged;
+        it = cids.erase(it);
+      } else {
+        ++it;  // key collision with a different ref
+      }
+    }
+    if (cids.empty()) {
+      by_ref_.erase(bit);
     }
   }
   return purged;

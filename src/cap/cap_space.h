@@ -47,7 +47,13 @@ class CapSpace {
   uint32_t quota() const { return quota_; }
 
  private:
+  static uint64_t ref_key(const ObjectRef& ref);
+
   std::unordered_map<CapId, CapEntry> slots_;
+  // Secondary index ref -> cids holding it, so purge_refs is O(revoked), not O(slots): at
+  // millions of installed caps, a per-revocation full scan is the hot-path killer. Entries
+  // are pruned lazily (remove() leaves them; install and purge drop dead cids on probe).
+  std::unordered_map<uint64_t, std::vector<CapId>> by_ref_;
   CapId next_cid_ = 0;
   uint32_t quota_;
   size_t live_ = 0;

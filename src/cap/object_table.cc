@@ -7,12 +7,157 @@
 
 namespace fractos {
 
+namespace {
+
+// splitmix64 finalizer: sequential indices would otherwise pile into one shard.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t hash_args(const RequestArgs& args) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto fold = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  fold(args.imms.size());
+  for (const ImmExtent& imm : args.imms) {
+    fold(imm.offset);
+    fold(imm.bytes.size());
+    for (uint8_t b : imm.bytes) {
+      fold(b);
+    }
+  }
+  fold(args.caps.size());
+  for (const WireCap& cap : args.caps) {
+    fold(cap.ref.owner);
+    fold(cap.ref.index);
+    fold(cap.ref.reboot_count);
+    fold(static_cast<uint64_t>(cap.kind));
+    fold(static_cast<uint64_t>(cap.perms));
+    fold(cap.mem.node);
+    fold(cap.mem.pool);
+    fold(cap.mem.addr);
+    fold(cap.mem.size);
+    fold(cap.tracked ? 1 : 0);
+  }
+  return h;
+}
+
+const RequestArgs& empty_args() {
+  static const RequestArgs kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
 ObjectTable::ObjectTable(ControllerAddr owner, uint32_t reboot_count)
     : owner_(owner), reboot_count_(reboot_count) {}
 
+uint64_t ObjectTable::mix(ObjectIndex idx) { return mix64(idx); }
+
+// --- shard plumbing ------------------------------------------------------------------------
+
+ObjectTable::Slot* ObjectTable::find_slot(ObjectIndex idx) {
+  return const_cast<Slot*>(static_cast<const ObjectTable*>(this)->find_slot(idx));
+}
+
+const ObjectTable::Slot* ObjectTable::find_slot(ObjectIndex idx) const {
+  if (idx == kInvalidObject || idx == 0) {
+    return nullptr;
+  }
+  const Shard& shard = shard_of(idx);
+  if (shard.buckets.empty()) {
+    return nullptr;
+  }
+  const size_t mask = shard.buckets.size() - 1;
+  for (size_t probe = mix64(idx) & mask;; probe = (probe + 1) & mask) {
+    const IndexBucket& b = shard.buckets[probe];
+    if (b.key == 0) {
+      return nullptr;  // hit an empty bucket: key absent
+    }
+    if (b.key == idx) {
+      const Slot* slot = &shard.slabs[b.slot / kSlabSlots][b.slot % kSlabSlots];
+      return slot->idx == idx ? slot : nullptr;
+    }
+    // Tombstones (kInvalidObject) and other keys: keep probing.
+  }
+}
+
+void ObjectTable::index_grow(Shard& shard) {
+  std::vector<IndexBucket> old = std::move(shard.buckets);
+  const size_t new_size = old.empty() ? 16 : old.size() * 2;
+  shard.buckets.assign(new_size, IndexBucket{});
+  shard.filled = 0;
+  const size_t mask = new_size - 1;
+  for (const IndexBucket& b : old) {
+    if (b.key == 0 || b.key == kInvalidObject) {
+      continue;  // rehash drops tombstones
+    }
+    size_t probe = mix64(b.key) & mask;
+    while (shard.buckets[probe].key != 0) {
+      probe = (probe + 1) & mask;
+    }
+    shard.buckets[probe] = b;
+    ++shard.filled;
+  }
+}
+
+void ObjectTable::index_insert(Shard& shard, ObjectIndex idx, uint32_t slot) {
+  // Grow at 3/4 load counting tombstones, so probes stay short forever.
+  if (shard.buckets.empty() || (shard.filled + 1) * 4 > shard.buckets.size() * 3) {
+    index_grow(shard);
+  }
+  const size_t mask = shard.buckets.size() - 1;
+  size_t probe = mix64(idx) & mask;
+  while (shard.buckets[probe].key != 0 && shard.buckets[probe].key != kInvalidObject) {
+    FRACTOS_DCHECK(shard.buckets[probe].key != idx);
+    probe = (probe + 1) & mask;
+  }
+  if (shard.buckets[probe].key == 0) {
+    ++shard.filled;  // reusing a tombstone doesn't change the filled count
+  }
+  shard.buckets[probe] = IndexBucket{idx, slot};
+  ++shard.entries;
+}
+
+uint32_t ObjectTable::index_erase(Shard& shard, ObjectIndex idx) {
+  FRACTOS_DCHECK(!shard.buckets.empty());
+  const size_t mask = shard.buckets.size() - 1;
+  for (size_t probe = mix64(idx) & mask;; probe = (probe + 1) & mask) {
+    IndexBucket& b = shard.buckets[probe];
+    FRACTOS_CHECK(b.key != 0);  // caller verified the key exists
+    if (b.key == idx) {
+      b.key = kInvalidObject;  // tombstone keeps probe chains intact
+      --shard.entries;
+      return b.slot;
+    }
+  }
+}
+
 ObjectIndex ObjectTable::insert(Object obj) {
   const ObjectIndex idx = next_index_++;
-  objects_.emplace(idx, std::move(obj));
+  Shard& shard = shard_of(idx);
+  if (shard.free_slots.empty()) {
+    shard.slabs.push_back(std::make_unique<Slot[]>(kSlabSlots));
+    // Newly minted slots enter the freelist back-to-front so allocation proceeds
+    // front-to-back within the slab (deterministic iteration order).
+    const uint32_t base = static_cast<uint32_t>((shard.slabs.size() - 1) * kSlabSlots);
+    for (uint32_t i = 0; i < kSlabSlots; ++i) {
+      shard.free_slots.push_back(base + kSlabSlots - 1 - i);
+    }
+  }
+  const uint32_t slot_id = shard.free_slots.back();
+  shard.free_slots.pop_back();
+  Slot& slot = shard.slabs[slot_id / kSlabSlots][slot_id % kSlabSlots];
+  slot.idx = idx;
+  slot.obj = std::move(obj);
+  index_insert(shard, idx, slot_id);
+  ++total_;
+  ++live_;
   return idx;
 }
 
@@ -21,20 +166,66 @@ Result<const ObjectTable::Object*> ObjectTable::lookup(ObjectIndex idx,
   if (ref_reboot != reboot_count_) {
     return ErrorCode::kStaleCapability;
   }
-  auto it = objects_.find(idx);
-  if (it == objects_.end()) {
+  const Slot* slot = find_slot(idx);
+  if (slot == nullptr) {
     return ErrorCode::kInvalidCapability;
   }
-  if (it->second.invalidated) {
+  if (slot->obj.invalidated) {
     return ErrorCode::kRevoked;
   }
-  return &it->second;
+  return &slot->obj;
 }
 
 ObjectTable::Object* ObjectTable::mutable_lookup(ObjectIndex idx) {
-  auto it = objects_.find(idx);
-  return it == objects_.end() ? nullptr : &it->second;
+  Slot* slot = find_slot(idx);
+  return slot == nullptr ? nullptr : &slot->obj;
 }
+
+const ObjectTable::Object* ObjectTable::find_object(ObjectIndex idx) const {
+  const Slot* slot = find_slot(idx);
+  return slot == nullptr ? nullptr : &slot->obj;
+}
+
+void ObjectTable::link_child(ObjectIndex parent_idx, ObjectIndex child_idx) {
+  Object* parent = mutable_lookup(parent_idx);
+  Object* child = mutable_lookup(child_idx);
+  FRACTOS_DCHECK(parent != nullptr && child != nullptr);
+  child->parent = parent_idx;
+  child->prev_sibling = parent->last_child;
+  child->next_sibling = kInvalidObject;
+  if (parent->last_child != kInvalidObject) {
+    mutable_lookup(parent->last_child)->next_sibling = child_idx;
+  } else {
+    parent->first_child = child_idx;
+  }
+  parent->last_child = child_idx;
+}
+
+std::shared_ptr<const RequestArgs> ObjectTable::intern_args(RequestArgs args) {
+  if (args.empty()) {
+    return nullptr;
+  }
+  const uint64_t h = hash_args(args);
+  std::vector<std::weak_ptr<const RequestArgs>>& bucket = args_pool_[h];
+  // Prune expired entries opportunistically; blobs die with their last holding object.
+  std::erase_if(bucket, [](const std::weak_ptr<const RequestArgs>& w) { return w.expired(); });
+  for (const std::weak_ptr<const RequestArgs>& w : bucket) {
+    if (std::shared_ptr<const RequestArgs> existing = w.lock()) {
+      if (existing->imms == args.imms && existing->caps == args.caps) {
+        return existing;
+      }
+    }
+  }
+  auto fresh = std::make_shared<const RequestArgs>(std::move(args));
+  bucket.push_back(fresh);
+  return fresh;
+}
+
+const RequestArgs& ObjectTable::args_of(const Object& o) const {
+  return o.args ? *o.args : empty_args();
+}
+
+// --- creation & derivation -----------------------------------------------------------------
 
 Result<ObjectIndex> ObjectTable::create_memory(ProcessId creator, MemoryDesc desc, Perms perms) {
   if (desc.size == 0) {
@@ -65,13 +256,12 @@ Result<ObjectIndex> ObjectTable::derive_memory(ProcessId creator, ObjectIndex ba
   Object obj;
   obj.kind = ObjectKind::kMemory;
   obj.creator = creator;
-  obj.parent = base;
   obj.mem = b.mem;
   obj.mem.addr += offset;
   obj.mem.size = size;
   obj.mem_perms = perms_drop(b.mem_perms, drop_perms);
   const ObjectIndex idx = insert(std::move(obj));
-  mutable_lookup(base)->children.push_back(idx);
+  link_child(base, idx);
   return idx;
 }
 
@@ -89,7 +279,7 @@ Result<ObjectIndex> ObjectTable::create_request_root(ProcessId provider, CapId e
   obj.is_root = true;
   obj.provider = provider;
   obj.endpoint_cid = endpoint_cid;
-  obj.args = std::move(args);
+  obj.args = intern_args(std::move(args));
   return insert(std::move(obj));
 }
 
@@ -114,8 +304,10 @@ Result<ObjectIndex> ObjectTable::derive_request_local(ProcessId creator, ObjectI
   // Collect the existing imm extents along the chain to validate immutability locally.
   std::vector<ImmExtent> existing;
   for (ObjectIndex cur = base; cur != kInvalidObject;) {
-    const Object* o = &objects_.at(cur);
-    existing.insert(existing.end(), o->args.imms.begin(), o->args.imms.end());
+    const Object* o = find_object(cur);
+    FRACTOS_CHECK(o != nullptr);
+    const RequestArgs& layer = args_of(*o);
+    existing.insert(existing.end(), layer.imms.begin(), layer.imms.end());
     cur = o->parent;
   }
   if (Status s = check_imm_overlap(existing, refinement.imms); !s.ok()) {
@@ -124,10 +316,9 @@ Result<ObjectIndex> ObjectTable::derive_request_local(ProcessId creator, ObjectI
   Object obj;
   obj.kind = ObjectKind::kRequest;
   obj.creator = creator;
-  obj.parent = base;
-  obj.args = std::move(refinement);
+  obj.args = intern_args(std::move(refinement));
   const ObjectIndex idx = insert(std::move(obj));
-  mutable_lookup(base)->children.push_back(idx);
+  link_child(base, idx);
   return idx;
 }
 
@@ -140,16 +331,17 @@ Result<ObjectIndex> ObjectTable::create_revtree_child(ProcessId creator, ObjectI
   Object obj;
   obj.kind = b.kind;
   obj.creator = creator;
-  obj.parent = base;
   obj.indirection = true;
   if (b.kind == ObjectKind::kMemory) {
     obj.mem = b.mem;
     obj.mem_perms = b.mem_perms;
   }
   const ObjectIndex idx = insert(std::move(obj));
-  mutable_lookup(base)->children.push_back(idx);
+  link_child(base, idx);
   return idx;
 }
+
+// --- resolution ----------------------------------------------------------------------------
 
 Result<ObjectTable::ResolvedMemory> ObjectTable::resolve_memory(ObjectIndex idx,
                                                                 uint32_t ref_reboot) const {
@@ -180,14 +372,14 @@ Result<ObjectTable::ResolvedRequest> ObjectTable::resolve_request(ObjectIndex id
   ObjectIndex cur = idx;
   const Object* head = nullptr;
   while (cur != kInvalidObject) {
-    auto it = objects_.find(cur);
-    FRACTOS_CHECK(it != objects_.end());
-    if (it->second.invalidated) {
+    const Object* o = find_object(cur);
+    FRACTOS_CHECK(o != nullptr);
+    if (o->invalidated) {
       return ErrorCode::kRevoked;
     }
-    chain.push_back(&it->second);
-    head = &it->second;
-    cur = it->second.parent;
+    chain.push_back(o);
+    head = o;
+    cur = o->parent;
   }
 
   ResolvedRequest out;
@@ -198,9 +390,9 @@ Result<ObjectTable::ResolvedRequest> ObjectTable::resolve_request(ObjectIndex id
   out.endpoint_cid = head->endpoint_cid;
   // Merge args base-first (chain was collected leaf-to-head).
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    const Object* layer = *it;
-    out.args.imms.insert(out.args.imms.end(), layer->args.imms.begin(), layer->args.imms.end());
-    out.args.caps.insert(out.args.caps.end(), layer->args.caps.begin(), layer->args.caps.end());
+    const RequestArgs& layer = args_of(**it);
+    out.args.imms.insert(out.args.imms.end(), layer.imms.begin(), layer.imms.end());
+    out.args.caps.insert(out.args.caps.end(), layer.caps.begin(), layer.caps.end());
   }
   if (Status s = check_imm_overlap({}, out.args.imms); !s.ok()) {
     return s.error();
@@ -208,29 +400,49 @@ Result<ObjectTable::ResolvedRequest> ObjectTable::resolve_request(ObjectIndex id
   return out;
 }
 
-void ObjectTable::invalidate_subtree(ObjectIndex idx, RevokeResult& out) {
-  Object* o = mutable_lookup(idx);
-  if (o == nullptr || o->invalidated) {
-    return;
-  }
-  o->invalidated = true;
-  out.invalidated.push_back(idx);
-  for (const MonitorSub& sub : o->receive_subs) {
-    out.fires.push_back(MonitorFire{sub, /*delegate_mode=*/false});
-  }
-  o->receive_subs.clear();
-  // A delegated ("delegatee") child decrements its parent's outstanding-delegation counter;
-  // at zero the parent's monitor_delegate callback fires (Section 3.6).
-  if (o->is_delegatee_child && o->parent != kInvalidObject) {
-    Object* parent = mutable_lookup(o->parent);
-    if (parent != nullptr && parent->monitor_delegator && parent->delegatee_count > 0) {
-      if (--parent->delegatee_count == 0 && !parent->invalidated) {
-        out.fires.push_back(MonitorFire{parent->delegate_sub, /*delegate_mode=*/true});
+// --- revocation ----------------------------------------------------------------------------
+
+void ObjectTable::invalidate_subtree(ObjectIndex root, RevokeResult& out) {
+  // Iterative pre-order walk. Children are pushed in reverse so they pop first-to-last,
+  // which reproduces the old recursive traversal order exactly (monitor fire order is
+  // observable through the Controller).
+  std::vector<ObjectIndex> stack;
+  std::vector<ObjectIndex> children;
+  stack.push_back(root);
+  while (!stack.empty()) {
+    const ObjectIndex idx = stack.back();
+    stack.pop_back();
+    Object* o = mutable_lookup(idx);
+    if (o == nullptr || o->invalidated) {
+      continue;
+    }
+    o->invalidated = true;
+    --live_;
+    out.invalidated.push_back(idx);
+    for (const MonitorSub& sub : o->receive_subs) {
+      out.fires.push_back(MonitorFire{sub, /*delegate_mode=*/false});
+    }
+    o->receive_subs.clear();
+    // A delegated ("delegatee") child decrements its parent's outstanding-delegation counter;
+    // at zero the parent's monitor_delegate callback fires (Section 3.6).
+    if (o->is_delegatee_child && o->parent != kInvalidObject) {
+      Object* parent = mutable_lookup(o->parent);
+      if (parent != nullptr && parent->monitor_delegator && parent->delegatee_count > 0) {
+        if (--parent->delegatee_count == 0 && !parent->invalidated) {
+          out.fires.push_back(MonitorFire{parent->delegate_sub, /*delegate_mode=*/true});
+        }
       }
     }
-  }
-  for (ObjectIndex child : o->children) {
-    invalidate_subtree(child, out);
+    children.clear();
+    for (ObjectIndex c = o->first_child; c != kInvalidObject;) {
+      children.push_back(c);
+      const Object* child = find_object(c);
+      FRACTOS_DCHECK(child != nullptr);
+      c = child->next_sibling;
+    }
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
   }
 }
 
@@ -246,36 +458,73 @@ Result<ObjectTable::RevokeResult> ObjectTable::revoke(ObjectIndex idx, uint32_t 
 
 ObjectTable::RevokeResult ObjectTable::revoke_all_of(ProcessId creator) {
   RevokeResult out;
-  // Collect first: invalidate_subtree mutates the table while walking.
+  // Collect first: invalidate_subtree mutates the table while walking. Sorted ascending =
+  // creation order, so the broadcast lists objects deterministically.
   std::vector<ObjectIndex> owned;
-  for (const auto& [idx, obj] : objects_) {
+  for_each_object([&](ObjectIndex idx, const Object& obj) {
     if (obj.creator == creator && !obj.invalidated) {
       owned.push_back(idx);
     }
-  }
+  });
+  std::sort(owned.begin(), owned.end());
   for (ObjectIndex idx : owned) {
     invalidate_subtree(idx, out);
   }
   return out;
 }
 
-size_t ObjectTable::sweep_invalidated() {
-  size_t swept = 0;
-  for (auto it = objects_.begin(); it != objects_.end();) {
-    if (it->second.invalidated) {
-      it = objects_.erase(it);
-      ++swept;
-    } else {
-      ++it;
+bool ObjectTable::erase_one(ObjectIndex idx) {
+  Slot* slot = find_slot(idx);
+  if (slot == nullptr || !slot->obj.invalidated) {
+    return false;
+  }
+  Object& o = slot->obj;
+  // Orphan surviving children: they keep their subtrees but lose the dangling parent link.
+  for (ObjectIndex c = o.first_child; c != kInvalidObject;) {
+    Object* child = mutable_lookup(c);
+    FRACTOS_DCHECK(child != nullptr);
+    const ObjectIndex next = child->next_sibling;
+    child->parent = kInvalidObject;
+    child->prev_sibling = kInvalidObject;
+    child->next_sibling = kInvalidObject;
+    c = next;
+  }
+  // Unlink from the parent's child list in O(1).
+  if (o.parent != kInvalidObject) {
+    Object* parent = mutable_lookup(o.parent);
+    if (parent != nullptr) {
+      if (o.prev_sibling != kInvalidObject) {
+        mutable_lookup(o.prev_sibling)->next_sibling = o.next_sibling;
+      } else {
+        parent->first_child = o.next_sibling;
+      }
+      if (o.next_sibling != kInvalidObject) {
+        mutable_lookup(o.next_sibling)->prev_sibling = o.prev_sibling;
+      } else {
+        parent->last_child = o.prev_sibling;
+      }
     }
   }
-  if (swept > 0) {
-    // Drop dangling child links of surviving objects.
-    for (auto& [idx, obj] : objects_) {
-      std::erase_if(obj.children, [this](ObjectIndex c) { return !objects_.contains(c); });
-      if (obj.parent != kInvalidObject && !objects_.contains(obj.parent)) {
-        obj.parent = kInvalidObject;
-      }
+  Shard& shard = shard_of(idx);
+  const uint32_t slot_id = index_erase(shard, idx);
+  slot->idx = kInvalidObject;
+  slot->obj = Object{};
+  shard.free_slots.push_back(slot_id);
+  --total_;
+  return true;
+}
+
+size_t ObjectTable::sweep_invalidated() {
+  std::vector<ObjectIndex> dead;
+  for_each_object([&dead](ObjectIndex idx, const Object& obj) {
+    if (obj.invalidated) {
+      dead.push_back(idx);
+    }
+  });
+  size_t swept = 0;
+  for (ObjectIndex idx : dead) {
+    if (erase_one(idx)) {
+      ++swept;
     }
   }
   return swept;
@@ -284,22 +533,14 @@ size_t ObjectTable::sweep_invalidated() {
 size_t ObjectTable::erase_objects(const std::vector<ObjectIndex>& indices) {
   size_t erased = 0;
   for (ObjectIndex idx : indices) {
-    auto it = objects_.find(idx);
-    if (it != objects_.end() && it->second.invalidated) {
-      objects_.erase(it);
+    if (erase_one(idx)) {
       ++erased;
-    }
-  }
-  if (erased > 0) {
-    for (auto& [idx, obj] : objects_) {
-      std::erase_if(obj.children, [this](ObjectIndex c) { return !objects_.contains(c); });
-      if (obj.parent != kInvalidObject && !objects_.contains(obj.parent)) {
-        obj.parent = kInvalidObject;
-      }
     }
   }
   return erased;
 }
+
+// --- monitors ------------------------------------------------------------------------------
 
 Status ObjectTable::monitor_delegate(ObjectIndex idx, uint32_t ref_reboot, MonitorSub sub) {
   auto obj = lookup(idx, ref_reboot);
@@ -307,7 +548,7 @@ Status ObjectTable::monitor_delegate(ObjectIndex idx, uint32_t ref_reboot, Monit
     return obj.error();
   }
   Object* o = mutable_lookup(idx);
-  if (!o->children.empty()) {
+  if (o->first_child != kInvalidObject) {
     return ErrorCode::kInvalidArgument;  // paper footnote 1: must have no children yet
   }
   if (o->monitor_delegator) {
@@ -346,54 +587,128 @@ Result<ObjectIndex> ObjectTable::prepare_delegation(ObjectIndex idx) {
   return child.value();
 }
 
+// --- failure handling ----------------------------------------------------------------------
+
 void ObjectTable::reboot() {
-  objects_.clear();
+  for (Shard& shard : shards_) {
+    shard = Shard{};
+  }
+  args_pool_.clear();
+  live_ = 0;
+  total_ = 0;
   next_index_ = 1;
   ++reboot_count_;
 }
 
+// --- introspection -------------------------------------------------------------------------
+
 ObjectRef ObjectTable::ref_of(ObjectIndex idx) const {
-  FRACTOS_DCHECK(objects_.contains(idx));
+  FRACTOS_DCHECK(exists(idx));
   return ObjectRef{owner_, idx, reboot_count_};
 }
 
 bool ObjectTable::is_invalidated(ObjectIndex idx) const {
-  auto it = objects_.find(idx);
-  return it == objects_.end() || it->second.invalidated;
+  const Object* o = find_object(idx);
+  return o == nullptr || o->invalidated;
 }
 
-size_t ObjectTable::live_count() const {
+bool ObjectTable::exists(ObjectIndex idx) const { return find_slot(idx) != nullptr; }
+
+ObjectKind ObjectTable::kind_of(ObjectIndex idx) const {
+  const Object* o = find_object(idx);
+  FRACTOS_CHECK(o != nullptr);
+  return o->kind;
+}
+
+size_t ObjectTable::chain_depth(ObjectIndex idx) const {
+  size_t depth = 0;
+  for (ObjectIndex cur = idx; cur != kInvalidObject;) {
+    const Object* o = find_object(cur);
+    if (o == nullptr) {
+      break;
+    }
+    ++depth;
+    cur = o->parent;
+  }
+  return depth;
+}
+
+size_t ObjectTable::interned_args_count() const {
   size_t n = 0;
-  for (const auto& [idx, obj] : objects_) {
-    if (!obj.invalidated) {
-      ++n;
+  for (const auto& [hash, bucket] : args_pool_) {
+    for (const std::weak_ptr<const RequestArgs>& w : bucket) {
+      if (!w.expired()) {
+        ++n;
+      }
     }
   }
   return n;
 }
 
-ObjectKind ObjectTable::kind_of(ObjectIndex idx) const {
-  auto it = objects_.find(idx);
-  FRACTOS_CHECK(it != objects_.end());
-  return it->second.kind;
-}
+// --- imm overlap ---------------------------------------------------------------------------
 
 Status check_imm_overlap(const std::vector<ImmExtent>& existing,
                          const std::vector<ImmExtent>& added) {
-  auto overlaps = [](const ImmExtent& a, const ImmExtent& b) {
-    return a.offset < b.end() && b.offset < a.end();
+  // Sort + sweep over both sets at once; only added-vs-existing and added-vs-added pairs are
+  // checked (pre-existing overlaps between `existing` extents are never this call's fault).
+  // Matches the pairwise predicate `a.offset < b.end() && b.offset < a.end()` exactly,
+  // including its zero-length corner: an empty extent overlaps only when strictly inside
+  // another extent, never at an equal offset.
+  if (added.empty()) {
+    return ok_status();
+  }
+  struct Ev {
+    uint32_t off;
+    uint32_t end;
+    bool is_added;
   };
-  for (size_t i = 0; i < added.size(); ++i) {
-    for (const auto& e : existing) {
-      if (overlaps(added[i], e)) {
-        return ErrorCode::kArgumentOverlap;
+  std::vector<Ev> evs;
+  evs.reserve(existing.size() + added.size());
+  for (const ImmExtent& e : existing) {
+    evs.push_back(Ev{e.offset, e.end(), false});
+  }
+  for (const ImmExtent& e : added) {
+    evs.push_back(Ev{e.offset, e.end(), true});
+  }
+  std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) { return a.off < b.off; });
+
+  uint64_t max_end_existing = 0;  // max end among extents with strictly lower offset
+  uint64_t max_end_added = 0;
+  size_t i = 0;
+  while (i < evs.size()) {
+    // Process one equal-offset group.
+    size_t j = i;
+    size_t nonzero_added = 0;
+    size_t nonzero_existing = 0;
+    while (j < evs.size() && evs[j].off == evs[i].off) {
+      const Ev& c = evs[j];
+      // Against strictly-lower offsets: overlap iff some prior extent ends past c.off.
+      if (c.is_added) {
+        if (max_end_existing > c.off || max_end_added > c.off) {
+          return ErrorCode::kArgumentOverlap;
+        }
+        if (c.end > c.off) {
+          ++nonzero_added;
+        }
+      } else {
+        if (max_end_added > c.off) {
+          return ErrorCode::kArgumentOverlap;
+        }
+        if (c.end > c.off) {
+          ++nonzero_existing;
+        }
       }
+      ++j;
     }
-    for (size_t j = i + 1; j < added.size(); ++j) {
-      if (overlaps(added[i], added[j])) {
-        return ErrorCode::kArgumentOverlap;
-      }
+    // Within the group: equal offsets overlap only when both extents are non-empty.
+    if (nonzero_added >= 2 || (nonzero_added >= 1 && nonzero_existing >= 1)) {
+      return ErrorCode::kArgumentOverlap;
     }
+    for (size_t k = i; k < j; ++k) {
+      uint64_t& max_end = evs[k].is_added ? max_end_added : max_end_existing;
+      max_end = std::max(max_end, static_cast<uint64_t>(evs[k].end));
+    }
+    i = j;
   }
   return ok_status();
 }

@@ -15,11 +15,21 @@
 //    reboot counter embedded in every ObjectRef with the table's current counter.
 //  * monitor_delegate / monitor_receive (Section 3.6) hang subscriptions off objects; revoke
 //    reports which callbacks fired so the Controller can route monitor messages.
+//
+// Storage is built for "millions of live capabilities" (ROADMAP): objects live in fixed-size
+// slab arrays grouped into shards selected by a hash of the ObjectIndex. Slabs never move, so
+// Object* stays valid across inserts (no rehash storms), freed slots are recycled through a
+// per-shard freelist, and each shard keeps a small open-addressed index from ObjectIndex to
+// slot. The derivation tree uses intrusive sibling links instead of per-node child vectors, so
+// revocation touches exactly the revoked subtree and erasure unlinks in O(1) — no global scans
+// to fix dangling links. Request argument blobs are content-interned (the way span names are
+// NameId-interned in sim/trace), so N delegations of the same refinement share one allocation.
 
 #ifndef SRC_CAP_OBJECT_TABLE_H_
 #define SRC_CAP_OBJECT_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -144,19 +154,35 @@ class ObjectTable {
 
   ObjectRef ref_of(ObjectIndex idx) const;
   bool is_invalidated(ObjectIndex idx) const;
-  bool exists(ObjectIndex idx) const { return objects_.contains(idx); }
-  size_t live_count() const;
-  size_t total_count() const { return objects_.size(); }
+  bool exists(ObjectIndex idx) const;
+  size_t live_count() const { return live_; }
+  size_t total_count() const { return total_; }
   ObjectKind kind_of(ObjectIndex idx) const;
+
+  // Length of the derivation chain from `idx` up to its root (a root is depth 1). Returns 0
+  // for unknown indices. The Controller uses this to price translation misses.
+  size_t chain_depth(ObjectIndex idx) const;
+
+  // Number of distinct interned argument blobs currently alive (empty args are represented by
+  // nullptr and never hit the pool).
+  size_t interned_args_count() const;
+
+  static constexpr size_t kShardCount = 64;
+  static constexpr size_t kSlabSlots = 1024;
 
  private:
   struct Object {
     ObjectKind kind = ObjectKind::kMemory;
     bool invalidated = false;
 
-    // Derivation/revocation tree (local to this table).
+    // Derivation/revocation tree (local to this table), as intrusive links: children hang off
+    // `first_child`..`last_child` and chain through the sibling pointers. New children append
+    // at the tail, so traversal order matches the creation order the old child vectors had.
     ObjectIndex parent = kInvalidObject;
-    std::vector<ObjectIndex> children;
+    ObjectIndex first_child = kInvalidObject;
+    ObjectIndex last_child = kInvalidObject;
+    ObjectIndex prev_sibling = kInvalidObject;
+    ObjectIndex next_sibling = kInvalidObject;
 
     // Memory payload (kind == kMemory): the effective extent/perms of this view.
     MemoryDesc mem;
@@ -166,7 +192,8 @@ class ObjectTable {
     bool is_root = false;
     ProcessId provider = kInvalidProcess;
     CapId endpoint_cid = kInvalidCap;
-    RequestArgs args;          // this layer's refinement (roots: initial args)
+    // This layer's refinement (roots: initial args); interned, nullptr means empty.
+    std::shared_ptr<const RequestArgs> args;
     bool indirection = false;  // revtree child: adds no args of its own
 
     // Creating Process, used to translate a Process failure into revocations.
@@ -180,15 +207,72 @@ class ObjectTable {
     std::vector<MonitorSub> receive_subs;
   };
 
+  // One slab slot. `idx` doubles as the free marker (kInvalidObject = free); slots live inside
+  // fixed arrays that never move, so &slot->obj is stable for the object's whole lifetime.
+  struct Slot {
+    ObjectIndex idx = kInvalidObject;
+    Object obj;
+  };
+
+  struct IndexBucket {
+    ObjectIndex key = 0;  // 0 = empty (indices start at 1), kInvalidObject = tombstone
+    uint32_t slot = 0;
+  };
+
+  struct Shard {
+    std::vector<std::unique_ptr<Slot[]>> slabs;
+    std::vector<uint32_t> free_slots;       // LIFO recycle list of slot ids
+    std::vector<IndexBucket> buckets;       // open-addressed, power-of-two size
+    size_t filled = 0;                      // occupied + tombstoned buckets
+    size_t entries = 0;                     // live keys
+  };
+
+  static uint64_t mix(ObjectIndex idx);
+  Shard& shard_of(ObjectIndex idx) { return shards_[mix(idx) & (kShardCount - 1)]; }
+  const Shard& shard_of(ObjectIndex idx) const { return shards_[mix(idx) & (kShardCount - 1)]; }
+
+  Slot* find_slot(ObjectIndex idx);
+  const Slot* find_slot(ObjectIndex idx) const;
+  void index_insert(Shard& shard, ObjectIndex idx, uint32_t slot);
+  uint32_t index_erase(Shard& shard, ObjectIndex idx);  // returns the freed slot id
+  void index_grow(Shard& shard);
+
+  // Walks every live slot in deterministic order: shard 0..N, slabs in allocation order,
+  // slots in slot order.
+  template <typename Fn>
+  void for_each_object(Fn&& fn) const {
+    for (const Shard& shard : shards_) {
+      for (size_t s = 0; s < shard.slabs.size(); ++s) {
+        const Slot* slab = shard.slabs[s].get();
+        for (size_t i = 0; i < kSlabSlots; ++i) {
+          if (slab[i].idx != kInvalidObject) {
+            fn(slab[i].idx, slab[i].obj);
+          }
+        }
+      }
+    }
+  }
+
   Result<const Object*> lookup(ObjectIndex idx, uint32_t ref_reboot) const;
   Object* mutable_lookup(ObjectIndex idx);
+  const Object* find_object(ObjectIndex idx) const;
   ObjectIndex insert(Object obj);
+  void link_child(ObjectIndex parent_idx, ObjectIndex child_idx);
   void invalidate_subtree(ObjectIndex idx, RevokeResult& out);
+  bool erase_one(ObjectIndex idx);
+  std::shared_ptr<const RequestArgs> intern_args(RequestArgs args);
+  const RequestArgs& args_of(const Object& o) const;
 
   ControllerAddr owner_;
   uint32_t reboot_count_;
   ObjectIndex next_index_ = 1;
-  std::unordered_map<ObjectIndex, Object> objects_;
+  Shard shards_[kShardCount];
+  size_t live_ = 0;
+  size_t total_ = 0;
+
+  // Content-interning pool for argument blobs: hash -> weak entries. Objects hold the strong
+  // references; a blob dies with its last object and the bucket is pruned on the next probe.
+  std::unordered_map<uint64_t, std::vector<std::weak_ptr<const RequestArgs>>> args_pool_;
 };
 
 // Validates that refinement extents do not overlap already-written extents or each other

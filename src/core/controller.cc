@@ -11,9 +11,6 @@ namespace fractos {
 
 namespace {
 
-// Bound on the completed-peer-op reply cache (receiver-side dedup, lossy fabric only).
-constexpr size_t kCompletedPeerOpCacheCap = 4096;
-
 // "peer-<type>" span names, interned lazily on first use (MsgType is a uint8_t enum).
 NameId peer_msg_type_span_name(MsgType t) {
   static NameId cache[256] = {};
@@ -27,7 +24,8 @@ NameId peer_msg_type_span_name(MsgType t) {
 }  // namespace
 
 Controller::Controller(Network* net, Config config)
-    : net_(net), config_(config), table_(config.addr) {
+    : net_(net), config_(config), table_(config.addr),
+      tcache_(config.translation_cache_entries) {
   FRACTOS_CHECK(net != nullptr);
   exec_ = &net_->node(config_.endpoint.node).context(config_.endpoint.loc);
   name_ = "ctrl-" + std::to_string(config_.addr);
@@ -39,6 +37,13 @@ Controller::Controller(Network* net, Config config)
   mkeys_.peer_retries = intern_name(mp + "peer_retries");
   mkeys_.peer_op_timeouts = intern_name(mp + "peer_op_timeouts");
   mkeys_.peer_dedup_hits = intern_name(mp + "peer_dedup_hits");
+  // Interning is registry-free; the registry only learns these keys if a hot-path feature
+  // actually touches them, keeping default-config metric snapshots unchanged.
+  const std::string cp = "cap." + std::to_string(config_.addr) + ".";
+  mkeys_.cap_cache_hit = intern_name(cp + "xlate_hit");
+  mkeys_.cap_cache_miss = intern_name(cp + "xlate_miss");
+  mkeys_.cap_revoke_subtree = intern_name(cp + "revoke_subtree");
+  mkeys_.cap_batch_occupancy = intern_name(cp + "batch_occupancy");
 }
 
 Controller::~Controller() {
@@ -144,6 +149,16 @@ Duration Controller::cost_of(const Envelope& env) const {
       const auto& m = std::get<RemoteDeriveMsg>(env.body);
       return c.syscall_base + c.cap_deserialize * static_cast<double>(m.caps.size());
     }
+    case MsgType::kRemoteDeriveBatch: {
+      // One syscall_base for the whole frame: batching amortizes the per-message fixed
+      // cost across its members (each still pays its own capability deserialization).
+      const auto& m = std::get<RemoteDeriveBatchMsg>(env.body);
+      size_t caps = 0;
+      for (const RemoteDeriveMsg& op : m.ops) {
+        caps += op.caps.size();
+      }
+      return c.syscall_base + c.cap_deserialize * static_cast<double>(caps);
+    }
     case MsgType::kDeliverAck:
       return Duration::nanos(50);
     default:
@@ -204,8 +219,16 @@ void Controller::on_peer_msg(ControllerAddr peer, Envelope env) {
       case MsgType::kRemoteDerive:
         peer_remote_derive(peer, std::get<RemoteDeriveMsg>(env.body));
         break;
+      case MsgType::kRemoteDeriveBatch:
+        peer_remote_derive_batch(peer, std::get<RemoteDeriveBatchMsg>(env.body));
+        break;
       case MsgType::kPeerReply:
         peer_reply(std::get<PeerReplyMsg>(env.body));
+        break;
+      case MsgType::kPeerReplyBatch:
+        for (const PeerReplyMsg& r : std::get<PeerReplyBatchMsg>(env.body).replies) {
+          peer_reply(r);
+        }
         break;
       case MsgType::kRevokeBroadcast:
         peer_revoke_broadcast(peer, std::get<RevokeBroadcastMsg>(env.body));
@@ -236,15 +259,51 @@ void Controller::note_translation(Duration cost) {
   if (MetricsRegistry* m = net_->loop()->metrics()) {
     m->add(mkeys_.translations);
   }
+  static const NameId kCapSerialize = intern_name("cap-serialize");
+  record_translation_span(cost, kCapSerialize);
+}
+
+void Controller::record_translation_span(Duration cost, NameId name) {
   if (span_tracing_active() && net_->loop()->span_tracer() != nullptr) {
     // Called from the charge() callback, so the scaled cost has just elapsed on exec_:
     // the execution window is exactly [now - cost/speed, now].
     const Time now = net_->loop()->now();
     const Duration scaled = cost / exec_->speed();
-    static const NameId kCapSerialize = intern_name("cap-serialize");
-    net_->loop()->span_tracer()->record(name_id_, SpanKind::kTranslation, kCapSerialize,
+    net_->loop()->span_tracer()->record(name_id_, SpanKind::kTranslation, name,
                                         Time::from_ns(now.ns() - scaled.ns()), now);
   }
+}
+
+Duration Controller::translation_extra_cost(ObjectIndex idx) const {
+  if (!config_.charge_chain_traversal) {
+    return Duration::zero();
+  }
+  if (tcache_.enabled() && tcache_.contains(idx)) {
+    return Duration::zero();  // hit: the memoized route skips the chain walk entirely
+  }
+  const size_t depth = table_.chain_depth(idx);
+  if (depth <= 1) {
+    return Duration::zero();  // roots (and unknown indices, which fail later) walk nothing
+  }
+  return config_.costs.request_traversal * static_cast<double>(depth - 1);
+}
+
+Status Controller::translation_cache_audit() const {
+  ErrorCode bad = ErrorCode::kOk;
+  tcache_.for_each([&](ObjectIndex idx, const ObjectTable::ResolvedRequest& cached) {
+    auto fresh = table_.resolve_request(idx, table_.reboot_count());
+    if (!fresh.ok()) {
+      // Still cached but no longer resolvable: a stale entry survived its revocation.
+      bad = ErrorCode::kInternal;
+      return;
+    }
+    const ObjectTable::ResolvedRequest& f = fresh.value();
+    if (f.provider != cached.provider || f.endpoint_cid != cached.endpoint_cid ||
+        f.args.imms != cached.args.imms || f.args.caps != cached.args.caps) {
+      bad = ErrorCode::kInternal;
+    }
+  });
+  return bad == ErrorCode::kOk ? ok_status() : Status(bad);
 }
 
 void Controller::close_peer_op_span(uint64_t op_id, const char* error) {
@@ -389,9 +448,8 @@ void Controller::sc_memory_diminish(ProcState& p, uint64_t seq, const MemoryDimi
   rd.size = m.size;
   rd.drop_perms = m.drop_perms;
   const ProcessId pid = p.pid;
-  const uint64_t op_id = rd.op_id;
   const ControllerAddr owner = e.ref.owner;
-  call_peer(owner, op_id, make_envelope(op_id, std::move(rd)))
+  call_peer_derive(owner, std::move(rd))
       .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
         auto it = procs_.find(pid);
         if (it == procs_.end() || !it->second->alive) {
@@ -723,8 +781,7 @@ void Controller::sc_request_create(ProcState& p, uint64_t seq, const RequestCrea
   const Duration extra = cap_serialize_cost(rd.caps);
   charge(extra, [this, pid, seq, owner, extra, rd = std::move(rd)]() mutable {
     note_translation(extra);
-    const uint64_t op_id = rd.op_id;
-    call_peer(owner, op_id, make_envelope(op_id, std::move(rd)))
+    call_peer_derive(owner, std::move(rd))
         .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
           auto it = procs_.find(pid);
           if (it == procs_.end() || !it->second->alive) {
@@ -781,8 +838,26 @@ void Controller::sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvo
   }
   if (e.ref.owner == addr()) {
     ++stats_.invokes_local;
-    const ErrorCode status = deliver_by_ref(e.ref, m.imms, caps.value());
-    reply(p, seq, status);
+    const Duration extra = translation_extra_cost(e.ref.index);
+    if (extra == Duration::zero()) {
+      const ErrorCode status = deliver_by_ref(e.ref, m.imms, caps.value());
+      reply(p, seq, status);
+      return;
+    }
+    // Depth-proportional pricing (translation-cache miss): pay the chain walk on exec_,
+    // stamp it into the translation tax bucket, then deliver.
+    const ObjectRef target = e.ref;
+    const ProcessId pid = p.pid;
+    charge(extra, [this, pid, seq, target, extra, imms = m.imms,
+                   wcaps = std::move(caps).value()]() {
+      static const NameId kXlateMiss = intern_name("xlate-miss");
+      record_translation_span(extra, kXlateMiss);
+      const ErrorCode status = deliver_by_ref(target, imms, wcaps);
+      auto it = procs_.find(pid);
+      if (it != procs_.end() && it->second->alive) {
+        reply(*it->second, seq, status);
+      }
+    });
     return;
   }
   ++stats_.invokes_forwarded;
@@ -831,9 +906,8 @@ void Controller::sc_cap_create_revtree(ProcState& p, uint64_t seq,
   rd.op = RemoteDeriveMsg::Op::kRevtreeChild;
   rd.requester = p.pid;
   const ProcessId pid = p.pid;
-  const uint64_t op_id = rd.op_id;
   const ControllerAddr owner = e.ref.owner;
-  call_peer(owner, op_id, make_envelope(op_id, std::move(rd)))
+  call_peer_derive(owner, std::move(rd))
       .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
         auto it = procs_.find(pid);
         if (it == procs_.end() || !it->second->alive) {
@@ -879,9 +953,8 @@ void Controller::sc_cap_revoke(ProcState& p, uint64_t seq, const CapRevokeMsg& m
   rd.op = RemoteDeriveMsg::Op::kRevoke;
   rd.requester = p.pid;
   const ProcessId pid = p.pid;
-  const uint64_t op_id = rd.op_id;
   const ControllerAddr owner = e.ref.owner;
-  call_peer(owner, op_id, make_envelope(op_id, std::move(rd)))
+  call_peer_derive(owner, std::move(rd))
       .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
         auto it = procs_.find(pid);
         if (it != procs_.end() && it->second->alive) {
@@ -929,11 +1002,32 @@ ErrorCode Controller::deliver_locally(ObjectIndex idx, const std::vector<ImmExte
                                       const std::vector<WireCap>& extra_caps) {
   // deliver_locally is called with a ref whose owner is this Controller; the generation was
   // checked when building the ObjectRef view.
-  auto resolved = table_.resolve_request(idx, table_.reboot_count());
-  if (!resolved.ok()) {
-    return resolved.error();
+  ObjectTable::ResolvedRequest req;
+  if (tcache_.enabled()) {
+    MetricsRegistry* mr = net_->loop()->metrics();
+    if (const ObjectTable::ResolvedRequest* cached = tcache_.lookup(idx)) {
+      req = *cached;  // copy out: the delivery below consumes the merged args
+      if (mr != nullptr) {
+        mr->add(mkeys_.cap_cache_hit);
+      }
+    } else {
+      auto resolved = table_.resolve_request(idx, table_.reboot_count());
+      if (!resolved.ok()) {
+        return resolved.error();
+      }
+      req = std::move(resolved).value();
+      tcache_.put(idx, req);
+      if (mr != nullptr) {
+        mr->add(mkeys_.cap_cache_miss);
+      }
+    }
+  } else {
+    auto resolved = table_.resolve_request(idx, table_.reboot_count());
+    if (!resolved.ok()) {
+      return resolved.error();
+    }
+    req = std::move(resolved).value();
   }
-  auto& req = resolved.value();
   if (Status s = check_imm_overlap(req.args.imms, extra_imms); !s.ok()) {
     return s.error();
   }
@@ -1004,29 +1098,72 @@ void Controller::drain_deliveries(ProcState& p) {
 
 void Controller::peer_remote_invoke(ControllerAddr origin, const RemoteInvokeMsg& m) {
   ++stats_.invokes_received;
-  const ErrorCode status = deliver_by_ref(m.target, m.imms, m.caps);
-  if (status != ErrorCode::kOk) {
-    RemoteInvokeErrorMsg err;
-    err.invoke_id = m.invoke_id;
-    err.status = status;
-    send_peer(origin, make_envelope(next_seq_++, err));
+  Duration extra = Duration::zero();
+  if (m.target.owner == addr() && m.target.reboot_count == table_.reboot_count()) {
+    extra = translation_extra_cost(m.target.index);
   }
+  if (extra == Duration::zero()) {
+    const ErrorCode status = deliver_by_ref(m.target, m.imms, m.caps);
+    if (status != ErrorCode::kOk) {
+      RemoteInvokeErrorMsg err;
+      err.invoke_id = m.invoke_id;
+      err.status = status;
+      send_peer(origin, make_envelope(next_seq_++, err));
+    }
+    return;
+  }
+  // Translation-cache miss on a forwarded invoke: the owner pays the chain walk too.
+  charge(extra, [this, origin, extra, m]() {
+    static const NameId kXlateMiss = intern_name("xlate-miss");
+    record_translation_span(extra, kXlateMiss);
+    const ErrorCode status = deliver_by_ref(m.target, m.imms, m.caps);
+    if (status != ErrorCode::kOk) {
+      RemoteInvokeErrorMsg err;
+      err.invoke_id = m.invoke_id;
+      err.status = status;
+      send_peer(origin, make_envelope(next_seq_++, err));
+    }
+  });
 }
 
 void Controller::peer_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m) {
+  send_peer(origin, make_envelope(next_seq_++, exec_remote_derive(origin, m)));
+}
+
+void Controller::peer_remote_derive_batch(ControllerAddr origin, const RemoteDeriveBatchMsg& m) {
+  if (m.ops.empty()) {
+    return;
+  }
+  // Per-op execution with per-op dedup, answered as one kPeerReplyBatch in op order — a
+  // resent batch whose members already executed replays every reply from the cache.
+  PeerReplyBatchMsg out;
+  out.replies.reserve(m.ops.size());
+  for (const RemoteDeriveMsg& op : m.ops) {
+    out.replies.push_back(exec_remote_derive(origin, op));
+  }
+  send_peer(origin, make_envelope(next_seq_++, std::move(out)));
+}
+
+PeerReplyMsg Controller::exec_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m) {
   // Idempotency: a resent request whose first copy already executed is answered from the
   // reply cache — revokes and derivations must not run twice.
   const uint64_t dedup_key = peer_op_key(origin, m.op_id);
-  if (replay_completed_peer_op(origin, dedup_key)) {
-    return;
+  if (net_->lossy()) {
+    auto cached = completed_peer_ops_.find(dedup_key);
+    if (cached != completed_peer_ops_.end()) {
+      ++stats_.peer_dedup_hits;
+      if (MetricsRegistry* mr = net_->loop()->metrics()) {
+        mr->add(mkeys_.peer_dedup_hits);
+      }
+      return cached->second;
+    }
   }
   PeerReplyMsg r;
   r.op_id = m.op_id;
   if (m.base.owner != addr() || m.base.reboot_count != table_.reboot_count()) {
     r.status = m.base.owner != addr() ? ErrorCode::kInvalidArgument : ErrorCode::kStaleCapability;
     cache_completed_peer_op(dedup_key, r);
-    send_peer(origin, make_envelope(next_seq_++, r));
-    return;
+    return r;
   }
   ++stats_.derivations;
   switch (m.op) {
@@ -1084,7 +1221,7 @@ void Controller::peer_remote_derive(ControllerAddr origin, const RemoteDeriveMsg
     }
   }
   cache_completed_peer_op(dedup_key, r);
-  send_peer(origin, make_envelope(next_seq_++, r));
+  return r;
 }
 
 void Controller::peer_reply(const PeerReplyMsg& m) {
@@ -1176,6 +1313,16 @@ void Controller::peer_invoke_error(const RemoteInvokeErrorMsg& m) {
 
 void Controller::apply_revoke(const ObjectTable::RevokeResult& result) {
   ++stats_.revocations;
+  if (tcache_.enabled()) {
+    // Revocation-tree-aware invalidation: result.invalidated is exactly the revoked
+    // subtree, so precisely the cached routes that just became unsafe are dropped.
+    tcache_.invalidate(result.invalidated);
+    if (!result.invalidated.empty()) {
+      if (MetricsRegistry* m = net_->loop()->metrics()) {
+        m->observe(mkeys_.cap_revoke_subtree, result.invalidated.size());
+      }
+    }
+  }
   if (net_->loop()->tracing() && !result.invalidated.empty()) {
     net_->loop()->trace(name_, "revoked " + std::to_string(result.invalidated.size()) +
                                    " object(s), " + std::to_string(result.fires.size()) +
@@ -1284,6 +1431,120 @@ Future<Result<PeerReplyMsg>> Controller::call_peer(ControllerAddr peer, uint64_t
   return bounded;
 }
 
+Future<Result<PeerReplyMsg>> Controller::call_peer_derive(ControllerAddr peer,
+                                                          RemoteDeriveMsg rd) {
+  const uint64_t op_id = rd.op_id;
+  if (config_.peer_op_batch_max == 0) {
+    return call_peer(peer, op_id, make_envelope(op_id, std::move(rd)));
+  }
+  // Batched path: identical promise/span/timeout bookkeeping to call_peer, but the wire
+  // send is deferred to flush_peer_batch.
+  Promise<Result<PeerReplyMsg>> promise;
+  Future<Result<PeerReplyMsg>> inner = promise.future();
+  auto it = peers_.find(peer);
+  if (failed_ || it == peers_.end() || it->second.chan->severed()) {
+    promise.set(ErrorCode::kChannelClosed);
+    return inner;
+  }
+  pending_ops_.emplace(op_id, promise);
+  pending_op_peer_.emplace(op_id, peer);
+  if (span_tracing_active() && net_->loop()->span_tracer() != nullptr) {
+    static const NameId kPeerOp = intern_name("peer-op");
+    const uint64_t span = net_->loop()->span_tracer()->begin(name_id_, SpanKind::kController,
+                                                             kPeerOp, net_->loop()->now());
+    if (span != 0) {
+      pending_op_spans_.emplace(op_id, span);
+    }
+  }
+  PendingBatch& batch = pending_batches_[peer];
+  batch.ops.push_back(std::move(rd));
+  if (batch.ops.size() >= config_.peer_op_batch_max) {
+    flush_peer_batch(peer);
+  } else if (!batch.flush_scheduled) {
+    batch.flush_scheduled = true;
+    net_->loop()->schedule_after(config_.peer_op_batch_delay,
+                                 [this, peer]() { flush_peer_batch(peer); });
+  }
+  if (!net_->lossy()) {
+    return inner;
+  }
+  Future<Result<PeerReplyMsg>> bounded =
+      with_timeout(*net_->loop(), config_.peer_op_deadline, std::move(inner));
+  net_->loop()->schedule_after(config_.peer_op_deadline,
+                               [this, op_id]() { forget_peer_op(op_id); });
+  return bounded;
+}
+
+void Controller::flush_peer_batch(ControllerAddr peer) {
+  auto bit = pending_batches_.find(peer);
+  if (bit == pending_batches_.end()) {
+    return;
+  }
+  PendingBatch batch = std::move(bit->second);
+  pending_batches_.erase(bit);
+  if (failed_) {
+    return;
+  }
+  // Drop members whose promise is already gone (severed peer or deadline before flush);
+  // their futures have already been completed through the error channel.
+  std::erase_if(batch.ops,
+                [this](const RemoteDeriveMsg& op) { return !pending_ops_.contains(op.op_id); });
+  if (batch.ops.empty()) {
+    return;
+  }
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.chan->severed()) {
+    return;  // on_peer_severed already failed every member op
+  }
+  if (MetricsRegistry* m = net_->loop()->metrics()) {
+    m->observe(mkeys_.cap_batch_occupancy, batch.ops.size());
+  }
+  std::vector<uint64_t> op_ids;
+  op_ids.reserve(batch.ops.size());
+  for (const RemoteDeriveMsg& op : batch.ops) {
+    op_ids.push_back(op.op_id);
+  }
+  RemoteDeriveBatchMsg msg;
+  msg.ops = std::move(batch.ops);
+  Envelope env = make_envelope(next_seq_++, std::move(msg));
+  it->second.chan->send(Traffic::kControl, env);
+  if (net_->lossy()) {
+    schedule_batch_resend(peer, std::move(op_ids), Channel::encode(env), 1);
+  }
+}
+
+void Controller::schedule_batch_resend(ControllerAddr peer, std::vector<uint64_t> op_ids,
+                                       Payload frame, uint32_t attempt) {
+  if (attempt > config_.peer_op_retry_budget) {
+    return;
+  }
+  const Duration delay =
+      config_.peer_op_rto * static_cast<double>(uint64_t{1} << std::min(attempt - 1, 16u));
+  net_->loop()->schedule_after(delay, [this, peer, op_ids = std::move(op_ids),
+                                       frame = std::move(frame), attempt]() mutable {
+    if (failed_) {
+      return;
+    }
+    // The whole frame is resent while ANY member is still pending; receiver-side per-op
+    // dedup replays already-executed members instead of running them twice.
+    const bool any_pending = std::any_of(
+        op_ids.begin(), op_ids.end(),
+        [this](uint64_t op_id) { return pending_ops_.contains(op_id); });
+    if (!any_pending) {
+      return;
+    }
+    ++stats_.peer_retries;
+    if (MetricsRegistry* m = net_->loop()->metrics()) {
+      m->add(mkeys_.peer_retries);
+    }
+    auto it = peers_.find(peer);
+    if (it != peers_.end() && !it->second.chan->severed()) {
+      it->second.chan->send_encoded(Traffic::kControl, frame);
+    }
+    schedule_batch_resend(peer, std::move(op_ids), std::move(frame), attempt + 1);
+  });
+}
+
 void Controller::schedule_peer_resend(ControllerAddr peer, uint64_t op_id, Payload frame,
                                       uint32_t attempt) {
   if (attempt > config_.peer_op_retry_budget) {
@@ -1367,10 +1628,20 @@ void Controller::cache_completed_peer_op(uint64_t key, const PeerReplyMsg& reply
   if (!net_->lossy()) {
     return;  // duplicates are impossible on a clean fabric; don't grow state for nothing
   }
+  // Deterministic TTL eviction on simulated time: once an entry outlives peer_op_dedup_ttl
+  // (>> peer_op_deadline), no resend of its op can still arrive, so it is dropped from the
+  // front of the FIFO. The size cap stays as the hard backstop.
+  const Time now = net_->loop()->now();
+  while (!completed_peer_ops_fifo_.empty() &&
+         now.ns() - completed_peer_ops_fifo_.front().second.ns() >=
+             config_.peer_op_dedup_ttl.ns()) {
+    completed_peer_ops_.erase(completed_peer_ops_fifo_.front().first);
+    completed_peer_ops_fifo_.pop_front();
+  }
   if (completed_peer_ops_.emplace(key, reply).second) {
-    completed_peer_ops_fifo_.push_back(key);
+    completed_peer_ops_fifo_.push_back({key, now});
     if (completed_peer_ops_fifo_.size() > kCompletedPeerOpCacheCap) {
-      completed_peer_ops_.erase(completed_peer_ops_fifo_.front());
+      completed_peer_ops_.erase(completed_peer_ops_fifo_.front().first);
       completed_peer_ops_fifo_.pop_front();
     }
   }
@@ -1420,9 +1691,8 @@ void Controller::process_failed(ProcessId pid) {
       rd.base = entry.ref;
       rd.op = RemoteDeriveMsg::Op::kRevoke;
       rd.requester = pid;
-      const uint64_t op_id = rd.op_id;
       // Fire-and-forget: the reply needs no action, so the future is dropped unconsumed.
-      call_peer(entry.ref.owner, op_id, make_envelope(op_id, std::move(rd)));
+      call_peer_derive(entry.ref.owner, std::move(rd));
     }
   }
   // Everything the Process registered is invalidated.
@@ -1445,6 +1715,7 @@ void Controller::fail() {
   // continuations bail out early because every local process is now marked dead.
   fail_pending_ops(ErrorCode::kChannelClosed);
   pending_invokes_.clear();
+  pending_batches_.clear();
 }
 
 void Controller::restart() {
@@ -1455,6 +1726,10 @@ void Controller::restart() {
   peers_.clear();
   completed_peer_ops_.clear();
   completed_peer_ops_fifo_.clear();
+  pending_batches_.clear();
+  // Every cached translation references pre-reboot objects; the generation bump makes them
+  // stale wholesale.
+  tcache_.clear();
   table_.reboot();
   failed_ = false;
 }

@@ -33,6 +33,7 @@
 #include "src/cap/object_table.h"
 #include "src/core/channel.h"
 #include "src/core/costs.h"
+#include "src/core/translation_cache.h"
 #include "src/fabric/network.h"
 #include "src/futures/future.h"
 #include "src/sim/intern.h"
@@ -86,7 +87,27 @@ class Controller {
     Duration peer_op_rto = Duration::micros(150);
     uint32_t peer_op_retry_budget = 3;
     Duration peer_op_deadline = Duration::millis(1);
+    // Completed-peer-op dedup entries older than this are evicted (deterministically, on
+    // simulated time). Must stay well above peer_op_deadline: once an op's deadline passes,
+    // no more resends of it can arrive, so its cached reply is dead weight.
+    Duration peer_op_dedup_ttl = Duration::millis(50);
+    // Capability hot path (all off by default for compatibility with existing goldens):
+    // owner-side translation cache capacity in entries; 0 disables caching.
+    uint32_t translation_cache_entries = 0;
+    // Depth-proportional translation pricing: a local delivery pays an extra
+    // (chain_depth - 1) * request_traversal on a translation-cache miss and nothing on a
+    // hit. Off means the legacy flat pricing (every invoke costs the same regardless of
+    // delegation depth) — enabling it without a cache is the honest baseline for Fig. 7.
+    bool charge_chain_traversal = false;
+    // Batched owner-bound peer ops: coalesce up to this many RemoteDerive ops per peer into
+    // one kRemoteDeriveBatch frame (amortizing per-message syscall_base). 0 sends singles.
+    uint32_t peer_op_batch_max = 0;
+    // How long a non-full batch may wait for more ops before flushing.
+    Duration peer_op_batch_delay = Duration::micros(2);
   };
+
+  // Bound on the completed-peer-op reply cache (receiver-side dedup, lossy fabric only).
+  static constexpr size_t kCompletedPeerOpCacheCap = 4096;
 
   Controller(Network* net, Config config);
   // Completes any still-pending peer operations with kChannelClosed so their futures never
@@ -162,6 +183,12 @@ class Controller {
   uint64_t deliveries_queued() const { return deliveries_queued_; }
   size_t pending_cleanups() const { return pending_cleanups_.size(); }
   const ControllerStats& stats() const { return stats_; }
+  size_t completed_peer_op_cache_size() const { return completed_peer_ops_.size(); }
+  const TranslationCache& translation_cache() const { return tcache_; }
+  // Re-resolves every cached translation against the live table and fails if any cached
+  // entry differs (a stale entry would let a revoked capability be honored). The property
+  // test runs this after every chaos step.
+  Status translation_cache_audit() const;
 
  private:
   struct ProcState {
@@ -196,6 +223,10 @@ class Controller {
   // --- peer handlers ---
   void peer_remote_invoke(ControllerAddr origin, const RemoteInvokeMsg& m);
   void peer_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m);
+  void peer_remote_derive_batch(ControllerAddr origin, const RemoteDeriveBatchMsg& m);
+  // Executes one owner-bound derive op (or replays its cached reply) and returns the reply
+  // to send; dedup is internal, so batch members stay individually idempotent.
+  PeerReplyMsg exec_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m);
   void peer_reply(const PeerReplyMsg& m);
   void peer_revoke_broadcast(ControllerAddr origin, const RevokeBroadcastMsg& m);
   void peer_revoke_ack(const RevokeAckMsg& m);
@@ -232,6 +263,17 @@ class Controller {
   // with_timeout(peer_op_deadline) — a lost conversation surfaces as kTimeout on the error
   // channel instead of hanging the simulation.
   Future<Result<PeerReplyMsg>> call_peer(ControllerAddr peer, uint64_t op_id, Envelope env);
+  // Like call_peer for RemoteDerive ops, but routes through the per-peer batcher when
+  // Config::peer_op_batch_max > 0: the op is queued and flushed as part of one
+  // kRemoteDeriveBatch frame (at batch_max occupancy or after peer_op_batch_delay). Each
+  // queued op keeps its own op_id, promise, span, and (lossy) timeout, so completion and
+  // idempotency semantics are identical to the unbatched path.
+  Future<Result<PeerReplyMsg>> call_peer_derive(ControllerAddr peer, RemoteDeriveMsg rd);
+  void flush_peer_batch(ControllerAddr peer);
+  // Lossy-fabric resend of a whole batch frame: retried while ANY member op is still
+  // pending (receiver-side dedup makes re-executed members harmless).
+  void schedule_batch_resend(ControllerAddr peer, std::vector<uint64_t> op_ids, Payload frame,
+                             uint32_t attempt);
   // Resends carry the frame pre-encoded: one Envelope serialization per op, shared by every
   // retransmission attempt (the Payload copy is a refcount bump).
   void schedule_peer_resend(ControllerAddr peer, uint64_t op_id, Payload frame,
@@ -260,6 +302,13 @@ class Controller {
   // translation: counts it and records the kTranslation span retroactively (the execution
   // window [now - cost/speed, now] has just elapsed on exec_).
   void note_translation(Duration cost);
+  // Records a kTranslation span named `name` over the window that just elapsed (shared by
+  // cap-serialize accounting and translation-cache miss pricing).
+  void record_translation_span(Duration cost, NameId name);
+  // Extra compute a local delivery of `idx` owes under depth-proportional pricing: zero on
+  // a translation-cache hit (or when the feature is off), (chain_depth - 1) *
+  // request_traversal on a miss.
+  Duration translation_extra_cost(ObjectIndex idx) const;
   // Closes the peer-op span registered for op_id, if any (error != nullptr marks it failed).
   void close_peer_op_span(uint64_t op_id, const char* error);
 
@@ -282,9 +331,19 @@ class Controller {
   // Open peer-op spans by op id (populated only while a SpanTracer is alive); a timed-out or
   // severed op closes its span with an error attribute instead of leaking it open.
   std::unordered_map<uint64_t, uint64_t> pending_op_spans_;
-  // Completed-peer-op reply cache for dedup (bounded FIFO; populated only on a lossy fabric).
+  // Completed-peer-op reply cache for dedup (populated only on a lossy fabric). The FIFO
+  // carries insertion times: entries are evicted when older than peer_op_dedup_ttl (the
+  // deterministic, simulated-time bound) and the cap is the hard backstop.
   std::unordered_map<uint64_t, PeerReplyMsg> completed_peer_ops_;
-  std::deque<uint64_t> completed_peer_ops_fifo_;
+  std::deque<std::pair<uint64_t, Time>> completed_peer_ops_fifo_;
+  // Owner-side translation cache (see translation_cache.h); capacity from Config.
+  TranslationCache tcache_;
+  // Per-peer outgoing RemoteDerive batcher (active only when peer_op_batch_max > 0).
+  struct PendingBatch {
+    std::vector<RemoteDeriveMsg> ops;
+    bool flush_scheduled = false;
+  };
+  std::unordered_map<ControllerAddr, PendingBatch> pending_batches_;
   std::unordered_map<uint64_t, ProcessId> pending_invokes_;
   // Two-phase revocation cleanup: invalidated objects are erased only after every peer has
   // acknowledged the broadcast (the distributed-GC "cleanup step" of Section 3.5).
@@ -313,6 +372,12 @@ class Controller {
     NameId peer_retries = kInvalidNameId;
     NameId peer_op_timeouts = kInvalidNameId;
     NameId peer_dedup_hits = kInvalidNameId;
+    // cap.<addr>.* hot-path keys — touched only when the owning feature is enabled, so the
+    // default-config metrics snapshots stay bit-identical.
+    NameId cap_cache_hit = kInvalidNameId;       // translation-cache hits (counter)
+    NameId cap_cache_miss = kInvalidNameId;      // translation-cache misses (counter)
+    NameId cap_revoke_subtree = kInvalidNameId;  // invalidated-subtree sizes (histogram)
+    NameId cap_batch_occupancy = kInvalidNameId; // ops per flushed batch (histogram)
   } mkeys_;
 };
 

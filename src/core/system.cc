@@ -43,6 +43,11 @@ Controller& System::add_controller(uint32_t node, Loc loc) {
   cfg.peer_op_rto = config_.peer_op_rto;
   cfg.peer_op_retry_budget = config_.peer_op_retry_budget;
   cfg.peer_op_deadline = config_.peer_op_deadline;
+  cfg.peer_op_dedup_ttl = config_.peer_op_dedup_ttl;
+  cfg.translation_cache_entries = config_.translation_cache_entries;
+  cfg.charge_chain_traversal = config_.charge_chain_traversal;
+  cfg.peer_op_batch_max = config_.peer_op_batch_max;
+  cfg.peer_op_batch_delay = config_.peer_op_batch_delay;
   controllers_.push_back(std::make_unique<Controller>(net_.get(), cfg));
   Controller& c = *controllers_.back();
   by_addr_[c.addr()] = &c;

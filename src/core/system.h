@@ -46,6 +46,12 @@ struct SystemConfig {
   Duration peer_op_rto = Duration::micros(150);
   uint32_t peer_op_retry_budget = 3;
   Duration peer_op_deadline = Duration::millis(1);
+  Duration peer_op_dedup_ttl = Duration::millis(50);
+  // Capability hot path (see Controller::Config; all off by default).
+  uint32_t translation_cache_entries = 0;
+  bool charge_chain_traversal = false;
+  uint32_t peer_op_batch_max = 0;
+  Duration peer_op_batch_delay = Duration::micros(2);
 };
 
 class System {

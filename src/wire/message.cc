@@ -76,6 +76,54 @@ WireCap decode_wire_cap(Decoder& d) {
   return c;
 }
 
+// RemoteDerive/PeerReply bodies are shared between the single-op frames and the batch frames,
+// so the batch encoding is byte-for-byte N copies of the single-op body plus a count.
+void encode_remote_derive(Encoder& e, const RemoteDeriveMsg& m) {
+  e.put_u64(m.op_id);
+  encode_ref(e, m.base);
+  e.put_u8(static_cast<uint8_t>(m.op));
+  e.put_u64(m.requester);
+  encode_imms(e, m.imms);
+  e.put_u32(static_cast<uint32_t>(m.caps.size()));
+  for (const auto& c : m.caps) {
+    encode_wire_cap(e, c);
+  }
+  e.put_u64(m.offset);
+  e.put_u64(m.size);
+  e.put_u8(static_cast<uint8_t>(m.drop_perms));
+}
+
+RemoteDeriveMsg decode_remote_derive(Decoder& d) {
+  RemoteDeriveMsg m;
+  m.op_id = d.get_u64();
+  m.base = decode_ref(d);
+  m.op = static_cast<RemoteDeriveMsg::Op>(d.get_u8());
+  m.requester = d.get_u64();
+  m.imms = decode_imms(d);
+  const uint32_t n = d.get_u32();
+  for (uint32_t i = 0; i < n && d.ok(); ++i) {
+    m.caps.push_back(decode_wire_cap(d));
+  }
+  m.offset = d.get_u64();
+  m.size = d.get_u64();
+  m.drop_perms = static_cast<Perms>(d.get_u8());
+  return m;
+}
+
+void encode_peer_reply(Encoder& e, const PeerReplyMsg& m) {
+  e.put_u64(m.op_id);
+  e.put_u8(static_cast<uint8_t>(m.status));
+  encode_wire_cap(e, m.result);
+}
+
+PeerReplyMsg decode_peer_reply(Decoder& d) {
+  PeerReplyMsg m;
+  m.op_id = d.get_u64();
+  m.status = static_cast<ErrorCode>(d.get_u8());
+  m.result = decode_wire_cap(d);
+  return m;
+}
+
 struct BodyEncoder {
   Encoder& e;
 
@@ -143,24 +191,19 @@ struct BodyEncoder {
     e.put_bool(m.delegate_mode);
   }
   void operator()(const DeliverAckMsg&) {}
-  void operator()(const RemoteDeriveMsg& m) {
-    e.put_u64(m.op_id);
-    encode_ref(e, m.base);
-    e.put_u8(static_cast<uint8_t>(m.op));
-    e.put_u64(m.requester);
-    encode_imms(e, m.imms);
-    e.put_u32(static_cast<uint32_t>(m.caps.size()));
-    for (const auto& c : m.caps) {
-      encode_wire_cap(e, c);
+  void operator()(const RemoteDeriveMsg& m) { encode_remote_derive(e, m); }
+  void operator()(const PeerReplyMsg& m) { encode_peer_reply(e, m); }
+  void operator()(const RemoteDeriveBatchMsg& m) {
+    e.put_u32(static_cast<uint32_t>(m.ops.size()));
+    for (const auto& op : m.ops) {
+      encode_remote_derive(e, op);
     }
-    e.put_u64(m.offset);
-    e.put_u64(m.size);
-    e.put_u8(static_cast<uint8_t>(m.drop_perms));
   }
-  void operator()(const PeerReplyMsg& m) {
-    e.put_u64(m.op_id);
-    e.put_u8(static_cast<uint8_t>(m.status));
-    encode_wire_cap(e, m.result);
+  void operator()(const PeerReplyBatchMsg& m) {
+    e.put_u32(static_cast<uint32_t>(m.replies.size()));
+    for (const auto& r : m.replies) {
+      encode_peer_reply(e, r);
+    }
   }
   void operator()(const RemoteInvokeMsg& m) {
     encode_ref(e, m.target);
@@ -224,6 +267,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kRevokeAck: return "RevokeAck";
     case MsgType::kRegisterMonitor: return "RegisterMonitor";
     case MsgType::kMonitorFired: return "MonitorFired";
+    case MsgType::kRemoteDeriveBatch: return "RemoteDeriveBatch";
+    case MsgType::kPeerReplyBatch: return "PeerReplyBatch";
   }
   return "unknown";
 }
@@ -360,28 +405,29 @@ Result<Envelope> decode_envelope(const std::vector<uint8_t>& buf) {
       env.body = DeliverAckMsg{};
       break;
     case MsgType::kRemoteDerive: {
-      RemoteDeriveMsg m;
-      m.op_id = d.get_u64();
-      m.base = decode_ref(d);
-      m.op = static_cast<RemoteDeriveMsg::Op>(d.get_u8());
-      m.requester = d.get_u64();
-      m.imms = decode_imms(d);
-      const uint32_t n = d.get_u32();
-      for (uint32_t i = 0; i < n && d.ok(); ++i) {
-        m.caps.push_back(decode_wire_cap(d));
-      }
-      m.offset = d.get_u64();
-      m.size = d.get_u64();
-      m.drop_perms = static_cast<Perms>(d.get_u8());
-      env.body = std::move(m);
+      env.body = decode_remote_derive(d);
       break;
     }
     case MsgType::kPeerReply: {
-      PeerReplyMsg m;
-      m.op_id = d.get_u64();
-      m.status = static_cast<ErrorCode>(d.get_u8());
-      m.result = decode_wire_cap(d);
-      env.body = m;
+      env.body = decode_peer_reply(d);
+      break;
+    }
+    case MsgType::kRemoteDeriveBatch: {
+      RemoteDeriveBatchMsg m;
+      const uint32_t n = d.get_u32();
+      for (uint32_t i = 0; i < n && d.ok(); ++i) {
+        m.ops.push_back(decode_remote_derive(d));
+      }
+      env.body = std::move(m);
+      break;
+    }
+    case MsgType::kPeerReplyBatch: {
+      PeerReplyBatchMsg m;
+      const uint32_t n = d.get_u32();
+      for (uint32_t i = 0; i < n && d.ok(); ++i) {
+        m.replies.push_back(decode_peer_reply(d));
+      }
+      env.body = std::move(m);
       break;
     }
     case MsgType::kRemoteInvoke: {
@@ -520,6 +566,12 @@ Envelope make_envelope(uint64_t seq, RegisterMonitorMsg m) {
 }
 Envelope make_envelope(uint64_t seq, MonitorFiredMsg m) {
   return envelope_of(seq, MsgType::kMonitorFired, m);
+}
+Envelope make_envelope(uint64_t seq, RemoteDeriveBatchMsg m) {
+  return envelope_of(seq, MsgType::kRemoteDeriveBatch, std::move(m));
+}
+Envelope make_envelope(uint64_t seq, PeerReplyBatchMsg m) {
+  return envelope_of(seq, MsgType::kPeerReplyBatch, std::move(m));
 }
 
 uint64_t imm_bytes(const std::vector<ImmExtent>& imms) {

@@ -54,6 +54,9 @@ enum class MsgType : uint8_t {
   kRevokeAck,
   kRegisterMonitor,
   kMonitorFired,
+  // Appended (wire compatibility): batched owner-bound capability ops.
+  kRemoteDeriveBatch,
+  kPeerReplyBatch,
 };
 
 const char* msg_type_name(MsgType t);
@@ -247,6 +250,21 @@ struct PeerReplyMsg {
   bool operator==(const PeerReplyMsg&) const = default;
 };
 
+// N owner-bound capability ops (grant/refine/diminish/revoke) in one wire message. Each inner
+// op keeps its own idempotent op_id, so receiver-side dedup and the sender's per-op promise
+// bookkeeping are identical to the unbatched path; only the framing (and the per-message
+// syscall overhead at the receiver) is amortized. Answered by one kPeerReplyBatch carrying
+// the per-op replies in op order.
+struct RemoteDeriveBatchMsg {
+  std::vector<RemoteDeriveMsg> ops;
+  bool operator==(const RemoteDeriveBatchMsg&) const = default;
+};
+
+struct PeerReplyBatchMsg {
+  std::vector<PeerReplyMsg> replies;
+  bool operator==(const PeerReplyBatchMsg&) const = default;
+};
+
 // Cleanup step of revocation (Section 3.5): the owner broadcasts invalidated objects; all
 // Controllers purge capability-space entries referencing them and acknowledge. Once every
 // peer has acknowledged, the owner erases the invalidated stubs from its table ("eventually
@@ -286,7 +304,8 @@ using MsgBody =
                  RequestInvokeMsg, CapCreateRevtreeMsg, CapRevokeMsg, MonitorMsg, SyscallReplyMsg,
                  DeliverRequestMsg, DeliverAckMsg, MonitorCallbackMsg, RemoteInvokeMsg,
                  RemoteInvokeErrorMsg, RemoteDeriveMsg, PeerReplyMsg, RevokeBroadcastMsg,
-                 RevokeAckMsg, RegisterMonitorMsg, MonitorFiredMsg>;
+                 RevokeAckMsg, RegisterMonitorMsg, MonitorFiredMsg, RemoteDeriveBatchMsg,
+                 PeerReplyBatchMsg>;
 
 struct Envelope {
   MsgType type = MsgType::kNullOp;
@@ -322,6 +341,8 @@ Envelope make_envelope(uint64_t seq, RevokeBroadcastMsg m);
 Envelope make_envelope(uint64_t seq, RevokeAckMsg m);
 Envelope make_envelope(uint64_t seq, RegisterMonitorMsg m);
 Envelope make_envelope(uint64_t seq, MonitorFiredMsg m);
+Envelope make_envelope(uint64_t seq, RemoteDeriveBatchMsg m);
+Envelope make_envelope(uint64_t seq, PeerReplyBatchMsg m);
 
 // Total bytes of immediate payload across extents (used for cost accounting and tests).
 uint64_t imm_bytes(const std::vector<ImmExtent>& imms);

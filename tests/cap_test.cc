@@ -275,6 +275,93 @@ TEST_F(ObjectTableTest, RevokeAllOfCreatorTakesDescendants) {
   EXPECT_EQ(table_.resolve_memory(child, table_.reboot_count()).error(), ErrorCode::kRevoked);
 }
 
+TEST_F(ObjectTableTest, ChainDepthCountsDerivationLayers) {
+  const ObjectIndex root = table_.create_request_root(kProc, 1, {}).value();
+  EXPECT_EQ(table_.chain_depth(root), 1u);
+  RequestArgs ref;
+  ref.imms = {{0, {0xaa}}};
+  const ObjectIndex d1 = table_.derive_request_local(kOther, root, ref).value();
+  const ObjectIndex d2 = table_.create_revtree_child(kOther, d1).value();
+  EXPECT_EQ(table_.chain_depth(d1), 2u);
+  EXPECT_EQ(table_.chain_depth(d2), 3u);
+  EXPECT_EQ(table_.chain_depth(999999), 0u);
+}
+
+TEST_F(ObjectTableTest, IdenticalRefinementsShareOneInternedBlob) {
+  RequestArgs base_args;
+  base_args.imms = {{0, {0xaa}}};
+  const ObjectIndex root = table_.create_request_root(kProc, 1, base_args).value();
+  EXPECT_EQ(table_.interned_args_count(), 1u);
+
+  // N siblings carrying the same refinement share one blob; a different refinement gets its
+  // own; revtree children add no args at all.
+  RequestArgs ref;
+  ref.imms = {{8, {0xbb}}};
+  std::vector<ObjectIndex> kids;
+  for (int i = 0; i < 16; ++i) {
+    kids.push_back(table_.derive_request_local(kOther, root, ref).value());
+  }
+  EXPECT_EQ(table_.interned_args_count(), 2u);
+  RequestArgs other;
+  other.imms = {{16, {0xcc}}};
+  const ObjectIndex odd = table_.derive_request_local(kOther, kids[0], other).value();
+  ASSERT_TRUE(table_.create_revtree_child(kOther, odd).ok());
+  EXPECT_EQ(table_.interned_args_count(), 3u);
+
+  // Blobs die with their last holding object, not before.
+  for (size_t i = 0; i + 1 < kids.size(); ++i) {
+    auto r = table_.revoke(kids[i + 1], table_.reboot_count());
+    ASSERT_TRUE(r.ok());
+    table_.erase_objects(r.value().invalidated);
+  }
+  EXPECT_EQ(table_.interned_args_count(), 3u);  // kids[0] still holds the shared blob
+  auto last = table_.revoke(kids[0], table_.reboot_count());
+  ASSERT_TRUE(last.ok());
+  table_.erase_objects(last.value().invalidated);  // takes `odd` and its revtree child too
+  EXPECT_EQ(table_.interned_args_count(), 1u);
+}
+
+TEST_F(ObjectTableTest, SlabSlotsAreRecycledAcrossChurn) {
+  // Enough churn to cross slab boundaries in several shards: resolutions of survivors must
+  // stay intact across erasures and re-inserts (slots never move; freed slots are reused),
+  // and the live/total accounting must track exactly.
+  constexpr int kN = 3000;
+  std::vector<ObjectIndex> idx;
+  idx.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    idx.push_back(
+        table_.create_memory(kProc, MemoryDesc{0, 0, uint64_t(i) * 64, 64}, Perms::kRead)
+            .value());
+  }
+  EXPECT_EQ(table_.live_count(), size_t(kN));
+  EXPECT_EQ(table_.total_count(), size_t(kN));
+
+  for (int i = 0; i < kN; i += 2) {
+    auto r = table_.revoke(idx[i], table_.reboot_count());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(table_.erase_objects(r.value().invalidated), 1u);
+  }
+  EXPECT_EQ(table_.live_count(), size_t(kN / 2));
+  EXPECT_EQ(table_.total_count(), size_t(kN / 2));
+
+  // Refill into the recycled slots, then verify every survivor still resolves to its own
+  // extent (a stale index or a moved slot would surface here).
+  for (int i = 0; i < kN / 2; ++i) {
+    ASSERT_TRUE(
+        table_.create_memory(kOther, MemoryDesc{0, 0, 1u << 20, 64}, Perms::kRead).ok());
+  }
+  EXPECT_EQ(table_.live_count(), size_t(kN));
+  for (int i = 1; i < kN; i += 2) {
+    auto r = table_.resolve_memory(idx[i], table_.reboot_count());
+    ASSERT_TRUE(r.ok()) << "survivor " << i;
+    EXPECT_EQ(r.value().desc.addr, uint64_t(i) * 64);
+  }
+  // Erased indices stay dead even after their slots were reused.
+  for (int i = 0; i < kN; i += 2) {
+    EXPECT_FALSE(table_.resolve_memory(idx[i], table_.reboot_count()).ok());
+  }
+}
+
 TEST(CheckImmOverlapTest, Cases) {
   const std::vector<ImmExtent> existing = {{0, {1, 2, 3, 4}}};
   EXPECT_TRUE(check_imm_overlap(existing, {{4, {5}}}).ok());
@@ -285,6 +372,24 @@ TEST(CheckImmOverlapTest, Cases) {
   EXPECT_EQ(check_imm_overlap({}, {{0, {1, 2}}, {1, {3}}}).error(),
             ErrorCode::kArgumentOverlap);
   EXPECT_TRUE(check_imm_overlap(existing, {}).ok());
+
+  // Duplicate offsets: within one batch and against an existing extent.
+  EXPECT_EQ(check_imm_overlap({}, {{0, {1}}, {0, {2}}}).error(), ErrorCode::kArgumentOverlap);
+  EXPECT_EQ(check_imm_overlap(existing, {{0, {9}}}).error(), ErrorCode::kArgumentOverlap);
+
+  // The sweep must not depend on the batch arriving sorted.
+  EXPECT_TRUE(check_imm_overlap({}, {{8, {1}}, {0, {1, 2}}}).ok());
+  EXPECT_EQ(check_imm_overlap({}, {{4, {1, 2, 3, 4, 5}}, {0, {1, 2, 3, 4, 5}}}).error(),
+            ErrorCode::kArgumentOverlap);
+  EXPECT_EQ(check_imm_overlap({{8, {1, 2}}}, {{12, {1}}, {6, {1, 2, 3}}}).error(),
+            ErrorCode::kArgumentOverlap);
+
+  // Zero-length extents overlap only when strictly inside another extent, never when they
+  // merely touch its boundary or another empty extent at the same offset.
+  EXPECT_EQ(check_imm_overlap(existing, {{2, {}}}).error(), ErrorCode::kArgumentOverlap);
+  EXPECT_TRUE(check_imm_overlap(existing, {{0, {}}}).ok());
+  EXPECT_TRUE(check_imm_overlap(existing, {{4, {}}}).ok());
+  EXPECT_TRUE(check_imm_overlap({}, {{3, {}}, {3, {}}}).ok());
 }
 
 class CapSpaceTest : public ::testing::Test {

@@ -497,5 +497,99 @@ TEST(ChaosSpineFlap, SameSeedIsBitIdentical) {
       << b.faults.partition_drops;
 }
 
+// --- controller failure mid-revocation of a delegation chain -----------------------------------
+
+// A 4-level delegation chain root -> l1 -> l2 -> l3 -> l4 spans three Controllers (levels 3/4
+// are held at c2), with a monitor_receive on every level. c2 is killed at a seeded point while
+// l1's revocation is in flight — before, between, or after the cleanup broadcast hops — then
+// restarted. Afterwards no capability under l1 may ever be honored again (the revocation took
+// effect atomically at the owner, so a lost broadcast leg must not matter), the untouched root
+// must keep working, each monitor must have fired exactly once, and the owner's translation
+// cache must still audit clean. The hot path (translation cache + batched peer ops) is on, so
+// this also exercises cache invalidation racing a peer failure.
+TEST(ChaosRevocation, ControllerFailureMidRevocationHonorsNoStaleCap) {
+  for (const uint64_t fail_step : {0ull, 1ull, 2ull, 4ull, 8ull, 16ull}) {
+    SystemConfig cfg;
+    cfg.translation_cache_entries = 64;
+    cfg.charge_chain_traversal = true;
+    cfg.peer_op_batch_max = 4;
+    System sys(cfg);
+    const uint32_t n0 = sys.add_node("owner");
+    const uint32_t n1 = sys.add_node("mid");
+    const uint32_t n2 = sys.add_node("far");
+    Controller& c0 = sys.add_controller(n0, Loc::kHost);
+    Controller& c1 = sys.add_controller(n1, Loc::kHost);
+    Controller& c2 = sys.add_controller(n2, Loc::kHost);
+    Process& provider = sys.spawn("provider", n0, c0);
+    Process& watcher = sys.spawn("watcher", n0, c0);
+    Process& holder1 = sys.spawn("holder1", n1, c1);
+    Process& holder2 = sys.spawn("holder2", n2, c2);
+
+    int deliveries = 0;
+    const CapId root =
+        sys.await_ok(provider.serve({}, [&](Process::Received) { ++deliveries; }));
+    const CapId root_h1 = sys.bootstrap_grant(provider, root, holder1).value();
+
+    // Build the chain: l1/l2 derived by holder1, l3/l4 derived by holder2 (on c2).
+    const CapId l1 = sys.await_ok(holder1.cap_create_revtree(root_h1));
+    const CapId l2 = sys.await_ok(holder1.cap_create_revtree(l1));
+    const CapId l2_h2 = sys.bootstrap_grant(holder1, l2, holder2).value();
+    const CapId l3 = sys.await_ok(holder2.cap_create_revtree(l2_h2));
+    const CapId l4 = sys.await_ok(holder2.cap_create_revtree(l3));
+    // The watcher (on the always-alive c0) monitors levels 3/4 so every fire is observable
+    // even while c2 is down.
+    const CapId l3_w = sys.bootstrap_grant(holder2, l3, watcher).value();
+    const CapId l4_w = sys.bootstrap_grant(holder2, l4, watcher).value();
+
+    std::map<uint64_t, int> fires;
+    holder1.set_monitor_handler([&](uint64_t cb, bool) { ++fires[cb]; });
+    watcher.set_monitor_handler([&](uint64_t cb, bool) { ++fires[cb]; });
+    ASSERT_TRUE(sys.await(holder1.monitor_receive(l1, 1)).ok());
+    ASSERT_TRUE(sys.await(holder1.monitor_receive(l2, 2)).ok());
+    ASSERT_TRUE(sys.await(watcher.monitor_receive(l3_w, 3)).ok());
+    ASSERT_TRUE(sys.await(watcher.monitor_receive(l4_w, 4)).ok());
+
+    // Sanity: the deep end of the chain delivers before the revocation.
+    holder2.request_invoke(l4);
+    sys.loop().run();
+    ASSERT_EQ(deliveries, 1) << "fail_step " << fail_step;
+
+    // Revoke l1 and kill c2 `fail_step` events into the in-flight revocation.
+    auto revoked = holder1.cap_revoke(l1);
+    sys.loop().run(fail_step);
+    sys.fail_controller(c2);
+    sys.loop().run();
+    ASSERT_TRUE(revoked.ready()) << "fail_step " << fail_step;
+    EXPECT_TRUE(revoked.take().ok()) << "fail_step " << fail_step;
+
+    sys.restart_controller(c2);
+    sys.loop().run();
+
+    // No stale capability is honored: nothing under l1 can reach the provider again,
+    // whichever side of the torn broadcast each holder was on.
+    const int before = deliveries;
+    holder2.request_invoke(l4);
+    holder2.request_invoke(l3);
+    holder1.request_invoke(l2);
+    holder1.request_invoke(l1);
+    sys.loop().run();
+    EXPECT_EQ(deliveries, before) << "fail_step " << fail_step;
+
+    // The untouched root still works...
+    holder1.request_invoke(root_h1);
+    sys.loop().run();
+    EXPECT_EQ(deliveries, before + 1) << "fail_step " << fail_step;
+
+    // ...each monitor fired exactly once...
+    ASSERT_EQ(fires.size(), 4u) << "fail_step " << fail_step;
+    for (const auto& [cb, count] : fires) {
+      EXPECT_EQ(count, 1) << "callback " << cb << " fail_step " << fail_step;
+    }
+
+    // ...and the owner's translation cache is coherent with its table.
+    EXPECT_TRUE(c0.translation_cache_audit().ok()) << "fail_step " << fail_step;
+  }
+}
+
 }  // namespace
 }  // namespace fractos

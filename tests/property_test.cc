@@ -140,6 +140,131 @@ TEST(PropertyRevocation, UsableIffPathLive) {
   }
 }
 
+// --- translation-cache safety under the capability hot path ------------------------------------
+
+// With the owner-side translation cache, depth-proportional miss pricing, and batched peer ops
+// all enabled — and the cache kept tiny so FIFO eviction runs constantly — random interleavings
+// of remote derivation, revocation, failure translation, and invocation must never honor a
+// capability whose derivation path is dead, and the cache must stay coherent with the
+// authoritative table after every step (translation_cache_audit re-resolves each cached entry).
+TEST(PropertyTranslationCache, NoStaleCapabilityHonoredAcrossSeeds) {
+  uint64_t total_lookups = 0;
+  for (const uint64_t seed : {1ull, 2ull, 3ull, 5ull, 8ull, 13ull, 21ull, 34ull}) {
+    Rng rng(seed);
+    SystemConfig cfg;
+    cfg.translation_cache_entries = 16;  // tiny on purpose: evictions interleave with revokes
+    cfg.charge_chain_traversal = true;
+    cfg.peer_op_batch_max = 4;
+    System sys(cfg);
+    const uint32_t n0 = sys.add_node("owner");
+    const uint32_t n1 = sys.add_node("holder");
+    Controller& c0 = sys.add_controller(n0, Loc::kHost);
+    Controller& c1 = sys.add_controller(n1, Loc::kHost);
+    Process& provider = sys.spawn("provider", n0, c0);
+    Process& worker = sys.spawn("worker", n0, c0);
+    Process& holder = sys.spawn("holder", n1, c1);
+
+    int deliveries = 0;
+    const CapId root =
+        sys.await_ok(provider.serve({}, [&](Process::Received) { ++deliveries; }));
+    const CapId root_h = sys.bootstrap_grant(provider, root, holder).value();
+    const CapId root_w = sys.bootstrap_grant(provider, root, worker).value();
+
+    struct Node {
+      CapId cid;      // the holder's capability for this object
+      size_t parent;  // index into nodes (self for root)
+      bool revoked = false;
+      bool worker_made = false;  // created by `worker`, dies with it via failure translation
+    };
+    std::vector<Node> nodes{{root_h, 0}};
+    auto path_live = [&](size_t i) {
+      for (size_t cur = i;; cur = nodes[cur].parent) {
+        if (nodes[cur].revoked) {
+          return false;
+        }
+        if (cur == 0) {
+          return true;
+        }
+      }
+    };
+
+    uint32_t next_offset = 0;
+    bool worker_failed = false;
+    constexpr int kSteps = 60;
+    for (int step = 0; step < kSteps; ++step) {
+      const uint64_t action = rng.next_below(5);
+      if (action == 0) {
+        // Revtree child derived remotely by the holder (rides the batched peer-op path).
+        const size_t base = rng.next_below(nodes.size());
+        if (!path_live(base)) {
+          continue;
+        }
+        auto child = sys.await(holder.cap_create_revtree(nodes[base].cid));
+        ASSERT_TRUE(child.ok()) << "seed " << seed << " step " << step;
+        nodes.push_back(Node{child.value(), base});
+      } else if (action == 1) {
+        // Refinement derived remotely by the holder; unique offsets keep paths overlap-free.
+        const size_t base = rng.next_below(nodes.size());
+        if (!path_live(base)) {
+          continue;
+        }
+        const uint32_t off = next_offset;
+        next_offset += 8;
+        auto child = sys.await(
+            holder.request_derive(nodes[base].cid, Process::Args{}.imm_u64(off, rng.next_u64())));
+        ASSERT_TRUE(child.ok()) << "seed " << seed << " step " << step;
+        nodes.push_back(Node{child.value(), base});
+      } else if (action == 2 && !worker_failed) {
+        // Owner-local revtree child created by the co-located worker and granted to the
+        // holder; the whole group dies later when the worker crashes.
+        auto child_w = sys.await(worker.cap_create_revtree(root_w));
+        ASSERT_TRUE(child_w.ok()) << "seed " << seed << " step " << step;
+        const CapId at_h = sys.bootstrap_grant(worker, child_w.value(), holder).value();
+        nodes.push_back(Node{at_h, 0, false, true});
+      } else if (action == 3) {
+        // Revoke a random live non-root node (kills its whole subtree in the model).
+        const size_t victim = rng.next_below(nodes.size());
+        if (victim == 0 || !path_live(victim)) {
+          continue;
+        }
+        ASSERT_TRUE(sys.await(holder.cap_revoke(nodes[victim].cid)).ok())
+            << "seed " << seed << " step " << step;
+        nodes[victim].revoked = true;
+        sys.loop().run();
+      } else {
+        // Invoke probe: must deliver iff the node's whole path to the root is live. A
+        // forwarded invoke's future completes at local accept, so the delivery counter —
+        // not the future — is the oracle.
+        const size_t probe = rng.next_below(nodes.size());
+        const bool expect = path_live(probe);
+        const int before = deliveries;
+        holder.request_invoke(nodes[probe].cid);
+        sys.loop().run();
+        EXPECT_EQ(deliveries > before, expect) << "seed " << seed << " step " << step;
+      }
+      if (step == kSteps / 2) {
+        // Failure translation mid-run: the worker's objects are revoked wholesale at the
+        // owner, which must invalidate exactly the cached entries under them.
+        sys.fail_process(worker);
+        worker_failed = true;
+        for (auto& n : nodes) {
+          if (n.worker_made) {
+            n.revoked = true;
+          }
+        }
+        sys.loop().run();
+      }
+      ASSERT_TRUE(c0.translation_cache_audit().ok()) << "seed " << seed << " step " << step;
+      ASSERT_TRUE(c1.translation_cache_audit().ok()) << "seed " << seed << " step " << step;
+    }
+    sys.loop().run();
+    ASSERT_TRUE(c0.translation_cache_audit().ok()) << "seed " << seed;
+    total_lookups += c0.translation_cache().hits() + c0.translation_cache().misses();
+  }
+  // The cache was actually on the hot path across the matrix, not bypassed.
+  EXPECT_GT(total_lookups, 0u);
+}
+
 // --- scatter/gather copy plans -----------------------------------------------------------------
 
 TEST(PropertyCopies, RandomCopyPlanMatchesReferenceModel) {
@@ -224,12 +349,28 @@ WireCap random_cap(Rng& rng) {
   return c;
 }
 
+RemoteDeriveMsg random_derive_msg(Rng& rng) {
+  RemoteDeriveMsg m;
+  m.op_id = rng.next_u64();
+  m.base = random_ref(rng);
+  m.op = static_cast<RemoteDeriveMsg::Op>(rng.next_below(4));
+  m.requester = rng.next_u64() % 1000;
+  m.imms = random_imms(rng);
+  for (uint64_t i = 0; i < rng.next_below(3); ++i) {
+    m.caps.push_back(random_cap(rng));
+  }
+  m.offset = rng.next_u64() % 100000;
+  m.size = rng.next_u64() % 100000;
+  m.drop_perms = static_cast<Perms>(rng.next_below(4));
+  return m;
+}
+
 TEST(PropertyWire, GeneratedEnvelopesRoundTrip) {
   Rng rng(9090);
   for (int trial = 0; trial < 500; ++trial) {
     Envelope env;
     const uint64_t seq = rng.next_u64();
-    switch (rng.next_below(6)) {
+    switch (rng.next_below(8)) {
       case 0: {
         RequestCreateMsg m;
         m.has_base = rng.next_bool();
@@ -254,19 +395,7 @@ TEST(PropertyWire, GeneratedEnvelopesRoundTrip) {
         break;
       }
       case 2: {
-        RemoteDeriveMsg m;
-        m.op_id = rng.next_u64();
-        m.base = random_ref(rng);
-        m.op = static_cast<RemoteDeriveMsg::Op>(rng.next_below(4));
-        m.requester = rng.next_u64() % 1000;
-        m.imms = random_imms(rng);
-        for (uint64_t i = 0; i < rng.next_below(3); ++i) {
-          m.caps.push_back(random_cap(rng));
-        }
-        m.offset = rng.next_u64() % 100000;
-        m.size = rng.next_u64() % 100000;
-        m.drop_perms = static_cast<Perms>(rng.next_below(4));
-        env = make_envelope(seq, std::move(m));
+        env = make_envelope(seq, random_derive_msg(rng));
         break;
       }
       case 3: {
@@ -287,6 +416,28 @@ TEST(PropertyWire, GeneratedEnvelopesRoundTrip) {
         RevokeBroadcastMsg m;
         for (uint64_t i = 0; i < rng.next_below(8); ++i) {
           m.revoked.push_back(random_ref(rng));
+        }
+        env = make_envelope(seq, std::move(m));
+        break;
+      }
+      case 5: {
+        RemoteDeriveBatchMsg m;
+        const uint64_t n = 1 + rng.next_below(6);
+        for (uint64_t i = 0; i < n; ++i) {
+          m.ops.push_back(random_derive_msg(rng));
+        }
+        env = make_envelope(seq, std::move(m));
+        break;
+      }
+      case 6: {
+        PeerReplyBatchMsg m;
+        const uint64_t n = 1 + rng.next_below(6);
+        for (uint64_t i = 0; i < n; ++i) {
+          PeerReplyMsg r;
+          r.op_id = rng.next_u64();
+          r.status = rng.next_bool() ? ErrorCode::kOk : ErrorCode::kRevoked;
+          r.result = random_cap(rng);
+          m.replies.push_back(r);
         }
         env = make_envelope(seq, std::move(m));
         break;

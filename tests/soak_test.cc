@@ -153,6 +153,11 @@ TEST_F(SoakTest, MixedWorkloadStaysConsistent) {
   EXPECT_LT(cc_->table().total_count(), 600u);
   EXPECT_EQ(cc_->pending_cleanups(), 0u);
   EXPECT_EQ(cs_->pending_cleanups(), 0u);
+  // The peer-op dedup cache is bounded by construction (TTL eviction + hard cap), never by
+  // operation count.
+  for (Controller* c : sys_.controllers()) {
+    EXPECT_LE(c->completed_peer_op_cache_size(), Controller::kCompletedPeerOpCacheCap);
+  }
 }
 
 TEST_F(SoakTest, SurvivesMidWorkloadProcessChurn) {
@@ -183,6 +188,55 @@ TEST_F(SoakTest, SurvivesMidWorkloadProcessChurn) {
   client_->write_mem(buf_addr_, std::vector<uint8_t>(8192, 0));
   ASSERT_TRUE(sys_.await(FsClient::read(*client_, file_dax_, 0, 8192, buf_)).ok());
   EXPECT_EQ(client_->read_mem(buf_addr_, 8192), stable);
+}
+
+// The dedup cache only fills on a lossy fabric (that is the only place replies can be lost and
+// replayed), so the bounded-state soak for it runs over light loss with a shortened TTL: churn
+// enough remote capability ops to cross many TTL windows and check the cache (a) never exceeds
+// its hard cap at any step and (b) actually shrank back to the ops completed within the last
+// TTL window — bounded by simulated time, not by how many ops ever ran.
+TEST(SoakDedupCache, StaysBoundedUnderLossyPeerOpChurn) {
+  SystemConfig cfg;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_prob[0] = 0.005;
+  plan.dup_prob[0] = 0.002;
+  cfg.faults = plan;
+  cfg.peer_op_batch_max = 4;  // the batched path shares the per-op dedup discipline
+  cfg.peer_op_dedup_ttl = Duration::millis(2);
+  System sys(cfg);
+  const uint32_t n0 = sys.add_node("owner");
+  const uint32_t n1 = sys.add_node("holder");
+  Controller& c0 = sys.add_controller(n0, Loc::kHost);
+  Controller& c1 = sys.add_controller(n1, Loc::kHost);
+  Process& provider = sys.spawn("provider", n0, c0);
+  Process& holder = sys.spawn("holder", n1, c1);
+
+  const CapId root = sys.await_ok(provider.serve({}, [](Process::Received) {}));
+  const CapId root_h = sys.bootstrap_grant(provider, root, holder).value();
+
+  int completed = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto child = sys.await(holder.cap_create_revtree(root_h));
+    if (child.ok()) {
+      // Tolerate per-op timeouts under loss, like the chaos soak does; a revoke of a cap we
+      // just created may still time out on the reply leg.
+      if (sys.await(holder.cap_revoke(child.value())).ok()) {
+        ++completed;
+      }
+    }
+    for (Controller* c : sys.controllers()) {
+      ASSERT_LE(c->completed_peer_op_cache_size(), Controller::kCompletedPeerOpCacheCap)
+          << "op " << i;
+    }
+  }
+  sys.loop().run();
+  ASSERT_GT(completed, 1000);
+  // The run spanned many TTL windows, so eviction must have reclaimed the bulk of the
+  // completed ops: what remains is one window's worth, far below everything that ever ran.
+  EXPECT_GT(sys.loop().now().ns(), 10 * cfg.peer_op_dedup_ttl.ns());
+  EXPECT_LT(c0.completed_peer_op_cache_size(), static_cast<size_t>(completed));
+  EXPECT_LE(c0.completed_peer_op_cache_size(), Controller::kCompletedPeerOpCacheCap);
 }
 
 }  // namespace
