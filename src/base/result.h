@@ -36,6 +36,7 @@ enum class ErrorCode : uint8_t {
   kBrokenPromise,       // every Promise for a Future died without delivering a value
   kUnimplemented,
   kInternal,
+  kNotLeader,            // replicated seat: this controller cannot serve mutations right now
 };
 
 // Human-readable name, for logs and test diagnostics.
@@ -62,6 +63,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kBrokenPromise: return "kBrokenPromise";
     case ErrorCode::kUnimplemented: return "kUnimplemented";
     case ErrorCode::kInternal: return "kInternal";
+    case ErrorCode::kNotLeader: return "kNotLeader";
   }
   return "unknown";
 }

@@ -52,6 +52,20 @@ const RequestArgs& empty_args() {
   return kEmpty;
 }
 
+void encode_sub(Encoder& e, const MonitorSub& s) {
+  e.put_u32(s.controller);
+  e.put_u64(s.process);
+  e.put_u64(s.callback_id);
+}
+
+MonitorSub decode_sub(Decoder& d) {
+  MonitorSub s;
+  s.controller = d.get_u32();
+  s.process = d.get_u64();
+  s.callback_id = d.get_u64();
+  return s;
+}
+
 }  // namespace
 
 ObjectTable::ObjectTable(ControllerAddr owner, uint32_t reboot_count)
@@ -159,6 +173,28 @@ ObjectIndex ObjectTable::insert(Object obj) {
   ++total_;
   ++live_;
   return idx;
+}
+
+void ObjectTable::insert_with_index(ObjectIndex idx, Object obj) {
+  FRACTOS_DCHECK(find_slot(idx) == nullptr);
+  Shard& shard = shard_of(idx);
+  if (shard.free_slots.empty()) {
+    shard.slabs.push_back(std::make_unique<Slot[]>(kSlabSlots));
+    const uint32_t base = static_cast<uint32_t>((shard.slabs.size() - 1) * kSlabSlots);
+    for (uint32_t i = 0; i < kSlabSlots; ++i) {
+      shard.free_slots.push_back(base + kSlabSlots - 1 - i);
+    }
+  }
+  const uint32_t slot_id = shard.free_slots.back();
+  shard.free_slots.pop_back();
+  Slot& slot = shard.slabs[slot_id / kSlabSlots][slot_id % kSlabSlots];
+  slot.idx = idx;
+  slot.obj = std::move(obj);
+  index_insert(shard, idx, slot_id);
+  ++total_;
+  if (!slot.obj.invalidated) {
+    ++live_;
+  }
 }
 
 Result<const ObjectTable::Object*> ObjectTable::lookup(ObjectIndex idx,
@@ -585,6 +621,244 @@ Result<ObjectIndex> ObjectTable::prepare_delegation(ObjectIndex idx) {
   c->is_delegatee_child = true;
   mutable_lookup(idx)->delegatee_count++;
   return child.value();
+}
+
+// --- replication ---------------------------------------------------------------------------
+
+ObjectTable::ApplyOutcome ObjectTable::apply_replicated(const ReplicatedOp& op) {
+  ApplyOutcome out;
+  auto take_index = [&out, &op](Result<ObjectIndex> r) {
+    if (!r.ok()) {
+      out.status = r.error();
+      return;
+    }
+    out.produced_index = r.value();
+    out.diverged = op.result_index != 0 && op.result_index != out.produced_index;
+  };
+  const MonitorSub sub{op.sub_controller, op.sub_process, op.callback_id};
+  switch (op.kind) {
+    case ReplicatedOp::Kind::kNoop:
+      break;
+    case ReplicatedOp::Kind::kCreateMemory:
+      take_index(create_memory(op.requester, op.mem, op.perms));
+      break;
+    case ReplicatedOp::Kind::kDeriveMemory:
+      take_index(derive_memory(op.requester, op.base, op.offset, op.size, op.perms));
+      break;
+    case ReplicatedOp::Kind::kCreateRequestRoot:
+      take_index(create_request_root(op.requester, op.cid, RequestArgs{op.imms, op.caps}));
+      break;
+    case ReplicatedOp::Kind::kSetEndpointCid:
+      out.status = set_endpoint_cid(op.base, op.cid);
+      break;
+    case ReplicatedOp::Kind::kDeriveRequest:
+      take_index(derive_request_local(op.requester, op.base, RequestArgs{op.imms, op.caps}));
+      break;
+    case ReplicatedOp::Kind::kRevtreeChild:
+      take_index(create_revtree_child(op.requester, op.base));
+      break;
+    case ReplicatedOp::Kind::kPrepareDelegation:
+      take_index(prepare_delegation(op.base));
+      break;
+    case ReplicatedOp::Kind::kMonitorDelegate:
+      out.status = monitor_delegate(op.base, reboot_count_, sub);
+      break;
+    case ReplicatedOp::Kind::kMonitorReceive:
+      out.status = monitor_receive(op.base, reboot_count_, sub);
+      break;
+    case ReplicatedOp::Kind::kRevoke: {
+      auto r = revoke(op.base, reboot_count_);
+      if (!r.ok()) {
+        out.status = r.error();
+      } else {
+        out.revoked = std::move(r.value());
+      }
+      break;
+    }
+    case ReplicatedOp::Kind::kRevokeAllOf:
+      out.revoked = revoke_all_of(op.requester);
+      break;
+    case ReplicatedOp::Kind::kEraseObjects:
+      erase_objects(op.indices);
+      break;
+  }
+  return out;
+}
+
+std::vector<uint8_t> ObjectTable::serialize_snapshot() const {
+  std::vector<std::pair<ObjectIndex, const Object*>> objs;
+  objs.reserve(total_);
+  for_each_object(
+      [&objs](ObjectIndex idx, const Object& obj) { objs.emplace_back(idx, &obj); });
+  std::sort(objs.begin(), objs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  Encoder e;
+  e.put_u32(owner_);
+  e.put_u32(reboot_count_);
+  e.put_u64(next_index_);
+  e.put_u32(static_cast<uint32_t>(objs.size()));
+  for (const auto& [idx, o] : objs) {
+    e.put_u64(idx);
+    e.put_u8(static_cast<uint8_t>(o->kind));
+    e.put_bool(o->invalidated);
+    e.put_u64(o->parent);
+    e.put_u64(o->first_child);
+    e.put_u64(o->last_child);
+    e.put_u64(o->prev_sibling);
+    e.put_u64(o->next_sibling);
+    encode_mem_desc(e, o->mem);
+    e.put_u8(static_cast<uint8_t>(o->mem_perms));
+    e.put_bool(o->is_root);
+    e.put_u64(o->provider);
+    e.put_u32(o->endpoint_cid);
+    const bool has_args = o->args != nullptr;
+    e.put_bool(has_args);
+    if (has_args) {
+      encode_imms(e, o->args->imms);
+      e.put_u32(static_cast<uint32_t>(o->args->caps.size()));
+      for (const WireCap& c : o->args->caps) {
+        encode_wire_cap(e, c);
+      }
+    }
+    e.put_bool(o->indirection);
+    e.put_u64(o->creator);
+    e.put_bool(o->monitor_delegator);
+    encode_sub(e, o->delegate_sub);
+    e.put_u32(o->delegatee_count);
+    e.put_bool(o->is_delegatee_child);
+    e.put_u32(static_cast<uint32_t>(o->receive_subs.size()));
+    for (const MonitorSub& s : o->receive_subs) {
+      encode_sub(e, s);
+    }
+  }
+  return e.take();
+}
+
+Status ObjectTable::restore_snapshot(const std::vector<uint8_t>& blob) {
+  Decoder d(blob);
+  const ControllerAddr owner = d.get_u32();
+  const uint32_t reboot = d.get_u32();
+  const ObjectIndex next = d.get_u64();
+  const uint32_t count = d.get_u32();
+  if (!d.ok() || owner != owner_) {
+    return ErrorCode::kInvalidArgument;
+  }
+  // Destructive restore: the caller is replacing a stale or diverged replica wholesale, so a
+  // malformed blob past this point leaves an empty table (and an error to act on).
+  for (Shard& shard : shards_) {
+    shard = Shard{};
+  }
+  args_pool_.clear();
+  live_ = 0;
+  total_ = 0;
+  reboot_count_ = reboot;
+  next_index_ = next;
+  for (uint32_t i = 0; i < count && d.ok(); ++i) {
+    const ObjectIndex idx = d.get_u64();
+    Object o;
+    o.kind = static_cast<ObjectKind>(d.get_u8());
+    o.invalidated = d.get_bool();
+    o.parent = d.get_u64();
+    o.first_child = d.get_u64();
+    o.last_child = d.get_u64();
+    o.prev_sibling = d.get_u64();
+    o.next_sibling = d.get_u64();
+    o.mem = decode_mem_desc(d);
+    o.mem_perms = static_cast<Perms>(d.get_u8());
+    o.is_root = d.get_bool();
+    o.provider = d.get_u64();
+    o.endpoint_cid = d.get_u32();
+    if (d.get_bool()) {
+      RequestArgs args;
+      args.imms = decode_imms(d);
+      const uint32_t ncaps = d.get_u32();
+      for (uint32_t c = 0; c < ncaps && d.ok(); ++c) {
+        args.caps.push_back(decode_wire_cap(d));
+      }
+      o.args = intern_args(std::move(args));
+    }
+    o.indirection = d.get_bool();
+    o.creator = d.get_u64();
+    o.monitor_delegator = d.get_bool();
+    o.delegate_sub = decode_sub(d);
+    o.delegatee_count = d.get_u32();
+    o.is_delegatee_child = d.get_bool();
+    const uint32_t nsubs = d.get_u32();
+    for (uint32_t s = 0; s < nsubs && d.ok(); ++s) {
+      o.receive_subs.push_back(decode_sub(d));
+    }
+    if (!d.ok()) {
+      break;
+    }
+    insert_with_index(idx, std::move(o));
+  }
+  if (!d.ok() || !d.done()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  return ok_status();
+}
+
+uint64_t ObjectTable::digest() const {
+  auto fold = [](uint64_t h, uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+    return h;
+  };
+  // Per-object hashes combine by addition, so the digest is independent of shard iteration
+  // order — it compares equal across members whose slabs filled in different orders only if
+  // the object *states* agree.
+  uint64_t sum = 0;
+  for_each_object([&](ObjectIndex idx, const Object& o) {
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = fold(h, idx);
+    h = fold(h, static_cast<uint64_t>(o.kind));
+    h = fold(h, o.invalidated ? 1 : 0);
+    h = fold(h, o.parent);
+    h = fold(h, o.first_child);
+    h = fold(h, o.last_child);
+    h = fold(h, o.mem.node);
+    h = fold(h, o.mem.pool);
+    h = fold(h, o.mem.addr);
+    h = fold(h, o.mem.size);
+    h = fold(h, static_cast<uint64_t>(o.mem_perms));
+    h = fold(h, o.is_root ? 1 : 0);
+    h = fold(h, o.provider);
+    h = fold(h, o.endpoint_cid);
+    h = fold(h, o.args ? hash_args(*o.args) : 0);
+    h = fold(h, o.indirection ? 1 : 0);
+    h = fold(h, o.creator);
+    h = fold(h, o.monitor_delegator ? 1 : 0);
+    h = fold(h, o.delegate_sub.controller);
+    h = fold(h, o.delegate_sub.process);
+    h = fold(h, o.delegate_sub.callback_id);
+    h = fold(h, o.delegatee_count);
+    h = fold(h, o.is_delegatee_child ? 1 : 0);
+    h = fold(h, o.receive_subs.size());
+    for (const MonitorSub& s : o.receive_subs) {
+      h = fold(h, s.controller);
+      h = fold(h, s.process);
+      h = fold(h, s.callback_id);
+    }
+    sum += h;
+  });
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = fold(h, owner_);
+  h = fold(h, reboot_count_);
+  h = fold(h, next_index_);
+  h = fold(h, live_);
+  h = fold(h, total_);
+  return h ^ sum;
+}
+
+std::vector<ObjectIndex> ObjectTable::invalidated_objects() const {
+  std::vector<ObjectIndex> out;
+  for_each_object([&](ObjectIndex idx, const Object& o) {
+    if (o.invalidated) {
+      out.push_back(idx);
+    }
+  });
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 // --- failure handling ----------------------------------------------------------------------

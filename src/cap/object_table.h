@@ -144,6 +144,34 @@ class ObjectTable {
   // `idx` unchanged.
   Result<ObjectIndex> prepare_delegation(ObjectIndex idx);
 
+  // --- replication (DESIGN.md §4h) ----------------------------------------------------------
+
+  // Replays one committed log entry into this table. Followers converge structurally because
+  // insert() assigns indices sequentially — replaying the leader's op stream in log order
+  // re-derives the same indices. A mismatch against op.result_index is reported (not fatal)
+  // so the caller can count divergence.
+  struct ApplyOutcome {
+    Status status = ok_status();
+    ObjectIndex produced_index = 0;  // 0 when the op yields none
+    bool diverged = false;           // produced_index != op.result_index (both nonzero)
+    RevokeResult revoked;            // kRevoke / kRevokeAllOf: what this apply invalidated
+  };
+  ApplyOutcome apply_replicated(const ReplicatedOp& op);
+
+  // Deterministic full-state serialization for follower catch-up (objects sorted by index,
+  // every field verbatim). restore_snapshot replaces this table's entire contents, including
+  // owner, reboot counter, and the next-index cursor.
+  std::vector<uint8_t> serialize_snapshot() const;
+  Status restore_snapshot(const std::vector<uint8_t>& blob);
+
+  // Order-independent structural digest over the full table state. Equal digests across all
+  // quorum members is the replica-audit invariant (tests/chaos_test.cc).
+  uint64_t digest() const;
+
+  // Objects that are invalidated but not yet erased, sorted by index. A takeover leader scans
+  // these to re-issue revocation broadcasts the dead leader never finished.
+  std::vector<ObjectIndex> invalidated_objects() const;
+
   // --- failure handling --------------------------------------------------------------------
 
   // Simulates a Controller crash+restart: every object is lost and the reboot counter bumps,
@@ -257,6 +285,7 @@ class ObjectTable {
   Object* mutable_lookup(ObjectIndex idx);
   const Object* find_object(ObjectIndex idx) const;
   ObjectIndex insert(Object obj);
+  void insert_with_index(ObjectIndex idx, Object obj);  // snapshot restore path
   void link_child(ObjectIndex parent_idx, ObjectIndex child_idx);
   void invalidate_subtree(ObjectIndex idx, RevokeResult& out);
   bool erase_one(ObjectIndex idx);

@@ -37,6 +37,7 @@ Controller::Controller(Network* net, Config config)
   mkeys_.peer_retries = intern_name(mp + "peer_retries");
   mkeys_.peer_op_timeouts = intern_name(mp + "peer_op_timeouts");
   mkeys_.peer_dedup_hits = intern_name(mp + "peer_dedup_hits");
+  mkeys_.late_reply = intern_name(mp + "late_reply");
   // Interning is registry-free; the registry only learns these keys if a hot-path feature
   // actually touches them, keeping default-config metric snapshots unchanged.
   const std::string cp = "cap." + std::to_string(config_.addr) + ".";
@@ -113,7 +114,14 @@ Status Controller::check_rdma(const RdmaKey& key, PoolId pool, uint64_t addr, ui
   if (failed_) {
     return ErrorCode::kChannelClosed;
   }
-  auto resolved = table_.resolve_memory(key.object, key.generation);
+  // key.controller is the owning seat: normally this Controller itself, but after a failover
+  // the acting leader authorizes against its replica — a revoked object fails here on every
+  // member that may legally answer.
+  const ObjectTable* t = serving_table(key.controller);
+  if (t == nullptr) {
+    return ErrorCode::kInvalidCapability;
+  }
+  auto resolved = t->resolve_memory(key.object, key.generation);
   if (!resolved.ok()) {
     return resolved.error();
   }
@@ -244,6 +252,16 @@ void Controller::on_peer_msg(ControllerAddr peer, Envelope env) {
         break;
       case MsgType::kRemoteInvokeError:
         peer_invoke_error(std::get<RemoteInvokeErrorMsg>(env.body));
+        break;
+      case MsgType::kReplAppend:
+      case MsgType::kReplAppendReply:
+      case MsgType::kReplVote:
+      case MsgType::kReplVoteReply:
+      case MsgType::kReplSnapshot:
+        handle_repl_msg(peer, env);
+        break;
+      case MsgType::kReplLeaderAnnounce:
+        peer_leader_announce(std::get<ReplLeaderAnnounceMsg>(env.body));
         break;
       default:
         FRACTOS_CHECK_MSG(false, "unexpected message on peer channel");
@@ -386,6 +404,10 @@ void Controller::reply(ProcState& p, uint64_t seq, ErrorCode status, CapId cid) 
 
 void Controller::sc_memory_create(ProcState& p, uint64_t seq, const MemoryCreateMsg& m) {
   // The Process registers memory it physically owns: a pool on its own node.
+  if (!can_mutate_seat(addr())) {
+    reply(p, seq, ErrorCode::kNotLeader);
+    return;
+  }
   Node& node = net_->node(p.node);
   if (Status s = node.check_extent(m.pool, m.addr, m.size); !s.ok()) {
     reply(p, seq, s.error());
@@ -407,7 +429,21 @@ void Controller::sc_memory_create(ProcState& p, uint64_t seq, const MemoryCreate
     reply(p, seq, cid.error());
     return;
   }
-  reply(p, seq, ErrorCode::kOk, cid.value());
+  ReplicatedOp op;
+  op.kind = ReplicatedOp::Kind::kCreateMemory;
+  op.requester = p.pid;
+  op.result_index = idx.value();
+  op.mem = desc;
+  op.perms = m.perms;
+  const ProcessId pid = p.pid;
+  const CapId out = cid.value();
+  commit_mutation(addr(), std::move(op), [this, pid, seq, out](ErrorCode ec) {
+    auto it = procs_.find(pid);
+    if (it == procs_.end() || !it->second->alive) {
+      return;
+    }
+    reply(*it->second, seq, ec, ec == ErrorCode::kOk ? out : kInvalidCap);
+  });
 }
 
 void Controller::sc_memory_diminish(ProcState& p, uint64_t seq, const MemoryDiminishMsg& m) {
@@ -422,6 +458,10 @@ void Controller::sc_memory_diminish(ProcState& p, uint64_t seq, const MemoryDimi
     return;
   }
   if (e.ref.owner == addr()) {
+    if (!can_mutate_seat(addr())) {
+      reply(p, seq, ErrorCode::kNotLeader);
+      return;
+    }
     auto idx = table_.derive_memory(p.pid, e.ref.index, m.offset, m.size, m.drop_perms);
     if (!idx.ok()) {
       reply(p, seq, idx.error());
@@ -435,7 +475,26 @@ void Controller::sc_memory_diminish(ProcState& p, uint64_t seq, const MemoryDimi
     derived.perms = resolved.value().perms;
     derived.mem = resolved.value().desc;
     auto cid = p.caps.install(derived);
-    reply(p, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+    ReplicatedOp op;
+    op.kind = ReplicatedOp::Kind::kDeriveMemory;
+    op.requester = p.pid;
+    op.base = e.ref.index;
+    op.result_index = idx.value();
+    op.offset = m.offset;
+    op.size = m.size;
+    op.perms = m.drop_perms;
+    const ProcessId pid = p.pid;
+    const ErrorCode install_status = cid.ok() ? ErrorCode::kOk : cid.error();
+    const CapId out = cid.value_or(kInvalidCap);
+    commit_mutation(addr(), std::move(op),
+                    [this, pid, seq, install_status, out](ErrorCode ec) {
+                      auto it = procs_.find(pid);
+                      if (it == procs_.end() || !it->second->alive) {
+                        return;
+                      }
+                      reply(*it->second, seq, ec == ErrorCode::kOk ? install_status : ec,
+                            ec == ErrorCode::kOk ? out : kInvalidCap);
+                    });
     return;
   }
   // Derivation at the owner: single message to the owning Controller (Section 3.5).
@@ -448,7 +507,7 @@ void Controller::sc_memory_diminish(ProcState& p, uint64_t seq, const MemoryDimi
   rd.size = m.size;
   rd.drop_perms = m.drop_perms;
   const ProcessId pid = p.pid;
-  const ControllerAddr owner = e.ref.owner;
+  const ControllerAddr owner = route_owner(e.ref.owner);
   call_peer_derive(owner, std::move(rd))
       .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
         auto it = procs_.find(pid);
@@ -697,6 +756,11 @@ Result<WireCap> Controller::make_wire_cap(ProcState& p, CapId cid) {
     if (prepared.value() != e.ref.index) {
       wc.ref = table_.ref_of(prepared.value());
       wc.tracked = true;
+      ReplicatedOp op;
+      op.kind = ReplicatedOp::Kind::kPrepareDelegation;
+      op.base = e.ref.index;
+      op.result_index = prepared.value();
+      log_mutation(addr(), std::move(op));
     }
   }
   return wc;
@@ -727,6 +791,15 @@ void Controller::sc_request_create(ProcState& p, uint64_t seq, const RequestCrea
   args.caps = std::move(caps).value();
 
   if (!m.has_base) {
+    if (!can_mutate_seat(addr())) {
+      reply(p, seq, ErrorCode::kNotLeader);
+      return;
+    }
+    ReplicatedOp op;
+    op.kind = ReplicatedOp::Kind::kCreateRequestRoot;
+    op.requester = p.pid;
+    op.imms = args.imms;
+    op.caps = args.caps;
     auto idx = table_.create_request_root(p.pid, kInvalidCap, std::move(args));
     if (!idx.ok()) {
       reply(p, seq, idx.error());
@@ -741,7 +814,17 @@ void Controller::sc_request_create(ProcState& p, uint64_t seq, const RequestCrea
       return;
     }
     FRACTOS_CHECK(table_.set_endpoint_cid(idx.value(), cid.value()).ok());
-    reply(p, seq, ErrorCode::kOk, cid.value());
+    op.result_index = idx.value();
+    op.cid = cid.value();  // followers apply the endpoint cid as part of the same entry
+    const ProcessId pid = p.pid;
+    const CapId out = cid.value();
+    commit_mutation(addr(), std::move(op), [this, pid, seq, out](ErrorCode ec) {
+      auto it = procs_.find(pid);
+      if (it == procs_.end() || !it->second->alive) {
+        return;
+      }
+      reply(*it->second, seq, ec, ec == ErrorCode::kOk ? out : kInvalidCap);
+    });
     return;
   }
 
@@ -755,6 +838,16 @@ void Controller::sc_request_create(ProcState& p, uint64_t seq, const RequestCrea
     return;
   }
   if (base.value().ref.owner == addr()) {
+    if (!can_mutate_seat(addr())) {
+      reply(p, seq, ErrorCode::kNotLeader);
+      return;
+    }
+    ReplicatedOp op;
+    op.kind = ReplicatedOp::Kind::kDeriveRequest;
+    op.requester = p.pid;
+    op.base = base.value().ref.index;
+    op.imms = args.imms;
+    op.caps = args.caps;
     auto idx = table_.derive_request_local(p.pid, base.value().ref.index, std::move(args));
     if (!idx.ok()) {
       reply(p, seq, idx.error());
@@ -764,7 +857,19 @@ void Controller::sc_request_create(ProcState& p, uint64_t seq, const RequestCrea
     entry.ref = table_.ref_of(idx.value());
     entry.kind = ObjectKind::kRequest;
     auto cid = p.caps.install(entry);
-    reply(p, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+    op.result_index = idx.value();
+    const ProcessId pid = p.pid;
+    const ErrorCode install_status = cid.ok() ? ErrorCode::kOk : cid.error();
+    const CapId out = cid.value_or(kInvalidCap);
+    commit_mutation(addr(), std::move(op),
+                    [this, pid, seq, install_status, out](ErrorCode ec) {
+                      auto it = procs_.find(pid);
+                      if (it == procs_.end() || !it->second->alive) {
+                        return;
+                      }
+                      reply(*it->second, seq, ec == ErrorCode::kOk ? install_status : ec,
+                            ec == ErrorCode::kOk ? out : kInvalidCap);
+                    });
     return;
   }
 
@@ -777,7 +882,7 @@ void Controller::sc_request_create(ProcState& p, uint64_t seq, const RequestCrea
   rd.imms = std::move(args.imms);
   rd.caps = std::move(args.caps);
   const ProcessId pid = p.pid;
-  const ControllerAddr owner = base.value().ref.owner;
+  const ControllerAddr owner = route_owner(base.value().ref.owner);
   const Duration extra = cap_serialize_cost(rd.caps);
   charge(extra, [this, pid, seq, owner, extra, rd = std::move(rd)]() mutable {
     note_translation(extra);
@@ -819,8 +924,9 @@ void Controller::sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvo
   // Refuse up front when the owning Controller is unreachable: accepting and then silently
   // dropping the forward would leave the invoker's reply endpoint waiting forever. Checked
   // before make_wire_caps so no tracked delegation children are minted for a doomed invoke.
+  // A replicated seat is reachable through its acting leader after the seat itself dies.
   if (e.ref.owner != addr()) {
-    auto pit = peers_.find(e.ref.owner);
+    auto pit = peers_.find(route_owner(e.ref.owner));
     if (pit == peers_.end() || pit->second.chan->severed()) {
       reply(p, seq, ErrorCode::kChannelClosed);
       return;
@@ -871,7 +977,7 @@ void Controller::sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvo
   ri.origin = addr();
   ri.invoke_id = next_op_id_++;
   pending_invokes_[ri.invoke_id] = p.pid;
-  const ControllerAddr owner = e.ref.owner;
+  const ControllerAddr owner = route_owner(e.ref.owner);
   const Duration extra = config_.costs.net_serialize + cap_serialize_cost(ri.caps);
   reply(p, seq, ErrorCode::kOk);  // accepted; remote failures surface via the error channel
   charge(extra, [this, owner, extra, ri = std::move(ri)]() mutable {
@@ -889,6 +995,10 @@ void Controller::sc_cap_create_revtree(ProcState& p, uint64_t seq,
   }
   const CapEntry& e = entry.value();
   if (e.ref.owner == addr()) {
+    if (!can_mutate_seat(addr())) {
+      reply(p, seq, ErrorCode::kNotLeader);
+      return;
+    }
     auto idx = table_.create_revtree_child(p.pid, e.ref.index);
     if (!idx.ok()) {
       reply(p, seq, idx.error());
@@ -897,7 +1007,23 @@ void Controller::sc_cap_create_revtree(ProcState& p, uint64_t seq,
     CapEntry child = e;  // same payload view, independently revocable object
     child.ref = table_.ref_of(idx.value());
     auto cid = p.caps.install(child);
-    reply(p, seq, cid.ok() ? ErrorCode::kOk : cid.error(), cid.value_or(kInvalidCap));
+    ReplicatedOp op;
+    op.kind = ReplicatedOp::Kind::kRevtreeChild;
+    op.requester = p.pid;
+    op.base = e.ref.index;
+    op.result_index = idx.value();
+    const ProcessId pid = p.pid;
+    const ErrorCode install_status = cid.ok() ? ErrorCode::kOk : cid.error();
+    const CapId out = cid.value_or(kInvalidCap);
+    commit_mutation(addr(), std::move(op),
+                    [this, pid, seq, install_status, out](ErrorCode ec) {
+                      auto it = procs_.find(pid);
+                      if (it == procs_.end() || !it->second->alive) {
+                        return;
+                      }
+                      reply(*it->second, seq, ec == ErrorCode::kOk ? install_status : ec,
+                            ec == ErrorCode::kOk ? out : kInvalidCap);
+                    });
     return;
   }
   RemoteDeriveMsg rd;
@@ -906,7 +1032,7 @@ void Controller::sc_cap_create_revtree(ProcState& p, uint64_t seq,
   rd.op = RemoteDeriveMsg::Op::kRevtreeChild;
   rd.requester = p.pid;
   const ProcessId pid = p.pid;
-  const ControllerAddr owner = e.ref.owner;
+  const ControllerAddr owner = route_owner(e.ref.owner);
   call_peer_derive(owner, std::move(rd))
       .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
         auto it = procs_.find(pid);
@@ -938,13 +1064,26 @@ void Controller::sc_cap_revoke(ProcState& p, uint64_t seq, const CapRevokeMsg& m
   }
   const CapEntry& e = entry.value();
   if (e.ref.owner == addr()) {
+    if (!can_mutate_seat(addr())) {
+      reply(p, seq, ErrorCode::kNotLeader);
+      return;
+    }
     auto result = table_.revoke(e.ref.index, e.ref.reboot_count);
     if (!result.ok()) {
       reply(p, seq, result.error());
       return;
     }
     apply_revoke(result.value());
-    reply(p, seq, ErrorCode::kOk);
+    ReplicatedOp op;
+    op.kind = ReplicatedOp::Kind::kRevoke;
+    op.base = e.ref.index;
+    const ProcessId pid = p.pid;
+    commit_mutation(addr(), std::move(op), [this, pid, seq](ErrorCode ec) {
+      auto it = procs_.find(pid);
+      if (it != procs_.end() && it->second->alive) {
+        reply(*it->second, seq, ec);
+      }
+    });
     return;
   }
   RemoteDeriveMsg rd;
@@ -953,7 +1092,7 @@ void Controller::sc_cap_revoke(ProcState& p, uint64_t seq, const CapRevokeMsg& m
   rd.op = RemoteDeriveMsg::Op::kRevoke;
   rd.requester = p.pid;
   const ProcessId pid = p.pid;
-  const ControllerAddr owner = e.ref.owner;
+  const ControllerAddr owner = route_owner(e.ref.owner);
   call_peer_derive(owner, std::move(rd))
       .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
         auto it = procs_.find(pid);
@@ -973,10 +1112,31 @@ void Controller::sc_monitor(ProcState& p, uint64_t seq, const MonitorMsg& m,
   const CapEntry& e = entry.value();
   const MonitorSub sub{addr(), p.pid, m.callback_id};
   if (e.ref.owner == addr()) {
+    if (!can_mutate_seat(addr())) {
+      reply(p, seq, ErrorCode::kNotLeader);
+      return;
+    }
     const Status s = delegate_mode
                          ? table_.monitor_delegate(e.ref.index, e.ref.reboot_count, sub)
                          : table_.monitor_receive(e.ref.index, e.ref.reboot_count, sub);
-    reply(p, seq, s.ok() ? ErrorCode::kOk : s.error());
+    if (!s.ok()) {
+      reply(p, seq, s.error());
+      return;
+    }
+    ReplicatedOp op;
+    op.kind = delegate_mode ? ReplicatedOp::Kind::kMonitorDelegate
+                            : ReplicatedOp::Kind::kMonitorReceive;
+    op.base = e.ref.index;
+    op.callback_id = m.callback_id;
+    op.sub_controller = addr();
+    op.sub_process = p.pid;
+    const ProcessId pid = p.pid;
+    commit_mutation(addr(), std::move(op), [this, pid, seq](ErrorCode ec) {
+      auto it = procs_.find(pid);
+      if (it != procs_.end() && it->second->alive) {
+        reply(*it->second, seq, ec);
+      }
+    });
     return;
   }
   RegisterMonitorMsg rm;
@@ -987,7 +1147,7 @@ void Controller::sc_monitor(ProcState& p, uint64_t seq, const MonitorMsg& m,
   rm.subscriber_process = p.pid;
   const uint64_t op_id = next_op_id_++;
   const ProcessId pid = p.pid;
-  call_peer(e.ref.owner, op_id, make_envelope(op_id, rm))
+  call_peer(route_owner(e.ref.owner), op_id, make_envelope(op_id, rm))
       .on_ready([this, pid, seq](Result<PeerReplyMsg>&& res) {
         auto it = procs_.find(pid);
         if (it != procs_.end() && it->second->alive) {
@@ -1059,7 +1219,24 @@ ErrorCode Controller::deliver_by_ref(const ObjectRef& target,
                                      const std::vector<ImmExtent>& extra_imms,
                                      const std::vector<WireCap>& extra_caps) {
   if (target.owner != addr()) {
-    return ErrorCode::kInvalidArgument;
+    // Acting leader for a dead seat: authorize against the replica so revoked or stale
+    // capabilities are refused with the real reason, but the provider process lived on the
+    // seat's node — it cannot be reached from here.
+    ObjectTable* t = serving_table(target.owner);
+    if (t == nullptr) {
+      return ErrorCode::kInvalidArgument;
+    }
+    if (target.reboot_count != t->reboot_count()) {
+      return ErrorCode::kStaleCapability;
+    }
+    auto resolved = t->resolve_request(target.index, t->reboot_count());
+    if (!resolved.ok()) {
+      return resolved.error();
+    }
+    return ErrorCode::kChannelClosed;
+  }
+  if (!can_mutate_seat(addr())) {
+    return ErrorCode::kNotLeader;  // deposed own seat: a successor may hold newer state
   }
   if (target.reboot_count != table_.reboot_count()) {
     return ErrorCode::kStaleCapability;
@@ -1127,7 +1304,9 @@ void Controller::peer_remote_invoke(ControllerAddr origin, const RemoteInvokeMsg
 }
 
 void Controller::peer_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m) {
-  send_peer(origin, make_envelope(next_seq_++, exec_remote_derive(origin, m)));
+  exec_remote_derive(origin, m, [this, origin](const PeerReplyMsg& r) {
+    send_peer(origin, make_envelope(next_seq_++, r));
+  });
 }
 
 void Controller::peer_remote_derive_batch(ControllerAddr origin, const RemoteDeriveBatchMsg& m) {
@@ -1135,16 +1314,26 @@ void Controller::peer_remote_derive_batch(ControllerAddr origin, const RemoteDer
     return;
   }
   // Per-op execution with per-op dedup, answered as one kPeerReplyBatch in op order — a
-  // resent batch whose members already executed replays every reply from the cache.
-  PeerReplyBatchMsg out;
-  out.replies.reserve(m.ops.size());
-  for (const RemoteDeriveMsg& op : m.ops) {
-    out.replies.push_back(exec_remote_derive(origin, op));
+  // resent batch whose members already executed replays every reply from the cache. Members
+  // of a replicated seat complete asynchronously (commit-gated), so the batch reply is sent
+  // only once the last member's reply lands; without a group every member completes inline
+  // and the wire behavior is byte-identical to the synchronous path.
+  auto out = std::make_shared<PeerReplyBatchMsg>();
+  out->replies.resize(m.ops.size());
+  auto remaining = std::make_shared<size_t>(m.ops.size());
+  for (size_t i = 0; i < m.ops.size(); ++i) {
+    exec_remote_derive(origin, m.ops[i],
+                       [this, origin, out, remaining, i](const PeerReplyMsg& r) {
+                         out->replies[i] = r;
+                         if (--*remaining == 0) {
+                           send_peer(origin, make_envelope(next_seq_++, std::move(*out)));
+                         }
+                       });
   }
-  send_peer(origin, make_envelope(next_seq_++, std::move(out)));
 }
 
-PeerReplyMsg Controller::exec_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m) {
+void Controller::exec_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m,
+                                    std::function<void(const PeerReplyMsg&)> done) {
   // Idempotency: a resent request whose first copy already executed is answered from the
   // reply cache — revokes and derivations must not run twice.
   const uint64_t dedup_key = peer_op_key(origin, m.op_id);
@@ -1155,73 +1344,130 @@ PeerReplyMsg Controller::exec_remote_derive(ControllerAddr origin, const RemoteD
       if (MetricsRegistry* mr = net_->loop()->metrics()) {
         mr->add(mkeys_.peer_dedup_hits);
       }
-      return cached->second;
+      done(cached->second);
+      return;
     }
   }
   PeerReplyMsg r;
   r.op_id = m.op_id;
-  if (m.base.owner != addr() || m.base.reboot_count != table_.reboot_count()) {
-    r.status = m.base.owner != addr() ? ErrorCode::kInvalidArgument : ErrorCode::kStaleCapability;
+  ObjectTable* t = serving_table(m.base.owner);
+  if (t == nullptr) {
+    // Not the owner and not its acting leader (kInvalidArgument, the pre-replication
+    // answer), or a group member that cannot currently lead the seat (kNotLeader — the
+    // requester should re-route once a new leader announces itself).
+    r.status = (m.base.owner == addr() || repl_groups_.count(m.base.owner) != 0)
+                   ? ErrorCode::kNotLeader
+                   : ErrorCode::kInvalidArgument;
     cache_completed_peer_op(dedup_key, r);
-    return r;
+    done(r);
+    return;
+  }
+  if (m.base.reboot_count != t->reboot_count()) {
+    r.status = ErrorCode::kStaleCapability;
+    cache_completed_peer_op(dedup_key, r);
+    done(r);
+    return;
   }
   ++stats_.derivations;
+  ObjectTable& tbl = *t;
+  const ControllerAddr seat = m.base.owner;
+  ReplicatedOp op;
+  op.requester = m.requester;
+  op.base = m.base.index;
+  ObjectTable::RevokeResult revoked;
   switch (m.op) {
     case RemoteDeriveMsg::Op::kRequestRefine: {
       RequestArgs args;
       args.imms = m.imms;
       args.caps = m.caps;
-      auto idx = table_.derive_request_local(m.requester, m.base.index, std::move(args));
+      auto idx = tbl.derive_request_local(m.requester, m.base.index, std::move(args));
       if (!idx.ok()) {
         r.status = idx.error();
       } else {
-        r.result.ref = table_.ref_of(idx.value());
+        r.result.ref = tbl.ref_of(idx.value());
         r.result.kind = ObjectKind::kRequest;
+        op.kind = ReplicatedOp::Kind::kDeriveRequest;
+        op.result_index = idx.value();
+        op.imms = m.imms;
+        op.caps = m.caps;
       }
       break;
     }
     case RemoteDeriveMsg::Op::kMemoryDiminish: {
-      auto idx = table_.derive_memory(m.requester, m.base.index, m.offset, m.size, m.drop_perms);
+      auto idx = tbl.derive_memory(m.requester, m.base.index, m.offset, m.size, m.drop_perms);
       if (!idx.ok()) {
         r.status = idx.error();
       } else {
-        auto resolved = table_.resolve_memory(idx.value(), table_.reboot_count());
+        auto resolved = tbl.resolve_memory(idx.value(), tbl.reboot_count());
         FRACTOS_CHECK(resolved.ok());
-        r.result.ref = table_.ref_of(idx.value());
+        r.result.ref = tbl.ref_of(idx.value());
         r.result.kind = ObjectKind::kMemory;
         r.result.perms = resolved.value().perms;
         r.result.mem = resolved.value().desc;
+        op.kind = ReplicatedOp::Kind::kDeriveMemory;
+        op.result_index = idx.value();
+        op.offset = m.offset;
+        op.size = m.size;
+        op.perms = m.drop_perms;
       }
       break;
     }
     case RemoteDeriveMsg::Op::kRevtreeChild: {
-      auto idx = table_.create_revtree_child(m.requester, m.base.index);
+      auto idx = tbl.create_revtree_child(m.requester, m.base.index);
       if (!idx.ok()) {
         r.status = idx.error();
       } else {
-        r.result.ref = table_.ref_of(idx.value());
-        r.result.kind = table_.kind_of(idx.value());
+        r.result.ref = tbl.ref_of(idx.value());
+        r.result.kind = tbl.kind_of(idx.value());
         if (r.result.kind == ObjectKind::kMemory) {
-          auto resolved = table_.resolve_memory(idx.value(), table_.reboot_count());
+          auto resolved = tbl.resolve_memory(idx.value(), tbl.reboot_count());
           FRACTOS_CHECK(resolved.ok());
           r.result.perms = resolved.value().perms;
           r.result.mem = resolved.value().desc;
         }
+        op.kind = ReplicatedOp::Kind::kRevtreeChild;
+        op.result_index = idx.value();
       }
       break;
     }
     case RemoteDeriveMsg::Op::kRevoke: {
-      auto result = table_.revoke(m.base.index, m.base.reboot_count);
+      auto result = tbl.revoke(m.base.index, m.base.reboot_count);
       if (!result.ok()) {
         r.status = result.error();
       } else {
-        apply_revoke(result.value());
+        op.kind = ReplicatedOp::Kind::kRevoke;
+        revoked = std::move(result).value();
       }
       break;
     }
   }
-  cache_completed_peer_op(dedup_key, r);
-  return r;
+  if (r.status != ErrorCode::kOk) {
+    cache_completed_peer_op(dedup_key, r);
+    done(r);
+    return;
+  }
+  // Commit gate: the reply (and, for a revoke, the cleanup broadcast) is released only once
+  // the entry is durable on a majority. Without a group the continuation runs synchronously
+  // and this whole block collapses to the pre-replication order of effects.
+  const bool is_revoke = op.kind == ReplicatedOp::Kind::kRevoke;
+  auto revoked_state = std::make_shared<ObjectTable::RevokeResult>(std::move(revoked));
+  commit_mutation(seat, std::move(op),
+                  [this, seat, dedup_key, r, is_revoke, revoked_state,
+                   done = std::move(done)](ErrorCode ec) mutable {
+                    if (ec != ErrorCode::kOk) {
+                      // Unknown outcome (deposed mid-commit): do NOT cache — the op may be
+                      // retried at the next leader, and this member's eager state will be
+                      // reset from a snapshot.
+                      r.status = ec;
+                      done(r);
+                      return;
+                    }
+                    if (is_revoke) {
+                      apply_revoke_for(seat, *revoked_state);
+                    }
+                    cache_completed_peer_op(dedup_key, r);
+                    done(r);
+                  });
 }
 
 void Controller::peer_reply(const PeerReplyMsg& m) {
@@ -1230,6 +1476,9 @@ void Controller::peer_reply(const PeerReplyMsg& m) {
     // The op already completed (first reply won, the deadline fired, or this Controller
     // failed): resend-induced duplicates and post-timeout stragglers land here.
     ++stats_.late_replies_ignored;
+    if (MetricsRegistry* mr = net_->loop()->metrics()) {
+      mr->add(mkeys_.late_reply);
+    }
     return;
   }
   Promise<Result<PeerReplyMsg>> promise = std::move(it->second);
@@ -1243,9 +1492,11 @@ void Controller::peer_revoke_broadcast(ControllerAddr origin, const RevokeBroadc
   for (auto& [pid, proc] : procs_) {
     proc->caps.purge_refs(m.revoked);
   }
-  // Record the revoker's generation (it is embedded in the refs) for eager stale checks.
+  // Record the owner's generation (it is embedded in the refs) for eager stale checks. The
+  // refs are keyed by their owner, not the broadcast's origin: a takeover leader broadcasts
+  // on behalf of the dead seat.
   if (!m.revoked.empty()) {
-    note_peer_generation(origin, m.revoked.front().reboot_count);
+    note_peer_generation(m.revoked.front().owner, m.revoked.front().reboot_count);
   }
   send_peer(origin, make_envelope(next_seq_++, RevokeAckMsg{m.cleanup_id}));
 }
@@ -1257,7 +1508,14 @@ void Controller::peer_revoke_ack(const RevokeAckMsg& m) {
   }
   if (--it->second.awaiting == 0) {
     // Every peer purged its references: the invalidated stubs can finally be reclaimed.
-    stats_.objects_reclaimed += table_.erase_objects(it->second.objects);
+    const ControllerAddr seat = it->second.seat == 0 ? addr() : it->second.seat;
+    if (ObjectTable* t = serving_table(seat); t != nullptr) {
+      stats_.objects_reclaimed += t->erase_objects(it->second.objects);
+      ReplicatedOp op;
+      op.kind = ReplicatedOp::Kind::kEraseObjects;
+      op.indices.assign(it->second.objects.begin(), it->second.objects.end());
+      log_mutation(seat, std::move(op));
+    }
     pending_cleanups_.erase(it);
   }
 }
@@ -1274,14 +1532,33 @@ void Controller::peer_register_monitor(ControllerAddr origin, uint64_t seq,
   r.op_id = seq;  // the subscriber keyed its continuation by the envelope seq
   const MonitorSub sub{m.subscriber_controller, m.subscriber_process, m.callback_id};
   Status s(ErrorCode::kInvalidArgument);
-  if (m.target.owner == addr()) {
+  ObjectTable* t = serving_table(m.target.owner);
+  if (t != nullptr) {
     s = m.delegate_mode
-            ? table_.monitor_delegate(m.target.index, m.target.reboot_count, sub)
-            : table_.monitor_receive(m.target.index, m.target.reboot_count, sub);
+            ? t->monitor_delegate(m.target.index, m.target.reboot_count, sub)
+            : t->monitor_receive(m.target.index, m.target.reboot_count, sub);
   }
   r.status = s.ok() ? ErrorCode::kOk : s.error();
-  cache_completed_peer_op(dedup_key, r);
-  send_peer(origin, make_envelope(next_seq_++, r));
+  if (!s.ok()) {
+    cache_completed_peer_op(dedup_key, r);
+    send_peer(origin, make_envelope(next_seq_++, r));
+    return;
+  }
+  ReplicatedOp op;
+  op.kind = m.delegate_mode ? ReplicatedOp::Kind::kMonitorDelegate
+                            : ReplicatedOp::Kind::kMonitorReceive;
+  op.base = m.target.index;
+  op.callback_id = m.callback_id;
+  op.sub_controller = m.subscriber_controller;
+  op.sub_process = m.subscriber_process;
+  commit_mutation(m.target.owner, std::move(op),
+                  [this, origin, dedup_key, r](ErrorCode ec) mutable {
+                    r.status = ec;
+                    if (ec == ErrorCode::kOk) {
+                      cache_completed_peer_op(dedup_key, r);
+                    }
+                    send_peer(origin, make_envelope(next_seq_++, r));
+                  });
 }
 
 void Controller::peer_monitor_fired(const MonitorFiredMsg& m) {
@@ -1311,9 +1588,14 @@ void Controller::peer_invoke_error(const RemoteInvokeErrorMsg& m) {
 
 // --- revocation plumbing --------------------------------------------------------------------------
 
-void Controller::apply_revoke(const ObjectTable::RevokeResult& result) {
+void Controller::apply_revoke_for(ControllerAddr seat, const ObjectTable::RevokeResult& result,
+                                  bool fire_monitors) {
   ++stats_.revocations;
-  if (tcache_.enabled()) {
+  ObjectTable* t = serving_table(seat);
+  if (t == nullptr) {
+    return;  // lost the seat between revoke and cleanup; the next leader re-broadcasts
+  }
+  if (seat == addr() && tcache_.enabled()) {
     // Revocation-tree-aware invalidation: result.invalidated is exactly the revoked
     // subtree, so precisely the cached routes that just became unsafe are dropped.
     tcache_.invalidate(result.invalidated);
@@ -1329,8 +1611,10 @@ void Controller::apply_revoke(const ObjectTable::RevokeResult& result) {
                                    " monitor fire(s)");
   }
   if (result.invalidated.empty()) {
-    for (const auto& fire : result.fires) {
-      dispatch_monitor_fire(fire);
+    if (fire_monitors) {
+      for (const auto& fire : result.fires) {
+        dispatch_monitor_fire(fire);
+      }
     }
     return;
   }
@@ -1338,7 +1622,7 @@ void Controller::apply_revoke(const ObjectTable::RevokeResult& result) {
   bc.cleanup_id = next_op_id_++;
   bc.revoked.reserve(result.invalidated.size());
   for (ObjectIndex idx : result.invalidated) {
-    bc.revoked.push_back(ObjectRef{addr(), idx, table_.reboot_count()});
+    bc.revoked.push_back(ObjectRef{seat, idx, t->reboot_count()});
   }
   // Local cleanup (the owner is also "a Controller" for the broadcast).
   for (auto& [pid, proc] : procs_) {
@@ -1357,13 +1641,19 @@ void Controller::apply_revoke(const ObjectTable::RevokeResult& result) {
     ++live_peers;
   }
   if (live_peers == 0) {
-    stats_.objects_reclaimed += table_.erase_objects(result.invalidated);
+    stats_.objects_reclaimed += t->erase_objects(result.invalidated);
+    ReplicatedOp op;
+    op.kind = ReplicatedOp::Kind::kEraseObjects;
+    op.indices.assign(result.invalidated.begin(), result.invalidated.end());
+    log_mutation(seat, std::move(op));
   } else {
     pending_cleanups_.emplace(bc.cleanup_id,
-                              PendingCleanup{result.invalidated, live_peers});
+                              PendingCleanup{result.invalidated, live_peers, seat});
   }
-  for (const auto& fire : result.fires) {
-    dispatch_monitor_fire(fire);
+  if (fire_monitors) {
+    for (const auto& fire : result.fires) {
+      dispatch_monitor_fire(fire);
+    }
   }
 }
 
@@ -1606,6 +1896,11 @@ void Controller::on_peer_severed(ControllerAddr peer) {
     close_peer_op_span(op_id, "channel-closed");
     promise.set(ErrorCode::kChannelClosed);
   }
+  // Replication: a dead leader's followers start a (rank-staggered) election immediately
+  // rather than waiting out the lease.
+  for (auto& [seat, group] : repl_groups_) {
+    group->on_peer_severed(peer);
+  }
 }
 
 bool Controller::replay_completed_peer_op(ControllerAddr origin, uint64_t key) {
@@ -1683,6 +1978,10 @@ void Controller::process_failed(ProcessId pid) {
     if (entry.ref.owner == addr()) {
       auto result = table_.revoke(entry.ref.index, entry.ref.reboot_count);
       if (result.ok()) {
+        ReplicatedOp op;
+        op.kind = ReplicatedOp::Kind::kRevoke;
+        op.base = entry.ref.index;
+        log_mutation(addr(), std::move(op));
         apply_revoke(result.value());
       }
     } else {
@@ -1692,10 +1991,14 @@ void Controller::process_failed(ProcessId pid) {
       rd.op = RemoteDeriveMsg::Op::kRevoke;
       rd.requester = pid;
       // Fire-and-forget: the reply needs no action, so the future is dropped unconsumed.
-      call_peer_derive(entry.ref.owner, std::move(rd));
+      call_peer_derive(route_owner(entry.ref.owner), std::move(rd));
     }
   }
   // Everything the Process registered is invalidated.
+  ReplicatedOp op;
+  op.kind = ReplicatedOp::Kind::kRevokeAllOf;
+  op.requester = pid;
+  log_mutation(addr(), std::move(op));
   apply_revoke(table_.revoke_all_of(pid));
 }
 
@@ -1710,6 +2013,11 @@ void Controller::fail() {
   }
   for (auto& [peer_addr, peer] : peers_) {
     peer.chan->sever();
+  }
+  // Replication groups die with the host; their commit waiters complete through the error
+  // channel (every local process is already marked dead, so the continuations no-op).
+  for (auto& [seat, group] : repl_groups_) {
+    group->stop(ErrorCode::kChannelClosed);
   }
   // Outstanding peer ops complete through the error channel rather than dangling; their
   // continuations bail out early because every local process is now marked dead.
@@ -1731,7 +2039,203 @@ void Controller::restart() {
   // stale wholesale.
   tcache_.clear();
   table_.reboot();
+  // Replication group membership does not survive a crash: a restarted member rejoins only
+  // via an explicit enable_replication (it would need a snapshot catch-up anyway), and a
+  // restarted seat serves its (empty, generation-bumped) table unreplicated.
+  repl_groups_.clear();
+  repl_routes_.clear();
   failed_ = false;
+}
+
+// --- replicated control plane ---------------------------------------------------------------------
+
+void Controller::enable_replication(ControllerAddr seat, std::vector<ControllerAddr> members,
+                                    uint32_t seat_reboot, ReplicationGroup::Params params) {
+  FRACTOS_CHECK_MSG(repl_groups_.find(seat) == repl_groups_.end(),
+                    "controller already joined a replication group for this seat");
+  auto group =
+      std::make_unique<ReplicationGroup>(this, seat, std::move(members), seat_reboot, params);
+  ReplicationGroup* g = group.get();
+  repl_groups_.emplace(seat, std::move(group));
+  g->start();
+}
+
+ReplicationGroup* Controller::replication_group(ControllerAddr seat) {
+  auto it = repl_groups_.find(seat);
+  return it == repl_groups_.end() ? nullptr : it->second.get();
+}
+
+bool Controller::serves_seat(ControllerAddr seat) const {
+  if (failed_) {
+    return false;
+  }
+  if (seat == addr()) {
+    return can_mutate_seat(seat);
+  }
+  auto it = repl_groups_.find(seat);
+  return it != repl_groups_.end() && it->second->can_serve();
+}
+
+uint64_t Controller::seat_state_digest(ControllerAddr seat) const {
+  if (seat == addr()) {
+    return table_.digest();
+  }
+  auto it = repl_groups_.find(seat);
+  return it == repl_groups_.end() ? 0 : it->second->state().digest();
+}
+
+ControllerAddr Controller::route_owner(ControllerAddr owner) const {
+  if (owner == addr()) {
+    return owner;
+  }
+  // A group member knows the leader first-hand; everyone else goes by the last announce.
+  // Routing never turns a remote op into a self-op: if this member is itself the acting
+  // leader, the op still targets the (possibly dead) owner and surfaces kChannelClosed —
+  // serving one's own syscalls for a foreign seat is out of scope.
+  auto git = repl_groups_.find(owner);
+  if (git != repl_groups_.end()) {
+    const ControllerAddr leader = git->second->known_leader();
+    return leader != 0 && leader != addr() ? leader : owner;
+  }
+  auto rit = repl_routes_.find(owner);
+  if (rit != repl_routes_.end() && rit->second.leader != 0 && rit->second.leader != addr()) {
+    return rit->second.leader;
+  }
+  return owner;
+}
+
+ObjectTable* Controller::serving_table(ControllerAddr owner) {
+  if (owner == addr()) {
+    auto it = repl_groups_.find(owner);
+    if (it != repl_groups_.end() && !it->second->can_serve()) {
+      return nullptr;  // deposed own seat: a successor may hold newer committed state
+    }
+    return &table_;
+  }
+  auto it = repl_groups_.find(owner);
+  if (it != repl_groups_.end() && it->second->can_serve()) {
+    return &it->second->state();
+  }
+  return nullptr;
+}
+
+const ObjectTable* Controller::serving_table(ControllerAddr owner) const {
+  return const_cast<Controller*>(this)->serving_table(owner);
+}
+
+bool Controller::can_mutate_seat(ControllerAddr seat) const {
+  auto it = repl_groups_.find(seat);
+  return it == repl_groups_.end() || it->second->can_serve();
+}
+
+void Controller::commit_mutation(ControllerAddr seat, ReplicatedOp op,
+                                 std::function<void(ErrorCode)> done) {
+  auto it = repl_groups_.find(seat);
+  if (it == repl_groups_.end()) {
+    done(ErrorCode::kOk);  // unreplicated: acknowledge inline (the pre-replication path)
+    return;
+  }
+  it->second->replicate(std::move(op), std::move(done));
+}
+
+void Controller::log_mutation(ControllerAddr seat, ReplicatedOp op) {
+  auto it = repl_groups_.find(seat);
+  if (it == repl_groups_.end() || !it->second->is_leader()) {
+    return;
+  }
+  it->second->replicate(std::move(op), [](ErrorCode) {});
+}
+
+void Controller::note_seat_leader(ControllerAddr seat, ControllerAddr leader, uint64_t term) {
+  SeatRoute& route = repl_routes_[seat];
+  if (term >= route.term) {
+    route.leader = leader;
+    route.term = term;
+  }
+}
+
+void Controller::peer_leader_announce(const ReplLeaderAnnounceMsg& m) {
+  note_seat_leader(m.seat, m.leader, m.term);
+}
+
+void Controller::on_seat_established(ControllerAddr seat) {
+  auto it = repl_groups_.find(seat);
+  if (it == repl_groups_.end()) {
+    return;
+  }
+  ReplicationGroup& g = *it->second;
+  // Tell every controller (group member or not) where the seat now lives, so invokes and
+  // derives for its objects are routed here instead of at the dead leader.
+  ReplLeaderAnnounceMsg ann;
+  ann.seat = seat;
+  ann.leader = addr();
+  ann.term = g.term();
+  for (auto& [peer_addr, peer] : peers_) {
+    if (!peer.chan->severed()) {
+      send_peer(peer_addr, make_envelope(next_seq_++, ann));
+    }
+  }
+  if (seat == addr()) {
+    return;  // the seat establishing itself at start(): nothing to finish
+  }
+  // Finish what the dead leader started: every object that is invalidated but not yet
+  // erased still needs its cleanup broadcast. Monitors are NOT re-fired — the dead leader
+  // may already have dispatched them (at-most-once across failover).
+  const std::vector<ObjectIndex> pending = g.state().invalidated_objects();
+  if (!pending.empty()) {
+    ObjectTable::RevokeResult result;
+    result.invalidated = pending;
+    apply_revoke_for(seat, result, /*fire_monitors=*/false);
+  }
+}
+
+void Controller::handle_repl_msg(ControllerAddr origin, const Envelope& env) {
+  if (failed_) {
+    return;
+  }
+  ControllerAddr seat = kInvalidController;
+  switch (env.type) {
+    case MsgType::kReplAppend:
+      seat = std::get<ReplAppendMsg>(env.body).seat;
+      break;
+    case MsgType::kReplAppendReply:
+      seat = std::get<ReplAppendReplyMsg>(env.body).seat;
+      break;
+    case MsgType::kReplVote:
+      seat = std::get<ReplVoteMsg>(env.body).seat;
+      break;
+    case MsgType::kReplVoteReply:
+      seat = std::get<ReplVoteReplyMsg>(env.body).seat;
+      break;
+    case MsgType::kReplSnapshot:
+      seat = std::get<ReplSnapshotMsg>(env.body).seat;
+      break;
+    default:
+      return;
+  }
+  ReplicationGroup* g = replication_group(seat);
+  if (g == nullptr) {
+    return;  // not a member of this seat's group (stale or misdirected): drop
+  }
+  switch (env.type) {
+    case MsgType::kReplAppend:
+      g->on_append(origin, std::get<ReplAppendMsg>(env.body));
+      break;
+    case MsgType::kReplAppendReply:
+      g->on_append_reply(origin, std::get<ReplAppendReplyMsg>(env.body));
+      break;
+    case MsgType::kReplVote:
+      g->on_vote(origin, std::get<ReplVoteMsg>(env.body));
+      break;
+    case MsgType::kReplVoteReply:
+      g->on_vote_reply(origin, std::get<ReplVoteReplyMsg>(env.body));
+      break;
+    case MsgType::kReplSnapshot:
+      g->on_snapshot(origin, std::get<ReplSnapshotMsg>(env.body));
+      break;
+    default:
+      break;
+  }
 }
 
 }  // namespace fractos

@@ -33,6 +33,7 @@
 #include "src/cap/object_table.h"
 #include "src/core/channel.h"
 #include "src/core/costs.h"
+#include "src/core/replication.h"
 #include "src/core/translation_cache.h"
 #include "src/fabric/network.h"
 #include "src/futures/future.h"
@@ -176,6 +177,28 @@ class Controller {
   void fail();
   void restart();
 
+  // --- replicated control plane (DESIGN.md §4h) -----------------------------------------------
+
+  // Joins this Controller to the replication group for `seat` (one of `members`, which must
+  // lead with the seat itself). Called by System::replicate_controller on every member; once
+  // armed, the seat's capability mutations commit on a majority before they are acknowledged,
+  // and any member can take over serving the seat after the leader dies. With no group armed
+  // (the default) every replication hook below is a no-op and behavior is bit-identical to an
+  // unreplicated Controller.
+  void enable_replication(ControllerAddr seat, std::vector<ControllerAddr> members,
+                          uint32_t seat_reboot, ReplicationGroup::Params params);
+  ReplicationGroup* replication_group(ControllerAddr seat);
+  // True when this Controller is the acting, established leader for `seat` (the seat itself,
+  // or a follower that completed takeover) — i.e. it can serve the seat's objects.
+  bool serves_seat(ControllerAddr seat) const;
+  // Replica-audit helper: the structural digest of this member's state machine for `seat`
+  // (0 when this Controller is not in a group for `seat`). Equal digests across members are
+  // the "no committed grant lost / no stale capability honored" audit invariant.
+  uint64_t seat_state_digest(ControllerAddr seat) const;
+  // Where ops for `owner`'s objects should be sent: the owner itself, or the acting leader
+  // of its replication group when one is known (learned from kReplLeaderAnnounce).
+  ControllerAddr route_owner(ControllerAddr owner) const;
+
   // --- introspection ----------------------------------------------------------------------------
 
   ExecContext& exec() { return *exec_; }
@@ -224,9 +247,12 @@ class Controller {
   void peer_remote_invoke(ControllerAddr origin, const RemoteInvokeMsg& m);
   void peer_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m);
   void peer_remote_derive_batch(ControllerAddr origin, const RemoteDeriveBatchMsg& m);
-  // Executes one owner-bound derive op (or replays its cached reply) and returns the reply
-  // to send; dedup is internal, so batch members stay individually idempotent.
-  PeerReplyMsg exec_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m);
+  // Executes one owner-bound derive op (or replays its cached reply) and hands the reply to
+  // `done`; dedup is internal, so batch members stay individually idempotent. Without a
+  // replication group `done` runs synchronously (the pre-replication code path, verbatim);
+  // with one, mutating ops defer `done` until the logged entry commits on a majority.
+  void exec_remote_derive(ControllerAddr origin, const RemoteDeriveMsg& m,
+                          std::function<void(const PeerReplyMsg&)> done);
   void peer_reply(const PeerReplyMsg& m);
   void peer_revoke_broadcast(ControllerAddr origin, const RevokeBroadcastMsg& m);
   void peer_revoke_ack(const RevokeAckMsg& m);
@@ -252,8 +278,15 @@ class Controller {
                            const std::vector<WireCap>& extra_caps);
   void push_delivery(ProcState& p, DeliverRequestMsg msg);
   void drain_deliveries(ProcState& p);
-  // Applies a local revocation outcome: monitor fires + cleanup broadcast + local purge.
-  void apply_revoke(const ObjectTable::RevokeResult& result);
+  // Applies a revocation outcome for `seat` (this Controller, or a seat it acts for):
+  // monitor fires + cleanup broadcast + local purge. `fire_monitors` is false on the
+  // takeover re-broadcast path, where the dead leader may already have fired them
+  // (at-most-once across failover).
+  void apply_revoke_for(ControllerAddr seat, const ObjectTable::RevokeResult& result,
+                        bool fire_monitors = true);
+  void apply_revoke(const ObjectTable::RevokeResult& result) {
+    apply_revoke_for(addr(), result);
+  }
   void dispatch_monitor_fire(const ObjectTable::MonitorFire& fire);
   void send_peer(ControllerAddr peer, const Envelope& env, Traffic cat = Traffic::kControl);
   // Issues a RemoteDerive/RegisterMonitor-style op keyed by `op_id`: registers the pending
@@ -312,6 +345,27 @@ class Controller {
   // Closes the peer-op span registered for op_id, if any (error != nullptr marks it failed).
   void close_peer_op_span(uint64_t op_id, const char* error);
 
+  // --- replication plumbing (all no-ops / identity when no group is armed) ---
+  friend class ReplicationGroup;
+  // The table this Controller may serve `owner`'s objects from: its own table (own seat,
+  // unless a deposed own-seat group forbids serving), an acting-leader replica, or nullptr.
+  ObjectTable* serving_table(ControllerAddr owner);
+  const ObjectTable* serving_table(ControllerAddr owner) const;
+  bool can_mutate_seat(ControllerAddr seat) const;
+  // Commit gate for one capability mutation already applied to the serving table: without a
+  // group, `done(kOk)` runs synchronously (bit-identical off path); with one, `done` runs
+  // when the entry commits (or fails with kNotLeader/kTimeout).
+  void commit_mutation(ControllerAddr seat, ReplicatedOp op, std::function<void(ErrorCode)> done);
+  // Fire-and-forget variant for mutations whose replies are not commit-gated (delegation
+  // bookkeeping, erase sweeps, failure translation) — keeps the log a total order of every
+  // mutation so follower replicas converge structurally.
+  void log_mutation(ControllerAddr seat, ReplicatedOp op);
+  // ReplicationGroup hooks.
+  void note_seat_leader(ControllerAddr seat, ControllerAddr leader, uint64_t term);
+  void on_seat_established(ControllerAddr seat);
+  void peer_leader_announce(const ReplLeaderAnnounceMsg& m);
+  void handle_repl_msg(ControllerAddr origin, const Envelope& env);
+
   static RdmaKey key_of(const ObjectRef& ref) {
     return RdmaKey{ref.owner, ref.index, ref.reboot_count};
   }
@@ -350,8 +404,17 @@ class Controller {
   struct PendingCleanup {
     std::vector<ObjectIndex> objects;
     size_t awaiting = 0;
+    ControllerAddr seat = 0;  // whose table to erase from (a takeover leader acts for peers)
   };
   std::unordered_map<uint64_t, PendingCleanup> pending_cleanups_;
+  // Replication groups this Controller is a member of, by seat; empty by default.
+  std::unordered_map<ControllerAddr, std::unique_ptr<ReplicationGroup>> repl_groups_;
+  // Last announced leader per replicated seat (kReplLeaderAnnounce), for client redirects.
+  struct SeatRoute {
+    ControllerAddr leader = 0;
+    uint64_t term = 0;
+  };
+  std::unordered_map<ControllerAddr, SeatRoute> repl_routes_;
   // Peers' known reboot generations (eager stale detection).
   std::unordered_map<ControllerAddr, uint32_t> peer_gens_;
   // Serialized-Request cache (cost model only; see Config::cache_serialized_requests).
@@ -372,6 +435,7 @@ class Controller {
     NameId peer_retries = kInvalidNameId;
     NameId peer_op_timeouts = kInvalidNameId;
     NameId peer_dedup_hits = kInvalidNameId;
+    NameId late_reply = kInvalidNameId;  // mirrors stats_.late_replies_ignored exactly
     // cap.<addr>.* hot-path keys — touched only when the owning feature is enabled, so the
     // default-config metrics snapshots stay bit-identical.
     NameId cap_cache_hit = kInvalidNameId;       // translation-cache hits (counter)

@@ -1,10 +1,159 @@
 #include "src/core/system.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
+
+#include "src/fabric/topology.h"
 
 namespace fractos {
 
+namespace {
+
+// Checks one fault-plan link endpoint against the topology. Node ids cannot be validated
+// here (nodes are added after construction); switch ids can: their ranges are reserved.
+std::optional<std::string> check_fault_endpoint(const TopologySpec& topo, uint32_t id,
+                                                const char* what) {
+  if (id < Topology::kTorIdBase) {
+    return std::nullopt;  // a node id; checked against num_nodes by the caller if known
+  }
+  if (topo.kind == TopologySpec::Kind::kSingleSwitch) {
+    return std::string(what) + " references switch id " + std::to_string(id) +
+           ", but the topology is single-switch (no addressable switches); use "
+           "TopologySpec::fat_tree or name node ids";
+  }
+  if (id >= Topology::kSpineIdBase) {
+    const uint32_t spine = id - Topology::kSpineIdBase;
+    if (spine >= topo.num_spines) {
+      return std::string(what) + " references spine " + std::to_string(spine) +
+             ", but the fat tree has only " + std::to_string(topo.num_spines) + " spine(s)";
+    }
+  }
+  return std::nullopt;  // ToR ids grow with the node count; checked when num_nodes is known
+}
+
+bool valid_prob(const double (&p)[2]) {
+  return p[0] >= 0.0 && p[0] <= 1.0 && p[1] >= 0.0 && p[1] <= 1.0;
+}
+
+}  // namespace
+
+std::optional<std::string> SystemConfig::validate(uint32_t num_nodes) const {
+  if (congestion_window == 0) {
+    return "congestion_window must be >= 1 (0 would deadlock every delivery queue)";
+  }
+  if (copy_chunk_bytes == 0) {
+    return "copy_chunk_bytes must be >= 1 (0 would make chunked copies loop forever)";
+  }
+  if (peer_op_dedup_ttl < peer_op_deadline) {
+    return "peer_op_dedup_ttl (" + std::to_string(peer_op_dedup_ttl.ns()) +
+           "ns) is shorter than peer_op_deadline (" + std::to_string(peer_op_deadline.ns()) +
+           "ns): dedup entries would be evicted while resends of their op can still "
+           "arrive, re-executing non-idempotent ops; raise the TTL above the deadline";
+  }
+  if (replication_group_size == 1) {
+    return "replication_group_size of 1 replicates nothing (the seat alone); use 0 to "
+           "disable replication or >= 2 for an actual group";
+  }
+  if (num_nodes > 0 && replication_group_size > num_nodes) {
+    return "replication_group_size (" + std::to_string(replication_group_size) +
+           ") exceeds the cluster size (" + std::to_string(num_nodes) +
+           " node(s)): a majority quorum could never assemble";
+  }
+  if (replication_group_size != 0 && replication.lease < replication.heartbeat) {
+    return "replication.lease (" + std::to_string(replication.lease.ns()) +
+           "ns) is shorter than replication.heartbeat (" +
+           std::to_string(replication.heartbeat.ns()) +
+           "ns): the leader's lease would expire between its own heartbeats, deposing a "
+           "healthy leader every tick";
+  }
+  if (replication_group_size != 0 && replication.election_stagger < replication.heartbeat) {
+    return "replication.election_stagger (" +
+           std::to_string(replication.election_stagger.ns()) +
+           "ns) is shorter than replication.heartbeat (" +
+           std::to_string(replication.heartbeat.ns()) +
+           "ns): candidacy-by-silence is checked at heartbeat granularity, so adjacent "
+           "ranks would stand in the same tick, split the vote, and retry in lockstep";
+  }
+  if (topology.kind == TopologySpec::Kind::kFatTree) {
+    if (topology.nodes_per_rack == 0) {
+      return "fat-tree topology needs nodes_per_rack >= 1";
+    }
+    if (topology.num_spines == 0) {
+      return "fat-tree topology needs num_spines >= 1 (no cross-rack path otherwise)";
+    }
+  }
+  if (!faults.has_value()) {
+    return std::nullopt;
+  }
+  const FaultPlan& plan = *faults;
+  if (!valid_prob(plan.drop_prob) || !valid_prob(plan.dup_prob) ||
+      !valid_prob(plan.jitter_prob)) {
+    return "fault plan probabilities must lie in [0, 1]";
+  }
+  const uint32_t max_rack =
+      num_nodes == 0 ? 0 : (num_nodes - 1) / std::max(topology.nodes_per_rack, 1u);
+  auto check_link = [&](uint32_t a, uint32_t b,
+                        const char* what) -> std::optional<std::string> {
+    for (uint32_t id : {a, b}) {
+      if (auto err = check_fault_endpoint(topology, id, what); err.has_value()) {
+        return err;
+      }
+      if (id >= Topology::kTorIdBase && id < Topology::kSpineIdBase && num_nodes > 0 &&
+          topology.kind == TopologySpec::Kind::kFatTree) {
+        const uint32_t rack = id - Topology::kTorIdBase;
+        if (rack > max_rack) {
+          return std::string(what) + " references ToR of rack " + std::to_string(rack) +
+                 ", but " + std::to_string(num_nodes) + " node(s) at " +
+                 std::to_string(topology.nodes_per_rack) + "/rack fill only racks 0.." +
+                 std::to_string(max_rack);
+        }
+      }
+      if (id < Topology::kTorIdBase && num_nodes > 0 && id >= num_nodes) {
+        return std::string(what) + " references node " + std::to_string(id) +
+               ", but only nodes 0.." + std::to_string(num_nodes - 1) + " exist";
+      }
+    }
+    return std::nullopt;
+  };
+  for (const FaultPlan::LinkOverride& o : plan.link_overrides) {
+    if (!valid_prob(o.drop_prob)) {
+      return "fault plan link_override probabilities must lie in [0, 1]";
+    }
+    if (auto err = check_link(o.a, o.b, "fault plan link_override"); err.has_value()) {
+      return err;
+    }
+  }
+  for (const FaultPlan::LinkFlap& f : plan.flaps) {
+    if (f.end <= f.start) {
+      return "fault plan link flap has end <= start (an empty or inverted window)";
+    }
+    if (auto err = check_link(f.a, f.b, "fault plan link flap"); err.has_value()) {
+      return err;
+    }
+  }
+  for (const FaultPlan::NodeOutage& o : plan.outages) {
+    if (o.end <= o.start) {
+      return "fault plan node outage has end <= start (an empty or inverted window)";
+    }
+    if (num_nodes > 0 && o.node >= num_nodes) {
+      return "fault plan node outage references node " + std::to_string(o.node) +
+             ", but only nodes 0.." + std::to_string(num_nodes - 1) + " exist";
+    }
+  }
+  if (plan.rdma_retry_budget == 0) {
+    return "fault plan rdma_retry_budget of 0 would abort every perturbed RDMA verb on its "
+           "first loss; use >= 1 (or drop the RDMA knobs entirely)";
+  }
+  return std::nullopt;
+}
+
 System::System(SystemConfig config) : config_(config) {
+  // Reject inconsistent configs at assembly time with an actionable message, instead of a
+  // CHECK failure (or silent misbehavior) in the middle of a long run.
+  if (auto err = config_.validate(); err.has_value()) {
+    FRACTOS_CHECK_MSG(false, err->c_str());
+  }
   net_ = std::make_unique<Network>(&loop_, config_.fabric, config_.topology);
   if (config_.faults.has_value()) {
     net_->install_fault_injector(*config_.faults);
@@ -18,10 +167,19 @@ uint32_t System::add_node(const std::string& name, bool with_snic) {
 }
 
 void System::install_authorizer(uint32_t node) {
-  // NIC-rkey model: resolve the rkey against the owning Controller's object table.
+  // NIC-rkey model: resolve the rkey against the owning Controller's object table. When the
+  // owner is dead but its seat is replicated, the acting leader authorizes against its
+  // replica — RDMA access continues across failover, and revoked capabilities stay refused.
   net_->node(node).set_rdma_authorizer(
       [this](const RdmaKey& key, PoolId pool, uint64_t addr, uint64_t size, bool is_write) {
         Controller* owner = controller_by_addr(key.controller);
+        if (owner == nullptr || owner->failed()) {
+          for (auto& c : controllers_) {
+            if (!c->failed() && c->serves_seat(key.controller)) {
+              return c->check_rdma(key, pool, addr, size, is_write);
+            }
+          }
+        }
         if (owner == nullptr) {
           return Status(ErrorCode::kInvalidCapability);
         }
@@ -103,6 +261,27 @@ Result<CapId> System::bootstrap_grant(Process& from, CapId cid, Process& to) {
     return entry.error();
   }
   return dst_ctrl->bootstrap_install(to.pid(), entry.value());
+}
+
+void System::replicate_controller(Controller& seat, const std::vector<Controller*>& replicas) {
+  FRACTOS_CHECK_MSG(!replicas.empty(), "a replication group needs at least one replica");
+  if (config_.replication_group_size != 0) {
+    FRACTOS_CHECK_MSG(replicas.size() + 1 == config_.replication_group_size,
+                      "replica count does not match config.replication_group_size");
+  }
+  std::vector<ControllerAddr> members;
+  members.reserve(replicas.size() + 1);
+  members.push_back(seat.addr());
+  for (Controller* r : replicas) {
+    FRACTOS_CHECK_MSG(r != nullptr && r != &seat && !r->failed(),
+                      "replicas must be distinct live controllers other than the seat");
+    members.push_back(r->addr());
+  }
+  const uint32_t seat_reboot = seat.table().reboot_count();
+  seat.enable_replication(seat.addr(), members, seat_reboot, config_.replication);
+  for (Controller* r : replicas) {
+    r->enable_replication(seat.addr(), members, seat_reboot, config_.replication);
+  }
 }
 
 Controller* System::controller_by_addr(ControllerAddr addr) {

@@ -52,6 +52,19 @@ struct SystemConfig {
   bool charge_chain_traversal = false;
   uint32_t peer_op_batch_max = 0;
   Duration peer_op_batch_delay = Duration::micros(2);
+  // Replicated control plane (DESIGN.md §4h): timing knobs applied by replicate_controller,
+  // and the intended group size (0 = replication unused; checked against the node count by
+  // validate()). No group is formed unless replicate_controller is called.
+  ReplicationGroup::Params replication;
+  uint32_t replication_group_size = 0;
+
+  // Cross-field consistency check, run by the System constructor (CHECK) and directly by
+  // tests. Returns a description of the *first* inconsistency found — a fault plan naming a
+  // switch the topology doesn't have, a dedup TTL shorter than the op deadline it must
+  // outlive, a replication quorum larger than the cluster — or std::nullopt when sound.
+  // `num_nodes` > 0 enables the checks that need the cluster size (the constructor runs
+  // before nodes exist and passes 0, so callers that know the size should re-validate).
+  std::optional<std::string> validate(uint32_t num_nodes = 0) const;
 };
 
 class System {
@@ -84,6 +97,12 @@ class System {
   // Copies a capability held by `from` into `to`'s capability space — the operator's
   // resource-management service granting initial access at deployment time (no messages).
   Result<CapId> bootstrap_grant(Process& from, CapId cid, Process& to);
+
+  // Replicates `seat`'s capability metadata across {seat} ∪ replicas (DESIGN.md §4h): the
+  // seat leads, the replicas maintain follower state machines, and after the seat dies one
+  // replica takes over serving its objects. Uses config().replication for timing. Must be
+  // called before the workload starts mutating the seat's table.
+  void replicate_controller(Controller& seat, const std::vector<Controller*>& replicas);
 
   // --- failure injection ------------------------------------------------------------------------
 

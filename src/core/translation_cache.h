@@ -1,0 +1,101 @@
+// Owner-side translation cache: ObjectIndex -> fully resolved Request route
+// (provider Process, endpoint cid, merged args). Resolving a Request walks its whole
+// derivation chain merging refinement layers; at production scale (10^6 live capabilities,
+// deep delegation chains) that walk dominates the invoke hot path. The cache memoizes the
+// walk and is invalidated *exactly* by revocation subtrees: apply_revoke feeds it the
+// RevokeResult.invalidated list, which by construction names every object whose resolution
+// just changed (the revoked object and all its descendants). Nothing else can change a
+// resolution — derivation only adds new indices, and a Controller reboot clears the cache
+// wholesale — so a hit is always as authoritative as a fresh table walk. The property test
+// in tests/property_test.cc audits exactly that invariant under chaos schedules.
+
+#ifndef SRC_CORE_TRANSLATION_CACHE_H_
+#define SRC_CORE_TRANSLATION_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cap/object_table.h"
+
+namespace fractos {
+
+class TranslationCache {
+ public:
+  explicit TranslationCache(size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t invalidations() const { return invalidations_; }
+
+  // Counting lookup (the resolve path): returns the cached resolution or nullptr, bumping
+  // the hit/miss counters. The pointer is invalidated by any mutating call.
+  const ObjectTable::ResolvedRequest* lookup(ObjectIndex idx) {
+    auto it = map_.find(idx);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return &it->second;
+  }
+
+  // Stat-free probe (cost pre-accounting peeks without double-counting the later lookup).
+  bool contains(ObjectIndex idx) const { return map_.contains(idx); }
+
+  void put(ObjectIndex idx, ObjectTable::ResolvedRequest resolved) {
+    if (!enabled() || map_.contains(idx)) {
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      // FIFO eviction: deterministic and cheap; entries for long-dead indices were already
+      // removed by invalidate(), so the front is the oldest still-live resolution.
+      while (!fifo_.empty()) {
+        const ObjectIndex victim = fifo_.front();
+        fifo_.pop_front();
+        if (map_.erase(victim) > 0) {
+          break;
+        }
+      }
+    }
+    map_.emplace(idx, std::move(resolved));
+    fifo_.push_back(idx);
+  }
+
+  // Revocation-tree-aware invalidation: drops exactly the entries under the revoked
+  // subtree (the caller passes RevokeResult.invalidated). Stale fifo slots are skipped
+  // lazily at eviction time.
+  void invalidate(const std::vector<ObjectIndex>& subtree) {
+    for (ObjectIndex idx : subtree) {
+      invalidations_ += map_.erase(idx);
+    }
+  }
+
+  void clear() {
+    map_.clear();
+    fifo_.clear();
+  }
+
+  // Audit support: visits every cached entry (property tests re-resolve each one).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [idx, resolved] : map_) {
+      fn(idx, resolved);
+    }
+  }
+
+ private:
+  size_t capacity_;
+  std::unordered_map<ObjectIndex, ObjectTable::ResolvedRequest> map_;
+  std::deque<ObjectIndex> fifo_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace fractos
+
+#endif  // SRC_CORE_TRANSLATION_CACHE_H_

@@ -51,6 +51,14 @@ Network::Network(EventLoop* loop, FabricParams params, TopologySpec topology)
   FRACTOS_CHECK(loop != nullptr);
 }
 
+void Network::note_rc_exhausted() {
+  ++counters_.rc_exhausted;
+  if (MetricsRegistry* m = loop_->metrics(); m != nullptr) {
+    static const NameId kRcExhausted = intern_name("net.faults.rc_exhausted");
+    m->add(kRcExhausted);
+  }
+}
+
 uint32_t Network::add_node(std::string name, bool with_snic) {
   const uint32_t id = static_cast<uint32_t>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(loop_, id, std::move(name), with_snic));

@@ -135,6 +135,7 @@ void QueuePair::exhaust_retries() {
   // unACKed is lost.
   dropped_ += unacked_.size();
   bump(net_, qp_names().dropped, static_cast<int64_t>(unacked_.size()));
+  net_->note_rc_exhausted();
   unacked_.clear();
   sever();
 }

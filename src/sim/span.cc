@@ -27,6 +27,8 @@ const char* span_kind_name(SpanKind kind) {
       return "service";
     case SpanKind::kFabricQueue:
       return "fabric-queue";
+    case SpanKind::kReplication:
+      return "replication";
   }
   return "?";
 }

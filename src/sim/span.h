@@ -49,6 +49,7 @@ enum class SpanKind : uint8_t {
   kDevice = 6,       // device service time (NVMe channel, GPU engine)
   kService = 7,      // service-level operation (FS I/O, app verify)
   kFabricQueue = 8,  // head-of-line wait in a switch egress queue (fabric congestion)
+  kReplication = 9,  // control-plane replication (log commit waits, leader elections)
 };
 
 const char* span_kind_name(SpanKind kind);

@@ -25,6 +25,8 @@ const char* tax_bucket_name(TaxBucket b) {
       return "other";
     case TaxBucket::kFabricQueue:
       return "fabric.queue";
+    case TaxBucket::kReplication:
+      return "replication";
   }
   return "?";
 }
@@ -41,6 +43,8 @@ TaxBucket tax_bucket_of(SpanKind kind) {
       return TaxBucket::kQueue;
     case SpanKind::kFabricQueue:
       return TaxBucket::kFabricQueue;
+    case SpanKind::kReplication:
+      return TaxBucket::kReplication;
     case SpanKind::kDevice:
       return TaxBucket::kDevice;
     case SpanKind::kRequest:

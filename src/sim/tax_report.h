@@ -28,8 +28,9 @@ enum class TaxBucket : uint8_t {
   kDevice = 4,       // device service time
   kOther = 5,        // everything else (process-side logic, protocol gaps)
   kFabricQueue = 6,  // per-hop head-of-line wait in switch egress queues (congestion)
+  kReplication = 7,  // control-plane replication (commit waits, elections)
 };
-inline constexpr size_t kNumTaxBuckets = 7;
+inline constexpr size_t kNumTaxBuckets = 8;
 
 const char* tax_bucket_name(TaxBucket b);
 TaxBucket tax_bucket_of(SpanKind kind);

@@ -6,8 +6,8 @@
 
 namespace fractos {
 
-namespace {
-
+// The shared field codecs are public (declared in message.h): the ObjectTable snapshot
+// encoding reuses them so a field has exactly one wire format.
 void encode_ref(Encoder& e, const ObjectRef& ref) {
   e.put_u32(ref.owner);
   e.put_u64(ref.index);
@@ -74,6 +74,72 @@ WireCap decode_wire_cap(Decoder& d) {
   c.mem = decode_mem_desc(d);
   c.tracked = d.get_bool();
   return c;
+}
+
+void encode_repl_op(Encoder& e, const ReplicatedOp& op) {
+  e.put_u8(static_cast<uint8_t>(op.kind));
+  e.put_u64(op.requester);
+  e.put_u64(op.base);
+  e.put_u64(op.result_index);
+  encode_mem_desc(e, op.mem);
+  e.put_u8(static_cast<uint8_t>(op.perms));
+  e.put_u64(op.offset);
+  e.put_u64(op.size);
+  e.put_u32(op.cid);
+  e.put_u64(op.callback_id);
+  e.put_u32(op.sub_controller);
+  e.put_u64(op.sub_process);
+  encode_imms(e, op.imms);
+  e.put_u32(static_cast<uint32_t>(op.caps.size()));
+  for (const auto& c : op.caps) {
+    encode_wire_cap(e, c);
+  }
+  e.put_u32(static_cast<uint32_t>(op.indices.size()));
+  for (uint64_t idx : op.indices) {
+    e.put_u64(idx);
+  }
+}
+
+ReplicatedOp decode_repl_op(Decoder& d) {
+  ReplicatedOp op;
+  op.kind = static_cast<ReplicatedOp::Kind>(d.get_u8());
+  op.requester = d.get_u64();
+  op.base = d.get_u64();
+  op.result_index = d.get_u64();
+  op.mem = decode_mem_desc(d);
+  op.perms = static_cast<Perms>(d.get_u8());
+  op.offset = d.get_u64();
+  op.size = d.get_u64();
+  op.cid = d.get_u32();
+  op.callback_id = d.get_u64();
+  op.sub_controller = d.get_u32();
+  op.sub_process = d.get_u64();
+  op.imms = decode_imms(d);
+  const uint32_t ncaps = d.get_u32();
+  for (uint32_t i = 0; i < ncaps && d.ok(); ++i) {
+    op.caps.push_back(decode_wire_cap(d));
+  }
+  const uint32_t nidx = d.get_u32();
+  for (uint32_t i = 0; i < nidx && d.ok(); ++i) {
+    op.indices.push_back(d.get_u64());
+  }
+  return op;
+}
+
+namespace {
+
+void encode_repl_entry(Encoder& e, const ReplLogEntry& entry) {
+  e.put_u64(entry.index);
+  e.put_u64(entry.term);
+  encode_repl_op(e, entry.op);
+}
+
+ReplLogEntry decode_repl_entry(Decoder& d) {
+  ReplLogEntry entry;
+  entry.index = d.get_u64();
+  entry.term = d.get_u64();
+  entry.op = decode_repl_op(d);
+  return entry;
 }
 
 // RemoteDerive/PeerReply bodies are shared between the single-op frames and the batch frames,
@@ -239,6 +305,52 @@ struct BodyEncoder {
     e.put_u64(m.callback_id);
     e.put_bool(m.delegate_mode);
   }
+  void operator()(const ReplAppendMsg& m) {
+    e.put_u32(m.seat);
+    e.put_u32(m.leader);
+    e.put_u64(m.term);
+    e.put_u64(m.prev_index);
+    e.put_u64(m.prev_term);
+    e.put_u64(m.commit_index);
+    e.put_u32(static_cast<uint32_t>(m.entries.size()));
+    for (const auto& entry : m.entries) {
+      encode_repl_entry(e, entry);
+    }
+  }
+  void operator()(const ReplAppendReplyMsg& m) {
+    e.put_u32(m.seat);
+    e.put_u32(m.from);
+    e.put_u64(m.term);
+    e.put_bool(m.ok);
+    e.put_u64(m.match_index);
+    e.put_bool(m.need_snapshot);
+  }
+  void operator()(const ReplVoteMsg& m) {
+    e.put_u32(m.seat);
+    e.put_u32(m.candidate);
+    e.put_u64(m.term);
+    e.put_u64(m.last_log_index);
+    e.put_u64(m.last_log_term);
+  }
+  void operator()(const ReplVoteReplyMsg& m) {
+    e.put_u32(m.seat);
+    e.put_u32(m.from);
+    e.put_u64(m.term);
+    e.put_bool(m.granted);
+  }
+  void operator()(const ReplLeaderAnnounceMsg& m) {
+    e.put_u32(m.seat);
+    e.put_u32(m.leader);
+    e.put_u64(m.term);
+  }
+  void operator()(const ReplSnapshotMsg& m) {
+    e.put_u32(m.seat);
+    e.put_u32(m.leader);
+    e.put_u64(m.term);
+    e.put_u64(m.last_index);
+    e.put_u64(m.last_term);
+    e.put_bytes(m.blob);
+  }
 };
 
 }  // namespace
@@ -269,6 +381,12 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kMonitorFired: return "MonitorFired";
     case MsgType::kRemoteDeriveBatch: return "RemoteDeriveBatch";
     case MsgType::kPeerReplyBatch: return "PeerReplyBatch";
+    case MsgType::kReplAppend: return "ReplAppend";
+    case MsgType::kReplAppendReply: return "ReplAppendReply";
+    case MsgType::kReplVote: return "ReplVote";
+    case MsgType::kReplVoteReply: return "ReplVoteReply";
+    case MsgType::kReplLeaderAnnounce: return "ReplLeaderAnnounce";
+    case MsgType::kReplSnapshot: return "ReplSnapshot";
   }
   return "unknown";
 }
@@ -484,6 +602,70 @@ Result<Envelope> decode_envelope(const std::vector<uint8_t>& buf) {
       env.body = m;
       break;
     }
+    case MsgType::kReplAppend: {
+      ReplAppendMsg m;
+      m.seat = d.get_u32();
+      m.leader = d.get_u32();
+      m.term = d.get_u64();
+      m.prev_index = d.get_u64();
+      m.prev_term = d.get_u64();
+      m.commit_index = d.get_u64();
+      const uint32_t n = d.get_u32();
+      for (uint32_t i = 0; i < n && d.ok(); ++i) {
+        m.entries.push_back(decode_repl_entry(d));
+      }
+      env.body = std::move(m);
+      break;
+    }
+    case MsgType::kReplAppendReply: {
+      ReplAppendReplyMsg m;
+      m.seat = d.get_u32();
+      m.from = d.get_u32();
+      m.term = d.get_u64();
+      m.ok = d.get_bool();
+      m.match_index = d.get_u64();
+      m.need_snapshot = d.get_bool();
+      env.body = m;
+      break;
+    }
+    case MsgType::kReplVote: {
+      ReplVoteMsg m;
+      m.seat = d.get_u32();
+      m.candidate = d.get_u32();
+      m.term = d.get_u64();
+      m.last_log_index = d.get_u64();
+      m.last_log_term = d.get_u64();
+      env.body = m;
+      break;
+    }
+    case MsgType::kReplVoteReply: {
+      ReplVoteReplyMsg m;
+      m.seat = d.get_u32();
+      m.from = d.get_u32();
+      m.term = d.get_u64();
+      m.granted = d.get_bool();
+      env.body = m;
+      break;
+    }
+    case MsgType::kReplLeaderAnnounce: {
+      ReplLeaderAnnounceMsg m;
+      m.seat = d.get_u32();
+      m.leader = d.get_u32();
+      m.term = d.get_u64();
+      env.body = m;
+      break;
+    }
+    case MsgType::kReplSnapshot: {
+      ReplSnapshotMsg m;
+      m.seat = d.get_u32();
+      m.leader = d.get_u32();
+      m.term = d.get_u64();
+      m.last_index = d.get_u64();
+      m.last_term = d.get_u64();
+      m.blob = d.get_bytes();
+      env.body = std::move(m);
+      break;
+    }
     default:
       return ErrorCode::kInvalidArgument;
   }
@@ -572,6 +754,24 @@ Envelope make_envelope(uint64_t seq, RemoteDeriveBatchMsg m) {
 }
 Envelope make_envelope(uint64_t seq, PeerReplyBatchMsg m) {
   return envelope_of(seq, MsgType::kPeerReplyBatch, std::move(m));
+}
+Envelope make_envelope(uint64_t seq, ReplAppendMsg m) {
+  return envelope_of(seq, MsgType::kReplAppend, std::move(m));
+}
+Envelope make_envelope(uint64_t seq, ReplAppendReplyMsg m) {
+  return envelope_of(seq, MsgType::kReplAppendReply, m);
+}
+Envelope make_envelope(uint64_t seq, ReplVoteMsg m) {
+  return envelope_of(seq, MsgType::kReplVote, m);
+}
+Envelope make_envelope(uint64_t seq, ReplVoteReplyMsg m) {
+  return envelope_of(seq, MsgType::kReplVoteReply, m);
+}
+Envelope make_envelope(uint64_t seq, ReplLeaderAnnounceMsg m) {
+  return envelope_of(seq, MsgType::kReplLeaderAnnounce, m);
+}
+Envelope make_envelope(uint64_t seq, ReplSnapshotMsg m) {
+  return envelope_of(seq, MsgType::kReplSnapshot, std::move(m));
 }
 
 uint64_t imm_bytes(const std::vector<ImmExtent>& imms) {

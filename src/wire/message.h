@@ -57,6 +57,13 @@ enum class MsgType : uint8_t {
   // Appended (wire compatibility): batched owner-bound capability ops.
   kRemoteDeriveBatch,
   kPeerReplyBatch,
+  // Appended: controller-metadata replication (leader lease + quorum log, DESIGN.md §4h).
+  kReplAppend,
+  kReplAppendReply,
+  kReplVote,
+  kReplVoteReply,
+  kReplLeaderAnnounce,
+  kReplSnapshot,
 };
 
 const char* msg_type_name(MsgType t);
@@ -297,6 +304,115 @@ struct MonitorFiredMsg {
   bool operator==(const MonitorFiredMsg&) const = default;
 };
 
+// --- Replication plane (controller <-> controller, DESIGN.md §4h) --------------------------
+
+// One capability-metadata mutation, exactly as the seat's ObjectTable executes it. The
+// replicated log is a sequence of these; followers replay committed entries through
+// ObjectTable::apply_replicated, which re-derives the same object indices (insert() assigns
+// them sequentially), so replicas converge structurally — `result_index` lets the follower
+// audit that its apply produced the index the leader observed.
+struct ReplicatedOp {
+  enum class Kind : uint8_t {
+    kNoop = 0,          // leader-change barrier entry; mutates nothing
+    kCreateMemory,      // requester, mem, perms
+    kDeriveMemory,      // requester, base, offset, size, perms (= drop_perms)
+    kCreateRequestRoot, // requester (provider), cid (endpoint), imms+caps (initial args)
+    kSetEndpointCid,    // base (idx), cid
+    kDeriveRequest,     // requester, base, imms+caps (refinement)
+    kRevtreeChild,      // requester, base
+    kPrepareDelegation, // base (idx); creates a tracked child iff monitor_delegate'd
+    kMonitorDelegate,   // base, callback_id, sub_controller, sub_process
+    kMonitorReceive,    // base, callback_id, sub_controller, sub_process
+    kRevoke,            // base (idx)
+    kRevokeAllOf,       // requester (the failed process)
+    kEraseObjects,      // indices
+  };
+  Kind kind = Kind::kNoop;
+  ProcessId requester = kInvalidProcess;
+  uint64_t base = 0;
+  uint64_t result_index = 0;  // index the leader's own apply produced (0 when none)
+  MemoryDesc mem;
+  Perms perms = Perms::kNone;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  CapId cid = kInvalidCap;
+  uint64_t callback_id = 0;
+  ControllerAddr sub_controller = kInvalidController;
+  ProcessId sub_process = kInvalidProcess;
+  std::vector<ImmExtent> imms;
+  std::vector<WireCap> caps;
+  std::vector<uint64_t> indices;
+  bool operator==(const ReplicatedOp&) const = default;
+};
+
+struct ReplLogEntry {
+  uint64_t index = 0;
+  uint64_t term = 0;
+  ReplicatedOp op;
+  bool operator==(const ReplLogEntry&) const = default;
+};
+
+// Log replication + lease heartbeat (an empty entries vector is the heartbeat). `seat` names
+// the replication group: the controller whose metadata this log replicates.
+struct ReplAppendMsg {
+  ControllerAddr seat = kInvalidController;
+  ControllerAddr leader = kInvalidController;
+  uint64_t term = 0;
+  uint64_t prev_index = 0;
+  uint64_t prev_term = 0;
+  uint64_t commit_index = 0;
+  std::vector<ReplLogEntry> entries;
+  bool operator==(const ReplAppendMsg&) const = default;
+};
+
+struct ReplAppendReplyMsg {
+  ControllerAddr seat = kInvalidController;
+  ControllerAddr from = kInvalidController;
+  uint64_t term = 0;
+  bool ok = false;
+  uint64_t match_index = 0;   // ok: highest index replicated; nack: follower log end (hint)
+  bool need_snapshot = false; // follower is behind the compacted prefix or tainted
+  bool operator==(const ReplAppendReplyMsg&) const = default;
+};
+
+struct ReplVoteMsg {
+  ControllerAddr seat = kInvalidController;
+  ControllerAddr candidate = kInvalidController;
+  uint64_t term = 0;
+  uint64_t last_log_index = 0;
+  uint64_t last_log_term = 0;
+  bool operator==(const ReplVoteMsg&) const = default;
+};
+
+struct ReplVoteReplyMsg {
+  ControllerAddr seat = kInvalidController;
+  ControllerAddr from = kInvalidController;
+  uint64_t term = 0;
+  bool granted = false;
+  bool operator==(const ReplVoteReplyMsg&) const = default;
+};
+
+// Broadcast by a newly established leader to every controller (members or not) so client-side
+// routing (Controller::route_owner) follows the seat to its acting leader.
+struct ReplLeaderAnnounceMsg {
+  ControllerAddr seat = kInvalidController;
+  ControllerAddr leader = kInvalidController;
+  uint64_t term = 0;
+  bool operator==(const ReplLeaderAnnounceMsg&) const = default;
+};
+
+// Full-state catch-up: a serialized ObjectTable replacing the follower's replica up to
+// (last_index, last_term). Sent when a follower nacks with need_snapshot.
+struct ReplSnapshotMsg {
+  ControllerAddr seat = kInvalidController;
+  ControllerAddr leader = kInvalidController;
+  uint64_t term = 0;
+  uint64_t last_index = 0;
+  uint64_t last_term = 0;
+  std::vector<uint8_t> blob;
+  bool operator==(const ReplSnapshotMsg&) const = default;
+};
+
 // --- Envelope -------------------------------------------------------------------------------
 
 using MsgBody =
@@ -305,7 +421,8 @@ using MsgBody =
                  DeliverRequestMsg, DeliverAckMsg, MonitorCallbackMsg, RemoteInvokeMsg,
                  RemoteInvokeErrorMsg, RemoteDeriveMsg, PeerReplyMsg, RevokeBroadcastMsg,
                  RevokeAckMsg, RegisterMonitorMsg, MonitorFiredMsg, RemoteDeriveBatchMsg,
-                 PeerReplyBatchMsg>;
+                 PeerReplyBatchMsg, ReplAppendMsg, ReplAppendReplyMsg, ReplVoteMsg,
+                 ReplVoteReplyMsg, ReplLeaderAnnounceMsg, ReplSnapshotMsg>;
 
 struct Envelope {
   MsgType type = MsgType::kNullOp;
@@ -343,6 +460,25 @@ Envelope make_envelope(uint64_t seq, RegisterMonitorMsg m);
 Envelope make_envelope(uint64_t seq, MonitorFiredMsg m);
 Envelope make_envelope(uint64_t seq, RemoteDeriveBatchMsg m);
 Envelope make_envelope(uint64_t seq, PeerReplyBatchMsg m);
+Envelope make_envelope(uint64_t seq, ReplAppendMsg m);
+Envelope make_envelope(uint64_t seq, ReplAppendReplyMsg m);
+Envelope make_envelope(uint64_t seq, ReplVoteMsg m);
+Envelope make_envelope(uint64_t seq, ReplVoteReplyMsg m);
+Envelope make_envelope(uint64_t seq, ReplLeaderAnnounceMsg m);
+Envelope make_envelope(uint64_t seq, ReplSnapshotMsg m);
+
+// Field codecs shared between the envelope encoders here and the ObjectTable snapshot
+// encoding (src/cap/object_table.cc) — one wire format for a field, everywhere.
+void encode_ref(Encoder& e, const ObjectRef& ref);
+ObjectRef decode_ref(Decoder& d);
+void encode_mem_desc(Encoder& e, const MemoryDesc& m);
+MemoryDesc decode_mem_desc(Decoder& d);
+void encode_imms(Encoder& e, const std::vector<ImmExtent>& imms);
+std::vector<ImmExtent> decode_imms(Decoder& d);
+void encode_wire_cap(Encoder& e, const WireCap& c);
+WireCap decode_wire_cap(Decoder& d);
+void encode_repl_op(Encoder& e, const ReplicatedOp& op);
+ReplicatedOp decode_repl_op(Decoder& d);
 
 // Total bytes of immediate payload across extents (used for cost accounting and tests).
 uint64_t imm_bytes(const std::vector<ImmExtent>& imms);

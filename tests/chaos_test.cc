@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -24,12 +25,14 @@
 #include <vector>
 
 #include "src/core/node_monitor.h"
+#include "src/core/replication.h"
 #include "src/services/block_adaptor.h"
 #include "src/services/fs.h"
 #include "src/services/gpu_adaptor.h"
 #include "src/sim/metrics.h"
 #include "src/sim/rng.h"
 #include "src/sim/span.h"
+#include "src/sim/tax_report.h"
 
 namespace fractos {
 namespace {
@@ -284,6 +287,10 @@ TEST(ChaosObservability, FaultMetricsMirrorInjectorCounters) {
             out.faults.rdma_retransmits);
   EXPECT_EQ(static_cast<uint64_t>(metrics.value("net.faults.rdma_aborts")),
             out.faults.rdma_aborts);
+  // RC retry-budget exhaustion mirrors the TrafficCounters field (zero here — the chaos
+  // band deliberately stays below the sever horizon — but the keys must agree regardless).
+  EXPECT_EQ(static_cast<uint64_t>(metrics.value("net.faults.rc_exhausted")),
+            out.traffic.rc_exhausted);
 
   // The QP reliability layer's own counters surface too: a lossy run must retransmit.
   EXPECT_GT(metrics.value("qp.retransmits"), 0);
@@ -356,6 +363,8 @@ TEST(ChaosPeerOps, TimeoutThenDedupAfterLinkHeals) {
   SystemConfig cfg;
   cfg.faults = plan;
   System sys(cfg);
+  MetricsRegistry metrics;
+  sys.loop().set_metrics(&metrics);
   sys.add_node("a");
   sys.add_node("b");
   Controller& c0 = sys.add_controller(0, Loc::kHost);
@@ -416,6 +425,12 @@ TEST(ChaosPeerOps, TimeoutThenDedupAfterLinkHeals) {
   // Nothing leaks: the late-reply dedup path and the timeout path both close their spans.
   EXPECT_EQ(tracer.open_spans(), 0u);
   sys.loop().set_span_tracer(nullptr);
+
+  // The late replies surfaced as a dedicated metric, mirroring the stats counter exactly.
+  EXPECT_EQ(static_cast<uint64_t>(
+                metrics.value("ctrl." + std::to_string(c0.addr()) + ".late_reply")),
+            c0.stats().late_replies_ignored);
+  sys.loop().set_metrics(nullptr);
 }
 
 // A seeded spine-link-flap schedule on a fat-tree topology: both uplinks of rack 0 flap for
@@ -588,6 +603,241 @@ TEST(ChaosRevocation, ControllerFailureMidRevocationHonorsNoStaleCap) {
 
     // ...and the owner's translation cache is coherent with its table.
     EXPECT_TRUE(c0.translation_cache_audit().ok()) << "fail_step " << fail_step;
+  }
+}
+
+// A flap that outlives the QP sever horizon: the RC layer retransmits until the head WQE's
+// retry budget exhausts, then moves the connection to the error state. The exhaustion is a
+// first-class counter mirrored into net.faults.rc_exhausted, and the severed channel fails
+// cleanly (kChannelClosed) instead of retrying forever.
+TEST(ChaosPeerOps, RetryBudgetExhaustionSeversAndIsCounted) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.flaps.push_back({0, 1, Time::from_ns(0), Time::from_ns(15'000'000)});
+  SystemConfig cfg;
+  cfg.faults = plan;
+  System sys(cfg);
+  MetricsRegistry metrics;
+  sys.loop().set_metrics(&metrics);
+  sys.add_node("a");
+  sys.add_node("b");
+  Controller& c0 = sys.add_controller(0, Loc::kHost);
+  Controller& c1 = sys.add_controller(1, Loc::kHost);
+  Process& p = sys.spawn("p", 0, c0);
+  Process& q = sys.spawn("q", 1, c1);
+  const CapId qbuf = sys.await_ok(q.memory_create(q.alloc(8192), 8192, Perms::kReadWrite));
+  const CapId pbuf = sys.bootstrap_grant(q, qbuf, p).value();
+
+  // The op times out on the caller long before the QP gives up retransmitting the request.
+  const Result<CapId> first = sys.await(p.memory_diminish(pbuf, 0, 4096, Perms::kRead));
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error(), ErrorCode::kTimeout);
+  sys.loop().run();  // ride out the flap: head retries exhaust ~11 ms in, severing the QP
+
+  EXPECT_GE(sys.net().counters().rc_exhausted, 1u);
+  EXPECT_EQ(static_cast<uint64_t>(metrics.value("net.faults.rc_exhausted")),
+            sys.net().counters().rc_exhausted);
+
+  // The severed channel reports closure immediately — no silent hang, no misdelivery.
+  const Result<CapId> second = sys.await(p.memory_diminish(pbuf, 0, 4096, Perms::kRead));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error(), ErrorCode::kChannelClosed);
+  sys.loop().set_metrics(nullptr);
+}
+
+// Monitor false positive from a flapped *monitoring* link: heartbeats (UD datagrams) from
+// the watched node drop while the node itself — and the capability data path to it — stays
+// perfectly healthy. The suspicion must not misroute or disturb a single capability op:
+// derives keep landing at the suspected node's Controller (the owner), nowhere else, and
+// re-admission fires once beats resume. The watched node hosts only a Controller (its
+// attached Process runs on another node, the Shared-HAL deployment), so the false positive
+// has no process casualties to mask the routing assertion.
+TEST(ChaosMonitor, LinkFlapFalsePositiveDoesNotMisrouteCapabilityOps) {
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.flaps.push_back({0, 1, Time::from_ns(2'000'000), Time::from_ns(10'000'000)});
+  SystemConfig cfg;
+  cfg.faults = plan;
+  System sys(cfg);
+  sys.add_node("monitor");
+  sys.add_node("watched");
+  sys.add_node("client");
+  Controller& c1 = sys.add_controller(1, Loc::kHost);  // on the watched node
+  Controller& c2 = sys.add_controller(2, Loc::kHost);
+  // Shared HAL: q runs on the client node but its capability seat is c1 on the watched
+  // node, so c1 owns objects while no Process lives on the suspected node.
+  Process& q = sys.spawn("q", 2, c1);
+  Process& p = sys.spawn("p", 2, c2);
+  const CapId qbuf = sys.await_ok(q.memory_create(q.alloc(16384), 16384, Perms::kReadWrite));
+  const CapId pbuf = sys.bootstrap_grant(q, qbuf, p).value();
+
+  NodeMonitor::Params params;
+  params.heartbeat_interval = Duration::millis(1);
+  params.failure_timeout = Duration::millis(3);
+  params.check_interval = Duration::millis(1);
+  NodeMonitor monitor(&sys, 0, params);
+  monitor.watch(1);
+  monitor.start();
+
+  // Mid-flap: the monitor has (wrongly) declared the node dead.
+  sys.loop().run_until_time(Time::from_ns(6'500'000));
+  EXPECT_TRUE(monitor.reported(1));
+  EXPECT_EQ(monitor.failures_detected(), 1u);
+
+  // Capability ops issued during the suspect window still route to the suspected owner —
+  // the client<->owner link is clean; only the monitoring link is flapping.
+  const uint64_t c1_objects = c1.table().total_count();
+  const uint64_t c2_objects = c2.table().total_count();
+  for (int i = 0; i < 3; ++i) {
+    const Result<CapId> view = sys.await(p.memory_diminish(pbuf, 0, 4096, Perms::kRead));
+    ASSERT_TRUE(view.ok()) << "op " << i << ": " << error_code_name(view.error());
+  }
+  EXPECT_EQ(c1.table().total_count(), c1_objects + 3);  // derived at the owner...
+  EXPECT_EQ(c2.table().total_count(), c2_objects);      // ...and nowhere else
+  EXPECT_TRUE(monitor.reported(1)) << "ops outran the suspect window";
+
+  // The link heals, beats resume, the report is retracted exactly once.
+  sys.loop().run_until_time(Time::from_ns(14'000'000));
+  EXPECT_FALSE(monitor.reported(1));
+  EXPECT_EQ(monitor.failures_detected(), 1u);
+  EXPECT_EQ(monitor.recoveries_detected(), 1u);
+  EXPECT_EQ(c1.stats().node_recoveries, 1u);
+  EXPECT_EQ(c2.stats().node_recoveries, 1u);
+
+  monitor.stop();
+  sys.loop().run();
+}
+
+// --- leader killed mid-revocation with quorum replication on ------------------------------------
+
+// The PR's acceptance scenario: a 4-level delegation chain rooted at a replicated seat, the
+// seat Controller killed a seeded number of events into an in-flight revocation. A replica
+// must take over within the lease bound, the revocation must reach a terminal, audited
+// state (completed, or provably never-started and repeatable), no capability under the
+// revoked level may ever derive again, the untouched levels must keep working, monitors
+// fire at most once across the failover, and both surviving state machines must report the
+// same structural digest. FRACTOS_FAILOVER_TRACE=<dir> dumps per-step span traces as
+// Chrome trace JSON (the CI failover job uploads them on failure).
+TEST(ChaosFailover, LeaderKilledMidRevocationHonorsNoStaleCap) {
+  const char* trace_dir = std::getenv("FRACTOS_FAILOVER_TRACE");
+  Rng step_rng(base_seed() * 0x9e3779b97f4a7c15ull + 1);
+  for (const uint64_t fail_step : {0ull, 1ull, 2ull, 4ull, 8ull, 16ull, 32ull}) {
+    // The seed shifts every kill point so the CI seed matrix sweeps distinct interleavings.
+    const uint64_t kill_step = fail_step + step_rng.next_below(3);
+    SystemConfig cfg;
+    cfg.replication_group_size = 3;
+    System sys(cfg);
+    SpanTracer tracer;
+    if (trace_dir != nullptr) {
+      sys.loop().set_span_tracer(&tracer);
+    }
+    sys.add_node("seat");
+    sys.add_node("r1");
+    sys.add_node("r2");
+    sys.add_node("holder");
+    Controller& c1 = sys.add_controller(0, Loc::kHost);
+    Controller& c2 = sys.add_controller(1, Loc::kHost);
+    Controller& c3 = sys.add_controller(2, Loc::kHost);
+    Controller& c4 = sys.add_controller(3, Loc::kHost);
+    const ControllerAddr seat = c1.addr();
+    sys.replicate_controller(c1, {&c2, &c3});
+
+    Process& provider = sys.spawn("provider", 0, c1);
+    Process& holder = sys.spawn("holder", 3, c4);
+    Process& watcher = sys.spawn("watcher", 3, c4);
+
+    const CapId root =
+        sys.await_ok(provider.memory_create(provider.alloc(8192), 8192, Perms::kReadWrite));
+    const CapId root_h = sys.bootstrap_grant(provider, root, holder).value();
+    // 4-level chain, every level owned by the replicated seat (derivation-at-owner).
+    const CapId l1 = sys.await_ok(holder.cap_create_revtree(root_h));
+    const CapId l2 = sys.await_ok(holder.cap_create_revtree(l1));
+    const CapId l3 = sys.await_ok(holder.cap_create_revtree(l2));
+    const CapId l4 = sys.await_ok(holder.cap_create_revtree(l3));
+    const CapId l2_w = sys.bootstrap_grant(holder, l2, watcher).value();
+    const CapId l4_w = sys.bootstrap_grant(holder, l4, watcher).value();
+    std::map<uint64_t, int> fires;
+    watcher.set_monitor_handler([&](uint64_t cb, bool) { ++fires[cb]; });
+    ASSERT_TRUE(sys.await(watcher.monitor_receive(l2_w, 2)).ok());
+    ASSERT_TRUE(sys.await(watcher.monitor_receive(l4_w, 4)).ok());
+
+    // Kill the leader `kill_step` events into the revocation of l2 (subtree l2/l3/l4).
+    auto revoked = holder.cap_revoke(l2);
+    sys.loop().run(kill_step);
+    const Time killed = sys.loop().now();
+    sys.fail_controller(c1);
+
+    // A replica takes over within the lease bound; rank order makes it c2 every time.
+    ASSERT_TRUE(sys.loop().run_until(
+        [&]() { return c2.serves_seat(seat) || c3.serves_seat(seat); }))
+        << "kill_step " << kill_step;
+    EXPECT_LE((sys.loop().now() - killed).ns(), cfg.replication.lease.ns())
+        << "kill_step " << kill_step;
+    EXPECT_NE(c2.serves_seat(seat), c3.serves_seat(seat)) << "kill_step " << kill_step;
+    sys.loop().run_until_time(sys.loop().now() + Duration::millis(2));
+
+    // The in-flight revocation resolved one way or the other. If its outcome was unknown
+    // (leader died holding it), the retry at the takeover leader must land terminally:
+    // kOk (it never committed) or kRevoked (it did, and the takeover finished the cleanup).
+    ASSERT_TRUE(revoked.ready()) << "kill_step " << kill_step;
+    const Status first = revoked.take();
+    if (!first.ok()) {
+      // Terminal either way: kOk (never committed — ran fresh at the takeover), or
+      // kRevoked / kInvalidCapability (committed before the kill — the cap is a tombstone
+      // or already erased; the takeover leader finishes the cleanup broadcast).
+      const Status retry = sys.await(holder.cap_revoke(l2));
+      EXPECT_TRUE(retry.ok() || retry.error() == ErrorCode::kRevoked ||
+                  retry.error() == ErrorCode::kInvalidCapability)
+          << "kill_step " << kill_step << ": " << error_code_name(retry.error());
+    }
+    sys.loop().run_until_time(sys.loop().now() + Duration::millis(2));
+
+    // No stale capability honored: nothing under l2 derives at the takeover leader.
+    for (const CapId stale : {l2, l3, l4}) {
+      const Result<CapId> derived = sys.await(holder.cap_create_revtree(stale));
+      ASSERT_FALSE(derived.ok()) << "kill_step " << kill_step;
+      EXPECT_TRUE(derived.error() == ErrorCode::kRevoked ||
+                  derived.error() == ErrorCode::kInvalidCapability)
+          << "kill_step " << kill_step << ": " << error_code_name(derived.error());
+    }
+    // No committed grant lost: the untouched levels still derive.
+    EXPECT_NE(sys.await_ok(holder.cap_create_revtree(l1)), kInvalidCap)
+        << "kill_step " << kill_step;
+    EXPECT_NE(sys.await_ok(holder.cap_create_revtree(root_h)), kInvalidCap)
+        << "kill_step " << kill_step;
+
+    // Monitors fired at most once each across the failover (never twice, even though the
+    // takeover leader re-broadcasts cleanup for revocations the dead leader started).
+    for (const auto& [cb, count] : fires) {
+      EXPECT_LE(count, 1) << "callback " << cb << " kill_step " << kill_step;
+    }
+
+    // Replica audit: both survivors converged to the same structural digest, and the
+    // cleanup protocol fully drained on every live Controller.
+    sys.loop().run_until_time(sys.loop().now() + Duration::millis(2));
+    const uint64_t digest = c2.seat_state_digest(seat);
+    EXPECT_NE(digest, 0u) << "kill_step " << kill_step;
+    EXPECT_EQ(digest, c3.seat_state_digest(seat)) << "kill_step " << kill_step;
+    EXPECT_EQ(c2.pending_cleanups() + c3.pending_cleanups() + c4.pending_cleanups(), 0u)
+        << "kill_step " << kill_step;
+
+    for (Controller* c : {&c2, &c3}) {
+      if (ReplicationGroup* g = c->replication_group(seat)) {
+        g->stop(ErrorCode::kAborted);
+      }
+    }
+    sys.loop().run();
+    if (trace_dir != nullptr) {
+      sys.loop().set_span_tracer(nullptr);
+      const std::string path = std::string(trace_dir) + "/failover_seed" +
+                               std::to_string(base_seed()) + "_step" +
+                               std::to_string(fail_step) + ".json";
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        const std::string json = chrome_trace_json(tracer);
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+      }
+    }
   }
 }
 
