@@ -37,6 +37,7 @@ enum class ErrorCode : uint8_t {
   kUnimplemented,
   kInternal,
   kNotLeader,            // replicated seat: this controller cannot serve mutations right now
+  kOverloaded,           // admission control shed the request before any work was done
 };
 
 // Human-readable name, for logs and test diagnostics.
@@ -64,6 +65,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kUnimplemented: return "kUnimplemented";
     case ErrorCode::kInternal: return "kInternal";
     case ErrorCode::kNotLeader: return "kNotLeader";
+    case ErrorCode::kOverloaded: return "kOverloaded";
   }
   return "unknown";
 }

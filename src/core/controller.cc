@@ -45,6 +45,8 @@ Controller::Controller(Network* net, Config config)
   mkeys_.cap_cache_miss = intern_name(cp + "xlate_miss");
   mkeys_.cap_revoke_subtree = intern_name(cp + "revoke_subtree");
   mkeys_.cap_batch_occupancy = intern_name(cp + "batch_occupancy");
+  mkeys_.admission_admitted = intern_name(mp + "admission.admitted");
+  mkeys_.admission_shed = intern_name(mp + "admission.shed");
 }
 
 Controller::~Controller() {
@@ -680,6 +682,15 @@ void Controller::bounce_copy_chunked(Endpoint self, CapEntry src, CapEntry dst, 
   (*pump)();
 }
 
+void Controller::set_admission_limit(ProcessId pid, uint32_t limit) {
+  auto it = procs_.find(pid);
+  FRACTOS_CHECK(it != procs_.end());
+  it->second->admission_limit = limit;
+  if (limit == 0) {
+    it->second->admission_inflight = 0;
+  }
+}
+
 void Controller::note_peer_generation(ControllerAddr peer, uint32_t reboot_count) {
   uint32_t& gen = peer_gens_[peer];
   if (reboot_count > gen) {
@@ -911,13 +922,42 @@ void Controller::sc_request_create(ProcState& p, uint64_t seq, const RequestCrea
 }
 
 void Controller::sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvokeMsg& m) {
+  // Admission gate first, before any capability resolution or delegation minting: a shed
+  // request must cost the Controller nothing but this branch and the refusal reply — that is
+  // what makes shedding a defense against overload rather than another queue.
+  const bool gated = p.admission_limit != 0;
+  if (gated) {
+    MetricsRegistry* mr = net_->loop()->metrics();
+    if (p.admission_inflight >= p.admission_limit) {
+      ++stats_.admission_shed;
+      if (mr != nullptr) {
+        mr->add(mkeys_.admission_shed);
+      }
+      reply(p, seq, ErrorCode::kOverloaded);
+      return;
+    }
+    ++p.admission_inflight;
+    ++stats_.admission_admitted;
+    if (p.admission_inflight > stats_.admission_max_inflight) {
+      stats_.admission_max_inflight = p.admission_inflight;
+    }
+    if (mr != nullptr) {
+      mr->add(mkeys_.admission_admitted);
+    }
+  }
   auto entry = p.caps.get(m.cid);
   if (!entry.ok()) {
+    if (gated) {
+      admission_release(p);
+    }
     reply(p, seq, entry.error());
     return;
   }
   const CapEntry& e = entry.value();
   if (e.kind != ObjectKind::kRequest) {
+    if (gated) {
+      admission_release(p);
+    }
     reply(p, seq, ErrorCode::kWrongObjectKind);
     return;
   }
@@ -928,17 +968,26 @@ void Controller::sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvo
   if (e.ref.owner != addr()) {
     auto pit = peers_.find(route_owner(e.ref.owner));
     if (pit == peers_.end() || pit->second.chan->severed()) {
+      if (gated) {
+        admission_release(p);
+      }
       reply(p, seq, ErrorCode::kChannelClosed);
       return;
     }
   }
   auto caps = make_wire_caps(p, m.caps);
   if (!caps.ok()) {
+    if (gated) {
+      admission_release(p);
+    }
     reply(p, seq, caps.error());
     return;
   }
 
   if (is_stale(e.ref)) {
+    if (gated) {
+      admission_release(p);
+    }
     reply(p, seq, ErrorCode::kStaleCapability);
     return;
   }
@@ -947,6 +996,9 @@ void Controller::sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvo
     const Duration extra = translation_extra_cost(e.ref.index);
     if (extra == Duration::zero()) {
       const ErrorCode status = deliver_by_ref(e.ref, m.imms, caps.value());
+      if (gated && status != ErrorCode::kOk) {
+        admission_release(p);
+      }
       reply(p, seq, status);
       return;
     }
@@ -961,6 +1013,9 @@ void Controller::sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvo
       const ErrorCode status = deliver_by_ref(target, imms, wcaps);
       auto it = procs_.find(pid);
       if (it != procs_.end() && it->second->alive) {
+        if (status != ErrorCode::kOk) {
+          admission_release(*it->second);
+        }
         reply(*it->second, seq, status);
       }
     });
@@ -1245,6 +1300,9 @@ ErrorCode Controller::deliver_by_ref(const ObjectRef& target,
 }
 
 void Controller::push_delivery(ProcState& p, DeliverRequestMsg msg) {
+  // A delivery into an admission-gated process is the response leg of an admitted invoke
+  // (one response per invoke — see set_admission_limit); release its slot.
+  admission_release(p);
   ++stats_.deliveries;
   if (MetricsRegistry* m = net_->loop()->metrics()) {
     m->add(mkeys_.deliveries);
@@ -1583,6 +1641,9 @@ void Controller::peer_invoke_error(const RemoteInvokeErrorMsg& m) {
   if (pit == procs_.end() || !pit->second->alive) {
     return;
   }
+  // A forwarded invoke that failed at the owner produces no response delivery; the error
+  // channel is where its admission slot releases.
+  admission_release(*pit->second);
   pit->second->chan->send(Traffic::kControl, make_envelope(next_seq_++, m));
 }
 

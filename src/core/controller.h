@@ -61,6 +61,10 @@ struct ControllerStats {
   uint64_t peer_dedup_hits = 0;      // duplicate peer requests answered from the cache
   uint64_t late_replies_ignored = 0; // peer replies that arrived after timeout/completion
   uint64_t node_recoveries = 0;      // spurious node failures re-admitted by the monitor
+  // Admission control (all zero unless set_admission_limit armed a process).
+  uint64_t admission_admitted = 0;     // invokes accepted past the admission gate
+  uint64_t admission_shed = 0;         // invokes refused with kOverloaded, no work done
+  uint64_t admission_max_inflight = 0; // high-water mark of concurrently admitted invokes
 };
 
 class Controller {
@@ -161,6 +165,21 @@ class Controller {
   // channels to processes on the dead node may sever only much later).
   void node_failed(uint32_t node);
 
+  // --- admission control -----------------------------------------------------------------------
+
+  // Arms overload shedding for `pid`'s request_invoke syscalls: at most `limit` invokes may
+  // be in flight (admitted but not yet answered by a response delivery) at once; the
+  // (limit + 1)-th is refused immediately with kOverloaded, before any capability work —
+  // the fail-fast bound that keeps an overloaded Controller's queue, and the admitted
+  // requests' latency, finite. 0 (the default) disables the gate entirely: no counters
+  // move, no metrics keys are registered, behavior is bit-identical to before.
+  //
+  // In-flight pairing assumes the RPC discipline every client in this repo follows: one
+  // request_invoke produces exactly one response delivery back to the invoker (the reply-
+  // endpoint invocation), so the gate releases on push_delivery to `pid`, on a failed
+  // syscall reply, or on the remote error channel.
+  void set_admission_limit(ProcessId pid, uint32_t limit);
+
   // Eager stale-capability detection: records a peer's current reboot generation so that
   // capabilities minted before it are refused locally, without a round trip (Section 3.6,
   // "eagerly detect Controller failure-triggered revocations when capabilities are used").
@@ -222,6 +241,8 @@ class Controller {
     CapSpace caps;
     bool alive = true;
     uint32_t outstanding = 0;  // unacked deliveries (congestion control)
+    uint32_t admission_limit = 0;     // 0 = no admission gate on this process
+    uint32_t admission_inflight = 0;  // admitted invokes awaiting their response delivery
     std::deque<DeliverRequestMsg> pending;
 
     explicit ProcState(uint32_t quota) : caps(quota) {}
@@ -262,6 +283,12 @@ class Controller {
 
   // --- helpers ---
   void reply(ProcState& p, uint64_t seq, ErrorCode status, CapId cid = kInvalidCap);
+  // Releases one admission-gate slot (no-op for ungated processes).
+  static void admission_release(ProcState& p) {
+    if (p.admission_inflight > 0) {
+      --p.admission_inflight;
+    }
+  }
   // Refuses capabilities minted before a known peer generation (eager stale detection).
   bool is_stale(const ObjectRef& ref) const;
   // Per-capability serialization cost, honoring the serialized-Request cache.
@@ -442,6 +469,9 @@ class Controller {
     NameId cap_cache_miss = kInvalidNameId;      // translation-cache misses (counter)
     NameId cap_revoke_subtree = kInvalidNameId;  // invalidated-subtree sizes (histogram)
     NameId cap_batch_occupancy = kInvalidNameId; // ops per flushed batch (histogram)
+    // Admission gate — touched only for processes with a nonzero limit.
+    NameId admission_admitted = kInvalidNameId;
+    NameId admission_shed = kInvalidNameId;
   } mkeys_;
 };
 

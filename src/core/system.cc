@@ -263,6 +263,10 @@ Result<CapId> System::bootstrap_grant(Process& from, CapId cid, Process& to) {
   return dst_ctrl->bootstrap_install(to.pid(), entry.value());
 }
 
+void System::set_admission(Process& p, uint32_t limit) {
+  proc_ctrl_.at(p.pid())->set_admission_limit(p.pid(), limit);
+}
+
 void System::replicate_controller(Controller& seat, const std::vector<Controller*>& replicas) {
   FRACTOS_CHECK_MSG(!replicas.empty(), "a replication group needs at least one replica");
   if (config_.replication_group_size != 0) {

@@ -104,6 +104,10 @@ class System {
   // called before the workload starts mutating the seat's table.
   void replicate_controller(Controller& seat, const std::vector<Controller*>& replicas);
 
+  // Arms Controller-side admission control for `p`'s request_invoke syscalls (see
+  // Controller::set_admission_limit); 0 disarms it.
+  void set_admission(Process& p, uint32_t limit);
+
   // --- failure injection ------------------------------------------------------------------------
 
   void fail_process(Process& p) { p.fail(); }

@@ -180,6 +180,9 @@ Time Network::schedule_routed_transfer(Endpoint src, Endpoint dst, uint64_t wire
       continue;  // the NIC hop, charged above
     }
     const Switch::Transit tr = hop.sw->traverse(hop.port, at, wire_bytes);
+    if (tr.ecn_marked && ecn_listener_ != nullptr) {
+      ecn_listener_(src.node, dst.node);
+    }
     if (t != nullptr) {
       // Head-of-line wait at the egress port is congestion (its own tax bucket, so the
       // disaggregation-tax breakdown attributes fabric queueing per hop); the

@@ -78,4 +78,44 @@ uint64_t Log2Histogram::bucket(size_t i) const {
   return buckets_[i];
 }
 
+size_t Log2Histogram::bucket_of(uint64_t value) {
+  size_t bucket = 0;
+  while (value > 1 && bucket < 63) {
+    value >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+uint64_t Log2Histogram::bucket_upper(size_t i) {
+  FRACTOS_CHECK(i < 64);
+  if (i == 63) {
+    return UINT64_MAX;
+  }
+  return (uint64_t{1} << (i + 1)) - 1;
+}
+
+uint64_t Log2Histogram::quantile(double q) const {
+  FRACTOS_CHECK(q > 0.0 && q <= 1.0);
+  FRACTOS_CHECK(total_ > 0);
+  // Nearest-rank definition: the k-th smallest sample with k = ceil(q * n), computed in
+  // integer arithmetic so a boundary like q = 0.5, n = 10 lands exactly on rank 5 (no
+  // floating-point off-by-one at bucket boundaries).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total_));
+  if (static_cast<double>(rank) < q * static_cast<double>(total_) || rank == 0) {
+    ++rank;  // ceil; rank is 1-based
+  }
+  if (rank > total_) {
+    rank = total_;
+  }
+  uint64_t cum = 0;
+  for (size_t i = 0; i < 64; ++i) {
+    cum += buckets_[i];
+    if (cum >= rank) {
+      return bucket_upper(i);
+    }
+  }
+  return bucket_upper(63);
+}
+
 }  // namespace fractos

@@ -66,6 +66,18 @@ class Log2Histogram {
   uint64_t bucket(size_t i) const;
   size_t num_buckets() const { return 64; }
 
+  // The bucket a value falls into (the inverse of the boundaries above).
+  static size_t bucket_of(uint64_t value);
+  // Largest value bucket i can hold: 2^(i+1) - 1 (bucket 0 holds {0, 1}).
+  static uint64_t bucket_upper(size_t i);
+
+  // Quantile estimate for q in (0, 1]: the upper bound of the bucket holding the
+  // nearest-rank order statistic (rank = ceil(q * count), 1-based). The true sample at that
+  // rank lies in the same bucket, so the estimate is never off by more than the bucket
+  // width — the "within one bucket" guarantee the SLO reporting path relies on
+  // (tests/workload_test.cc pins it against exact quantiles from raw samples).
+  uint64_t quantile(double q) const;
+
  private:
   uint64_t buckets_[64] = {};
   uint64_t total_ = 0;

@@ -1,0 +1,272 @@
+// Statistical property tests for the open-loop arrival schedules (src/sim/workload.h) and
+// the log2-histogram quantile estimator they report SLOs through.
+//
+// Determinism is exact (same seed => byte-identical schedule); the distributional claims are
+// statistical, so they run with generous-but-meaningful tolerances across a seed matrix (CI
+// sets FRACTOS_WORKLOAD_SEED; see .github/workflows/ci.yml openloop-bench) — a systematic
+// generator bug (wrong rate, off-by-one in the duty-cycle splice, a thinning bias) lands far
+// outside these bars, while honest sampling noise stays well inside them.
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/metrics.h"
+#include "src/sim/stats.h"
+#include "src/sim/workload.h"
+
+namespace fractos {
+namespace {
+
+uint64_t base_seed() {
+  if (const char* env = std::getenv("FRACTOS_WORKLOAD_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0x5EED;
+}
+
+std::vector<int64_t> draw_offsets(const ArrivalSpec& spec, uint64_t seed, size_t n) {
+  ArrivalSchedule sched(spec, seed);
+  std::vector<int64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(sched.next().ns());
+  }
+  return out;
+}
+
+// --- determinism ---------------------------------------------------------------------------------
+
+TEST(ArrivalSchedule, SameSeedIsByteIdentical) {
+  const ArrivalSpec specs[] = {
+      ArrivalSpec::poisson(50'000.0),
+      ArrivalSpec::on_off(400'000.0, Duration::micros(200), Duration::micros(300)),
+      ArrivalSpec::diurnal(100'000.0, 0.8, Duration::millis(2)),
+  };
+  for (const ArrivalSpec& spec : specs) {
+    const auto a = draw_offsets(spec, base_seed(), 5000);
+    const auto b = draw_offsets(spec, base_seed(), 5000);
+    EXPECT_EQ(a, b);
+    const auto c = draw_offsets(spec, base_seed() + 1, 5000);
+    EXPECT_NE(a, c);
+  }
+}
+
+TEST(ArrivalSchedule, OffsetsStrictlyIncrease) {
+  const ArrivalSpec specs[] = {
+      ArrivalSpec::poisson(1'000'000.0),  // 1 us mean gap: rounding pressure is highest here
+      ArrivalSpec::on_off(1'000'000.0, Duration::micros(50), Duration::micros(50)),
+      ArrivalSpec::diurnal(500'000.0, 0.5, Duration::millis(1)),
+  };
+  for (const ArrivalSpec& spec : specs) {
+    const auto xs = draw_offsets(spec, base_seed(), 20000);
+    for (size_t i = 1; i < xs.size(); ++i) {
+      ASSERT_LT(xs[i - 1], xs[i]);
+    }
+  }
+}
+
+// --- Poisson moments -----------------------------------------------------------------------------
+
+TEST(ArrivalSchedule, PoissonInterArrivalMomentsMatchRate) {
+  for (const double rate : {20'000.0, 200'000.0}) {
+    for (uint64_t s = 0; s < 3; ++s) {
+      const auto xs = draw_offsets(ArrivalSpec::poisson(rate), base_seed() + s, 30000);
+      Summary gaps_us;
+      int64_t prev = 0;
+      for (int64_t x : xs) {
+        gaps_us.add(static_cast<double>(x - prev) / 1e3);
+        prev = x;
+      }
+      const double expect_mean = 1e6 / rate;  // us
+      EXPECT_NEAR(gaps_us.mean(), expect_mean, 0.03 * expect_mean)
+          << "rate " << rate << " seed offset " << s;
+      // Exponential: variance = mean^2. The sample variance of 30k exponential draws has a
+      // relative sd of sqrt(8/n) ~ 1.6%, so 10% catches any shape bug with huge margin.
+      const double expect_var = expect_mean * expect_mean;
+      EXPECT_NEAR(gaps_us.variance(), expect_var, 0.10 * expect_var)
+          << "rate " << rate << " seed offset " << s;
+    }
+  }
+}
+
+// --- on/off duty cycle ---------------------------------------------------------------------------
+
+TEST(ArrivalSchedule, OnOffArrivalsRespectBurstWindowsExactly) {
+  const Duration on = Duration::micros(200);
+  const Duration off = Duration::micros(300);
+  const int64_t cycle_ns = (on + off).ns();
+  const auto xs =
+      draw_offsets(ArrivalSpec::on_off(500'000.0, on, off), base_seed(), 20000);
+  for (int64_t x : xs) {
+    ASSERT_LT(x % cycle_ns, on.ns()) << "arrival inside an off window";
+  }
+}
+
+TEST(ArrivalSchedule, OnOffMeanRateMatchesDutyCycle) {
+  const Duration on = Duration::micros(200);
+  const Duration off = Duration::micros(300);
+  const double burst = 500'000.0;
+  const ArrivalSpec spec = ArrivalSpec::on_off(burst, on, off);
+  EXPECT_DOUBLE_EQ(spec.mean_rate_rps(), burst * 0.4);
+
+  for (uint64_t s = 0; s < 3; ++s) {
+    ArrivalSchedule sched(spec, base_seed() + s);
+    const int64_t horizon_ns = Duration::millis(100).ns();  // 200 full cycles
+    uint64_t count = 0;
+    while (sched.next().ns() <= horizon_ns) {
+      ++count;
+    }
+    const double expect = spec.mean_rate_rps() * Duration::nanos(horizon_ns).to_seconds();
+    EXPECT_NEAR(static_cast<double>(count), expect, 0.05 * expect) << "seed offset " << s;
+  }
+}
+
+// --- diurnal modulation --------------------------------------------------------------------------
+
+TEST(ArrivalSchedule, DiurnalIntegratesToConfiguredMeanRate) {
+  const double rate = 100'000.0;
+  const Duration period = Duration::millis(2);
+  const ArrivalSpec spec = ArrivalSpec::diurnal(rate, 0.8, period);
+  EXPECT_DOUBLE_EQ(spec.mean_rate_rps(), rate);
+
+  for (uint64_t s = 0; s < 3; ++s) {
+    ArrivalSchedule sched(spec, base_seed() + s);
+    // A whole number of periods, so the sinusoid integrates out of the expectation.
+    const int64_t horizon_ns = Duration::millis(100).ns();
+    uint64_t count = 0;
+    uint64_t peak = 0;    // first half of each period: 1 + depth*sin in [1, 1.8]
+    uint64_t trough = 0;  // second half: in [0.2, 1]
+    int64_t x;
+    while ((x = sched.next().ns()) <= horizon_ns) {
+      ++count;
+      ((x % period.ns()) < period.ns() / 2 ? peak : trough) += 1;
+    }
+    const double expect = rate * Duration::nanos(horizon_ns).to_seconds();  // 10k arrivals
+    EXPECT_NEAR(static_cast<double>(count), expect, 0.06 * expect) << "seed offset " << s;
+    // The modulation is actually there: with depth 0.8 the half-period rate ratio is
+    // (1 + 2*0.8/pi) / (1 - 2*0.8/pi) ~ 3.1; a broken thinning step gives ~1.
+    EXPECT_GT(static_cast<double>(peak), 2.0 * static_cast<double>(trough))
+        << "seed offset " << s;
+  }
+}
+
+// --- log2-histogram quantiles --------------------------------------------------------------------
+
+// The exact nearest-rank quantile (rank = ceil(q * n), 1-based) of raw samples — the
+// definition Log2Histogram::quantile approximates to bucket granularity.
+uint64_t exact_nearest_rank(std::vector<uint64_t> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const double qn = q * static_cast<double>(xs.size());
+  uint64_t rank = static_cast<uint64_t>(qn);
+  if (static_cast<double>(rank) < qn || rank == 0) {
+    ++rank;
+  }
+  if (rank > xs.size()) {
+    rank = xs.size();
+  }
+  return xs[rank - 1];
+}
+
+TEST(Log2HistogramQuantile, WithinOneBucketOfExactQuantiles) {
+  Splitmix64 rng(base_seed());
+  for (int round = 0; round < 4; ++round) {
+    Log2Histogram h;
+    std::vector<uint64_t> raw;
+    // A long-tailed mix resembling latency-ns samples: bulk around 2^round scales plus a
+    // heavy tail, so the interesting quantiles cross several bucket boundaries.
+    const size_t n = 5000;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t v = (rng.next() % 100'000) + 1;
+      if (rng.next() % 100 < 5) {
+        v *= 1000;  // 5% tail
+      }
+      v <<= round;
+      raw.push_back(v);
+      h.add(v);
+    }
+    for (const double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+      const uint64_t exact = exact_nearest_rank(raw, q);
+      const uint64_t est = h.quantile(q);
+      // The estimate is the upper bound of the bucket holding the exact order statistic:
+      // same bucket, never a neighboring one.
+      EXPECT_EQ(Log2Histogram::bucket_of(est), Log2Histogram::bucket_of(exact)) << "q " << q;
+      EXPECT_EQ(est, Log2Histogram::bucket_upper(Log2Histogram::bucket_of(exact)))
+          << "q " << q;
+      EXPECT_GE(est, exact) << "q " << q;
+      // Within one bucket: the estimate overshoots by less than the exact value itself
+      // (bucket width < bucket lower bound for every bucket past 0).
+      if (exact > 1) {
+        EXPECT_LT(est - exact, exact) << "q " << q;
+      }
+    }
+  }
+}
+
+TEST(Log2HistogramQuantile, BoundaryCases) {
+  {
+    Log2Histogram h;  // single sample
+    h.add(7);
+    EXPECT_EQ(h.quantile(0.5), 7u);   // bucket 2 upper bound = 7: exact here
+    EXPECT_EQ(h.quantile(1.0), 7u);
+    EXPECT_EQ(h.quantile(0.001), 7u);
+  }
+  {
+    Log2Histogram h;  // all equal, at an exact power of two (lowest value of its bucket)
+    for (int i = 0; i < 1000; ++i) {
+      h.add(1024);
+    }
+    for (const double q : {0.001, 0.5, 0.99, 1.0}) {
+      EXPECT_EQ(h.quantile(q), 2047u) << "q " << q;  // bucket 10 holds [1024, 2047]
+    }
+  }
+  {
+    // Two samples in different buckets: q = 0.5 must pick rank 1 (ceil(0.5 * 2) = 1), and
+    // anything above 0.5 must pick rank 2 — the classic boundary off-by-one.
+    Log2Histogram h;
+    h.add(3);    // bucket 1
+    h.add(100);  // bucket 6
+    EXPECT_EQ(h.quantile(0.5), 3u);
+    EXPECT_EQ(h.quantile(0.50001), 127u);
+    EXPECT_EQ(h.quantile(1.0), 127u);
+  }
+  {
+    Log2Histogram h;  // zeros land in bucket 0, upper bound 1
+    h.add(0);
+    h.add(0);
+    EXPECT_EQ(h.quantile(0.5), 1u);
+  }
+  {
+    Log2Histogram h;  // the nearest-rank is exactly at a bucket-count boundary
+    for (int i = 0; i < 99; ++i) {
+      h.add(10);  // bucket 3: [8, 15]
+    }
+    h.add(1000);  // bucket 9: [512, 1023]
+    EXPECT_EQ(h.quantile(0.99), 15u);    // rank 99: still the low bucket
+    EXPECT_EQ(h.quantile(0.991), 1023u); // rank 100: the tail sample
+  }
+}
+
+TEST(Log2HistogramQuantile, MetricsRegistryPathAgreesWithRawSamples) {
+  MetricsRegistry reg;
+  Splitmix64 rng(base_seed() ^ 0xABCD);
+  std::vector<uint64_t> raw;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = (rng.next() % 1'000'000) + 1;
+    raw.push_back(v);
+    reg.observe("tenant.t0.latency_ns", v);
+  }
+  const Log2Histogram* h = reg.histogram("tenant.t0.latency_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), raw.size());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(Log2Histogram::bucket_of(h->quantile(q)),
+              Log2Histogram::bucket_of(exact_nearest_rank(raw, q)))
+        << "q " << q;
+  }
+}
+
+}  // namespace
+}  // namespace fractos
