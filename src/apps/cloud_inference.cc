@@ -10,7 +10,7 @@ namespace fractos {
 
 SimGpu::Kernel make_inference_kernel(Duration compute) {
   // args = {in_addr, out_addr, n_bytes}: out[i] = in[i] XOR 0x5A (content-verifiable).
-  return [compute](std::vector<uint8_t>& mem, const std::vector<uint64_t>& args) {
+  return [compute](PoolBytes& mem, const std::vector<uint64_t>& args) {
     FRACTOS_CHECK(args.size() >= 3);
     const uint64_t in = args[0];
     const uint64_t out = args[1];

@@ -29,7 +29,7 @@ std::vector<uint8_t> face_batch(uint32_t batch, uint32_t images_per_batch,
 }
 
 SimGpu::Kernel make_face_verify_kernel(Duration per_image_compute) {
-  return [per_image_compute](std::vector<uint8_t>& mem, const std::vector<uint64_t>& args) {
+  return [per_image_compute](PoolBytes& mem, const std::vector<uint64_t>& args) {
     FRACTOS_CHECK(args.size() >= 5);
     const uint64_t probe = args[0];
     const uint64_t db = args[1];

@@ -83,7 +83,7 @@ void RcudaDaemon::on_call(QueuePair* qp, const Payload& bytes) {
       const Duration staging =
           params_.call_cost + transfer_time(data.size(), params_.staging_bandwidth_bpns);
       cpu.run(staging, [this, addr, data = std::move(data), respond]() {
-        std::vector<uint8_t>& mem = net_->node(node()).pool(gpu_->pool());
+        PoolBytes& mem = net_->node(node()).pool(gpu_->pool());
         if (addr + data.size() > mem.size()) {
           respond(1, {}, Traffic::kControl);
           return;
@@ -99,7 +99,7 @@ void RcudaDaemon::on_call(QueuePair* qp, const Payload& bytes) {
       const Duration staging =
           params_.call_cost + transfer_time(size, params_.staging_bandwidth_bpns);
       cpu.run(staging, [this, addr, size, respond]() {
-        const std::vector<uint8_t>& mem = net_->node(node()).pool(gpu_->pool());
+        const PoolBytes& mem = net_->node(node()).pool(gpu_->pool());
         if (addr + size > mem.size()) {
           respond(1, {}, Traffic::kControl);
           return;

@@ -966,8 +966,8 @@ void Controller::sc_request_invoke(ProcState& p, uint64_t seq, const RequestInvo
   // before make_wire_caps so no tracked delegation children are minted for a doomed invoke.
   // A replicated seat is reachable through its acting leader after the seat itself dies.
   if (e.ref.owner != addr()) {
-    auto pit = peers_.find(route_owner(e.ref.owner));
-    if (pit == peers_.end() || pit->second.chan->severed()) {
+    Peer* pr = find_peer(route_owner(e.ref.owner));
+    if (pr == nullptr || pr->chan->severed()) {
       if (gated) {
         admission_release(p);
       }
@@ -1738,20 +1738,33 @@ void Controller::dispatch_monitor_fire(const ObjectTable::MonitorFire& fire) {
   send_peer(fire.sub.controller, make_envelope(next_seq_++, mf));
 }
 
-void Controller::send_peer(ControllerAddr peer, const Envelope& env, Traffic cat) {
+Controller::Peer* Controller::find_peer(ControllerAddr peer) {
   auto it = peers_.find(peer);
-  if (it == peers_.end() || it->second.chan->severed()) {
+  if (it != peers_.end()) {
+    return &it->second;
+  }
+  if (peer_connector_ == nullptr || failed_ || peer_connector_(peer) == nullptr) {
+    return nullptr;
+  }
+  it = peers_.find(peer);
+  FRACTOS_CHECK(it != peers_.end());
+  return &it->second;
+}
+
+void Controller::send_peer(ControllerAddr peer, const Envelope& env, Traffic cat) {
+  Peer* p = find_peer(peer);
+  if (p == nullptr || p->chan->severed()) {
     return;  // peer unreachable; stale capabilities will surface at use
   }
-  it->second.chan->send(cat, env);
+  p->chan->send(cat, env);
 }
 
 Future<Result<PeerReplyMsg>> Controller::call_peer(ControllerAddr peer, uint64_t op_id,
                                                    Envelope env) {
   Promise<Result<PeerReplyMsg>> promise;
   Future<Result<PeerReplyMsg>> inner = promise.future();
-  auto it = peers_.find(peer);
-  if (failed_ || it == peers_.end() || it->second.chan->severed()) {
+  Peer* pr = failed_ ? nullptr : find_peer(peer);
+  if (pr == nullptr || pr->chan->severed()) {
     promise.set(ErrorCode::kChannelClosed);
     return inner;
   }
@@ -1765,7 +1778,7 @@ Future<Result<PeerReplyMsg>> Controller::call_peer(ControllerAddr peer, uint64_t
       pending_op_spans_.emplace(op_id, span);
     }
   }
-  it->second.chan->send(Traffic::kControl, env);
+  pr->chan->send(Traffic::kControl, env);
   if (!net_->lossy()) {
     // Clean fabric: the reply always arrives (or the peer's sever completes the op), so no
     // timers are armed and simulated time is untouched — the pre-existing fast path.
@@ -1792,8 +1805,8 @@ Future<Result<PeerReplyMsg>> Controller::call_peer_derive(ControllerAddr peer,
   // send is deferred to flush_peer_batch.
   Promise<Result<PeerReplyMsg>> promise;
   Future<Result<PeerReplyMsg>> inner = promise.future();
-  auto it = peers_.find(peer);
-  if (failed_ || it == peers_.end() || it->second.chan->severed()) {
+  Peer* pr = failed_ ? nullptr : find_peer(peer);
+  if (pr == nullptr || pr->chan->severed()) {
     promise.set(ErrorCode::kChannelClosed);
     return inner;
   }
@@ -1843,8 +1856,8 @@ void Controller::flush_peer_batch(ControllerAddr peer) {
   if (batch.ops.empty()) {
     return;
   }
-  auto it = peers_.find(peer);
-  if (it == peers_.end() || it->second.chan->severed()) {
+  Peer* pr = find_peer(peer);
+  if (pr == nullptr || pr->chan->severed()) {
     return;  // on_peer_severed already failed every member op
   }
   if (MetricsRegistry* m = net_->loop()->metrics()) {
@@ -1858,7 +1871,7 @@ void Controller::flush_peer_batch(ControllerAddr peer) {
   RemoteDeriveBatchMsg msg;
   msg.ops = std::move(batch.ops);
   Envelope env = make_envelope(next_seq_++, std::move(msg));
-  it->second.chan->send(Traffic::kControl, env);
+  pr->chan->send(Traffic::kControl, env);
   if (net_->lossy()) {
     schedule_batch_resend(peer, std::move(op_ids), Channel::encode(env), 1);
   }
@@ -1888,9 +1901,9 @@ void Controller::schedule_batch_resend(ControllerAddr peer, std::vector<uint64_t
     if (MetricsRegistry* m = net_->loop()->metrics()) {
       m->add(mkeys_.peer_retries);
     }
-    auto it = peers_.find(peer);
-    if (it != peers_.end() && !it->second.chan->severed()) {
-      it->second.chan->send_encoded(Traffic::kControl, frame);
+    Peer* pr = find_peer(peer);
+    if (pr != nullptr && !pr->chan->severed()) {
+      pr->chan->send_encoded(Traffic::kControl, frame);
     }
     schedule_batch_resend(peer, std::move(op_ids), std::move(frame), attempt + 1);
   });
@@ -1912,9 +1925,9 @@ void Controller::schedule_peer_resend(ControllerAddr peer, uint64_t op_id, Paylo
     if (MetricsRegistry* m = net_->loop()->metrics()) {
       m->add(mkeys_.peer_retries);
     }
-    auto it = peers_.find(peer);
-    if (it != peers_.end() && !it->second.chan->severed()) {
-      it->second.chan->send_encoded(Traffic::kControl, frame);
+    Peer* pr = find_peer(peer);
+    if (pr != nullptr && !pr->chan->severed()) {
+      pr->chan->send_encoded(Traffic::kControl, frame);
     }
     schedule_peer_resend(peer, op_id, std::move(frame), attempt + 1);
   });

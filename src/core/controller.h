@@ -134,6 +134,14 @@ class Controller {
   // Creates the controller-side channel toward a peer Controller.
   Channel& connect_peer(ControllerAddr peer, Endpoint peer_ep);
 
+  // Lazy peer meshing (SystemConfig::lazy_controller_mesh): instead of an eager full mesh —
+  // O(n^2) channels, prohibitive at 1000+ Controllers — System installs this hook and the
+  // first send toward an unconnected peer resolves it on demand. The hook performs the
+  // two-sided connect (or returns nullptr for a dead/unknown peer) and costs no simulated
+  // time; see SystemConfig::lazy_controller_mesh for the one semantic narrowing.
+  using PeerConnector = std::function<Channel*(ControllerAddr)>;
+  void set_peer_connector(PeerConnector fn) { peer_connector_ = std::move(fn); }
+
   // Forgets a (severed) peer link so a restarted Controller can be re-meshed.
   void drop_peer(ControllerAddr peer) { peers_.erase(peer); }
 
@@ -406,7 +414,11 @@ class Controller {
     std::unique_ptr<Channel> chan;
     Endpoint endpoint;
   };
+  // Resolves `peer` to its live entry, lazily connecting through peer_connector_ when the
+  // mesh is lazy. nullptr = unknown, unconnectable, or this Controller has failed.
+  Peer* find_peer(ControllerAddr peer);
   std::unordered_map<ControllerAddr, Peer> peers_;
+  PeerConnector peer_connector_;
   std::unordered_map<uint64_t, Promise<Result<PeerReplyMsg>>> pending_ops_;
   std::unordered_map<uint64_t, ControllerAddr> pending_op_peer_;
   // Open peer-op spans by op id (populated only while a SpanTracer is alive); a timed-out or

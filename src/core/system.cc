@@ -75,13 +75,35 @@ std::optional<std::string> SystemConfig::validate(uint32_t num_nodes) const {
            "ns): candidacy-by-silence is checked at heartbeat granularity, so adjacent "
            "ranks would stand in the same tick, split the vote, and retry in lockstep";
   }
-  if (topology.kind == TopologySpec::Kind::kFatTree) {
-    if (topology.nodes_per_rack == 0) {
-      return "fat-tree topology needs nodes_per_rack >= 1";
+  if (auto err = topology.validate(num_nodes); err.has_value()) {
+    return err;
+  }
+  if (engine_shards > 0 || engine_racks > 0) {
+    if (topology.kind != TopologySpec::Kind::kFatTree) {
+      return "engine_shards/engine_racks require a fat-tree topology: the flat model has "
+             "no racks to partition the event loop by";
     }
-    if (topology.num_spines == 0) {
-      return "fat-tree topology needs num_spines >= 1 (no cross-rack path otherwise)";
+    if (engine_shards == 0 || engine_racks == 0) {
+      return "engine_shards and engine_racks must both be set (or both zero): the sharded "
+             "engine needs the shard count and the total rack count up front";
     }
+    if (engine_racks < engine_shards) {
+      return "engine_racks (" + std::to_string(engine_racks) + ") < engine_shards (" +
+             std::to_string(engine_shards) + "): some shards would own no rack";
+    }
+    if (num_nodes > 0 && num_nodes != engine_racks * topology.nodes_per_rack) {
+      return "engine_racks (" + std::to_string(engine_racks) + ") x nodes_per_rack (" +
+             std::to_string(topology.nodes_per_rack) + ") does not match the cluster size (" +
+             std::to_string(num_nodes) + " node(s))";
+    }
+    if (faults.has_value()) {
+      return "engine_shards requires a clean fabric: the fault injector draws rng in global "
+             "send order, which a rack-parallel run does not have";
+    }
+  }
+  if (lazy_controller_mesh && replication_group_size != 0) {
+    return "lazy_controller_mesh is incompatible with replication: leader announcements "
+           "broadcast over the full peer mesh, which a lazy mesh only grows on demand";
   }
   if (!faults.has_value()) {
     return std::nullopt;
@@ -154,6 +176,12 @@ System::System(SystemConfig config) : config_(config) {
   if (auto err = config_.validate(); err.has_value()) {
     FRACTOS_CHECK_MSG(false, err->c_str());
   }
+  if (config_.engine_shards > 0) {
+    // Must happen before the Network exists: sharding is only legal on a pristine loop, and
+    // Network::add_node consults loop().sharded() to size per-rack state.
+    loop_.enable_sharding(config_.engine_shards, config_.engine_racks,
+                          config_.topology.min_cross_rack_latency());
+  }
   net_ = std::make_unique<Network>(&loop_, config_.fabric, config_.topology);
   if (config_.faults.has_value()) {
     net_->install_fault_injector(*config_.faults);
@@ -214,6 +242,13 @@ Controller& System::add_controller(uint32_t node, Loc loc) {
 }
 
 void System::mesh_controller(Controller& c) {
+  if (config_.lazy_controller_mesh) {
+    // No eager pairs: the first send toward an unconnected peer resolves through
+    // lazy_connect. &c is stable (controllers_ holds unique_ptrs).
+    c.set_peer_connector(
+        [this, &c](ControllerAddr peer) { return lazy_connect(c, peer); });
+    return;
+  }
   for (auto& other : controllers_) {
     if (other.get() == &c || other->failed()) {
       continue;
@@ -225,6 +260,29 @@ void System::mesh_controller(Controller& c) {
     c.note_peer_generation(other->addr(), other->table().reboot_count());
     other->note_peer_generation(c.addr(), c.table().reboot_count());
   }
+}
+
+Channel* System::lazy_connect(Controller& self, ControllerAddr peer_addr) {
+  // Connecting mutates both Controllers' peer maps — setup-time state that must never grow
+  // from inside a parallel window (two shards could race on it). Workloads run under
+  // run_parallel() must establish their peer links during cooperative setup (ingest,
+  // warm-up), which every closed-loop driver here does naturally.
+  FRACTOS_CHECK_MSG(!loop_.parallel_active(),
+                    "lazy_controller_mesh: first contact between two Controllers must "
+                    "happen outside run_parallel() (connect during setup/warm-up)");
+  Controller* other = controller_by_addr(peer_addr);
+  if (other == nullptr || other->failed() || other == &self) {
+    return nullptr;
+  }
+  // A severed leftover on the other side (self failed and restarted without a
+  // restart_controller round) would fail connect_peer's uniqueness CHECK; drop it first.
+  other->drop_peer(self.addr());
+  Channel& mine = self.connect_peer(other->addr(), other->endpoint());
+  Channel& theirs = other->connect_peer(self.addr(), self.endpoint());
+  Channel::connect(mine, theirs);
+  self.note_peer_generation(other->addr(), other->table().reboot_count());
+  other->note_peer_generation(self.addr(), self.table().reboot_count());
+  return &mine;
 }
 
 std::vector<Controller*> System::controllers() {

@@ -84,7 +84,7 @@ void SimGpu::launch(KernelId id, std::vector<uint64_t> args, std::function<void(
   }
   // Execute the kernel body now (the data transformation is instantaneous from the
   // simulation's point of view; its COST is what the engine models).
-  std::vector<uint8_t>& mem = net_->node(node_).pool(pool_);
+  PoolBytes& mem = net_->node(node_).pool(pool_);
   const Duration compute = it->second(mem, args);
   const Duration total = params_.launch_overhead + compute;
   const Time start = max(net_->loop()->now(), engine_free_);

@@ -33,7 +33,7 @@ class SimGpu {
 
   // A kernel executes over the device pool and returns its compute duration.
   using Kernel =
-      std::function<Duration(std::vector<uint8_t>& mem, const std::vector<uint64_t>& args)>;
+      std::function<Duration(PoolBytes& mem, const std::vector<uint64_t>& args)>;
   using ContextId = uint32_t;
   using KernelId = uint32_t;
 

@@ -12,16 +12,18 @@ Node::Node(EventLoop* loop, uint32_t id, std::string name, bool with_snic)
 }
 
 PoolId Node::add_pool(uint64_t size) {
-  pools_.emplace_back(size, 0);
+  // Sized construction (not fill-construction) so PoolAlloc's no-op value-init applies and
+  // the calloc'd pages stay untouched.
+  pools_.emplace_back(size);
   return static_cast<PoolId>(pools_.size() - 1);
 }
 
-std::vector<uint8_t>& Node::pool(PoolId id) {
+PoolBytes& Node::pool(PoolId id) {
   FRACTOS_CHECK(id < pools_.size());
   return pools_[id];
 }
 
-const std::vector<uint8_t>& Node::pool(PoolId id) const {
+const PoolBytes& Node::pool(PoolId id) const {
   FRACTOS_CHECK(id < pools_.size());
   return pools_[id];
 }

@@ -10,9 +10,12 @@
 #define SRC_FABRIC_NODE_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <new>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/result.h"
@@ -34,6 +37,38 @@ struct Endpoint {
 };
 
 using PoolId = uint32_t;
+
+// Allocator backing memory pools: calloc hands out copy-on-write zero pages, so a freshly
+// registered pool is all-zeros without an explicit memset ever walking it, and the no-arg
+// construct() keeps vector value-initialization from walking it either. A 1024-node cluster
+// registers tens of GB of pool bytes (every GPU models 256 MB of device memory) of which a
+// workload touches a few hundred MB; eager zeroing would materialize all of it in RSS.
+template <typename T>
+struct PoolAlloc {
+  using value_type = T;
+  PoolAlloc() = default;
+  template <typename U>
+  explicit PoolAlloc(const PoolAlloc<U>&) {}
+  T* allocate(size_t n) {
+    if (void* p = std::calloc(n, sizeof(T))) {
+      return static_cast<T*>(p);
+    }
+    throw std::bad_alloc();
+  }
+  void deallocate(T* p, size_t) { std::free(p); }
+  template <typename U>
+  void construct(U*) {}
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+  bool operator==(const PoolAlloc&) const { return true; }
+  bool operator!=(const PoolAlloc&) const { return false; }
+};
+
+// A pool's backing bytes. Identical to std::vector<uint8_t> semantically (zero-initialized,
+// contiguous, sized), but untouched pages never hit RSS.
+using PoolBytes = std::vector<uint8_t, PoolAlloc<uint8_t>>;
 
 // The rkey carried by an RDMA operation: names the Memory object that authorizes the access
 // (owner controller address, object index, reboot generation). The fabric treats it as
@@ -69,8 +104,8 @@ class Node {
   // Registers a new RDMA-accessible memory pool of `size` bytes, zero-initialized.
   PoolId add_pool(uint64_t size);
   bool has_pool(PoolId pool) const { return pool < pools_.size(); }
-  std::vector<uint8_t>& pool(PoolId id);
-  const std::vector<uint8_t>& pool(PoolId id) const;
+  PoolBytes& pool(PoolId id);
+  const PoolBytes& pool(PoolId id) const;
 
   // Bounds check for an RDMA op against a pool.
   Status check_extent(PoolId pool, uint64_t addr, uint64_t size) const;
@@ -90,7 +125,7 @@ class Node {
   std::string name_;
   ExecContext host_;
   std::unique_ptr<ExecContext> snic_;
-  std::vector<std::vector<uint8_t>> pools_;
+  std::vector<PoolBytes> pools_;
   RdmaAuthorizer authorizer_;
   bool failed_ = false;
 };

@@ -10,9 +10,11 @@
 // Payload copies are refcount bumps. The bytes are copied exactly once, at the origin
 // (`Payload{std::move(vec)}` doesn't even copy — it adopts the vector). Immutability makes
 // the sharing safe: no API exposes a mutable view, so a retransmitted message and its
-// original can alias the same Rep forever. The refcount is deliberately non-atomic — the
-// simulator is single-threaded by design (see src/sim/event_loop.h) and an atomic would put
-// a lock prefix on the hottest data-path operation for no benefit.
+// original can alias the same Rep forever. The refcount is atomic (relaxed increments,
+// acquire-release decrement) because sharded parallel runs (DESIGN.md §4j) can retain and
+// release a Rep from different shard threads — e.g. a retransmit buffer freed after its
+// payload crossed a rack boundary. Uncontended atomic RMWs are a few cycles; measured noise
+// on bench_simspeed's soaks.
 //
 // `std::vector<uint8_t>` converts implicitly, so existing call sites that build a vector
 // (or a braced list) keep compiling; they now pay one adoption instead of N copies.
@@ -20,6 +22,7 @@
 #ifndef SRC_FABRIC_PAYLOAD_H_
 #define SRC_FABRIC_PAYLOAD_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
@@ -45,7 +48,7 @@ class Payload {
 
   Payload(const Payload& other) : rep_(other.rep_) {
     if (rep_ != nullptr) {
-      ++rep_->refs;
+      rep_->refs.fetch_add(1, std::memory_order_relaxed);
     }
   }
   Payload(Payload&& other) noexcept : rep_(other.rep_) { other.rep_ = nullptr; }
@@ -79,12 +82,12 @@ class Payload {
 
  private:
   struct Rep {
-    size_t refs;
+    std::atomic<size_t> refs;
     std::vector<uint8_t> bytes;
   };
 
   void unref() {
-    if (rep_ != nullptr && --rep_->refs == 0) {
+    if (rep_ != nullptr && rep_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       delete rep_;
     }
     rep_ = nullptr;

@@ -6,6 +6,28 @@
 
 namespace fractos {
 
+std::optional<std::string> TopologySpec::validate(uint32_t num_nodes) const {
+  if (kind == Kind::kSingleSwitch) {
+    return std::nullopt;
+  }
+  if (nodes_per_rack == 0) {
+    return "fat-tree topology needs nodes_per_rack >= 1";
+  }
+  if (num_spines == 0) {
+    return "fat-tree topology needs num_spines >= 1 (no cross-rack path otherwise)";
+  }
+  if (num_nodes > 0 && num_nodes % nodes_per_rack != 0) {
+    const uint32_t missing = nodes_per_rack - num_nodes % nodes_per_rack;
+    return "fat-tree with " + std::to_string(num_nodes) +
+           " node(s) does not divide into racks of " + std::to_string(nodes_per_rack) +
+           ": the last rack would be silently under-filled, skewing rack-local vs "
+           "cross-rack ratios; pick a nodes_per_rack that divides the node count, or add " +
+           std::to_string(missing) + " node(s) to fill rack " +
+           std::to_string(num_nodes / nodes_per_rack);
+  }
+  return std::nullopt;
+}
+
 Topology::Topology(TopologySpec spec) : spec_(spec) {
   if (!flat()) {
     FRACTOS_CHECK(spec_.nodes_per_rack > 0);
@@ -96,6 +118,15 @@ void Topology::route(Endpoint src, Endpoint dst, std::vector<Hop>* out) {
       Hop{tors_[src_rack].get(), spec_.nodes_per_rack + s, tor_id(src_rack), spine_id(s)});
   out->push_back(Hop{spines_[s].get(), dst_rack, spine_id(s), tor_id(dst_rack)});
   out->push_back(Hop{tors_[dst_rack].get(), dst_local, tor_id(dst_rack), dst.node});
+}
+
+void Topology::presize_ports() {
+  for (const auto& t : tors_) {
+    t->ensure_ports(spec_.nodes_per_rack + spec_.num_spines);
+  }
+  for (const auto& s : spines_) {
+    s->ensure_ports(static_cast<uint32_t>(tors_.size()));
+  }
 }
 
 uint64_t Topology::max_port_queue_bytes() const {

@@ -10,7 +10,9 @@
 //     state soak allocates nothing per event no matter the capture size. Callables larger
 //     than a pool block (rare) fall back to plain new/delete.
 //
-// Single-threaded by design, like the rest of the simulator: the freelist is unsynchronized.
+// The freelist is per-thread (thread_local), so sharded parallel runs (DESIGN.md §4j) stay
+// lock-free: a callback allocated on one shard thread and destroyed on another simply
+// migrates its block to the destroyer's freelist.
 
 #ifndef SRC_SIM_INLINE_FN_H_
 #define SRC_SIM_INLINE_FN_H_
@@ -41,7 +43,7 @@ struct Pool {
 };
 
 inline Pool& pool() {
-  static Pool p;
+  static thread_local Pool p;
   return p;
 }
 

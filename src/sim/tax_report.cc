@@ -55,9 +55,10 @@ TaxBucket tax_bucket_of(SpanKind kind) {
   return TaxBucket::kOther;
 }
 
-TaxBreakdown fold_tax(const SpanTracer& tracer, uint64_t trace_id) {
+namespace {
+
+TaxBreakdown fold_spans(const std::vector<const Span*>& spans, uint64_t trace_id) {
   TaxBreakdown out;
-  const std::vector<const Span*> spans = tracer.trace(trace_id);
   const Span* root = nullptr;
   for (const Span* s : spans) {
     if (s->span_id == trace_id) {
@@ -76,8 +77,44 @@ TaxBreakdown fold_tax(const SpanTracer& tracer, uint64_t trace_id) {
   }
 
   // Clip every span to the root interval; open spans extend to the root's end. Depth is the
-  // distance to the root along the parent chain (parents are always created first, so one
-  // pass in creation order resolves every chain).
+  // distance to the root along the parent chain, resolved by memoized chain walks — a span
+  // gathered from one rack's tracer may precede its parent from another rack's in `spans`,
+  // so a single in-order pass would not do.
+  std::unordered_map<uint64_t, const Span*> by_id;
+  by_id.reserve(spans.size());
+  for (const Span* s : spans) {
+    by_id.emplace(s->span_id, s);
+  }
+  std::unordered_map<uint64_t, int> depth;
+  depth.reserve(spans.size());
+  const auto depth_of = [&](const Span* s) {
+    int walked = 0;
+    const Span* cur = s;
+    // Walk up until a memoized ancestor, the root, or a parent outside this trace's span set
+    // (treated as depth 0, matching the old behavior for unknown parents).
+    int base = 0;
+    for (;;) {
+      const auto memo = depth.find(cur->span_id);
+      if (memo != depth.end()) {
+        base = memo->second;
+        break;
+      }
+      if (cur->parent == 0) {
+        break;
+      }
+      const auto pit = by_id.find(cur->parent);
+      if (pit == by_id.end()) {
+        ++walked;  // unknown parent counts as one hop above an (absent) depth-0 ancestor
+        break;
+      }
+      cur = pit->second;
+      ++walked;
+    }
+    const int d = base + walked;
+    depth[s->span_id] = d;
+    return d;
+  };
+
   struct Clipped {
     int64_t lo;
     int64_t hi;
@@ -86,15 +123,9 @@ TaxBreakdown fold_tax(const SpanTracer& tracer, uint64_t trace_id) {
     TaxBucket bucket;
   };
   std::vector<Clipped> clipped;
-  std::unordered_map<uint64_t, int> depth;
   clipped.reserve(spans.size());
   for (const Span* s : spans) {
-    int d = 0;
-    if (s->parent != 0) {
-      auto it = depth.find(s->parent);
-      d = (it == depth.end() ? 0 : it->second) + 1;
-    }
-    depth[s->span_id] = d;
+    const int d = depth_of(s);
     const int64_t a = std::max(s->t_start.ns(), lo);
     const int64_t b = std::min(s->open ? hi : s->t_end.ns(), hi);
     if (a < b) {
@@ -128,6 +159,24 @@ TaxBreakdown fold_tax(const SpanTracer& tracer, uint64_t trace_id) {
     out.ns[static_cast<size_t>(best->bucket)] += b - a;
   }
   return out;
+}
+
+}  // namespace
+
+TaxBreakdown fold_tax(const SpanTracer& tracer, uint64_t trace_id) {
+  return fold_spans(tracer.trace(trace_id), trace_id);
+}
+
+TaxBreakdown fold_tax(const std::vector<const SpanTracer*>& tracers, uint64_t trace_id) {
+  std::vector<const Span*> spans;
+  for (const SpanTracer* t : tracers) {
+    if (t == nullptr) {
+      continue;
+    }
+    const std::vector<const Span*> part = t->trace(trace_id);
+    spans.insert(spans.end(), part.begin(), part.end());
+  }
+  return fold_spans(spans, trace_id);
 }
 
 std::string tax_table(const std::vector<std::pair<std::string, TaxBreakdown>>& rows) {

@@ -214,7 +214,7 @@ class RcudaTest : public ::testing::Test {
     gpu_node_ = net_.add_node("gpu");
     gpu_ = std::make_unique<SimGpu>(&net_, gpu_node_);
     daemon_ = std::make_unique<RcudaDaemon>(&net_, gpu_.get());
-    daemon_->register_kernel("inc", [](std::vector<uint8_t>& mem,
+    daemon_->register_kernel("inc", [](PoolBytes& mem,
                                        const std::vector<uint64_t>& args) {
       for (uint64_t i = 0; i < args[1]; ++i) {
         mem[args[0] + i] = static_cast<uint8_t>(mem[args[0] + i] + 1);

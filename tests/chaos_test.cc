@@ -127,7 +127,7 @@ ChaosOutcome run_chaos(uint64_t seed, int ops, MetricsRegistry* metrics = nullpt
   auto gpu = std::make_unique<SimGpu>(&sys.net(), gn);
   auto gpu_adaptor = std::make_unique<GpuAdaptor>(&sys, cg, gpu.get());
   gpu_adaptor->register_kernel(
-      "xor", [](std::vector<uint8_t>& m, const std::vector<uint64_t>& a) {
+      "xor", [](PoolBytes& m, const std::vector<uint64_t>& a) {
         for (uint64_t i = 0; i < a[2]; ++i) {
           m[a[1] + i] = static_cast<uint8_t>(m[a[0] + i] ^ 0x77);
         }

@@ -65,7 +65,7 @@ TEST_F(GpuTest, KernelExecutesOverDeviceMemoryWithModeledTime) {
   for (int i = 0; i < 256; ++i) {
     mem[buf + static_cast<uint64_t>(i)] = static_cast<uint8_t>(i);
   }
-  const auto kid = gpu_->load_kernel("add1", [](std::vector<uint8_t>& m,
+  const auto kid = gpu_->load_kernel("add1", [](PoolBytes& m,
                                                 const std::vector<uint64_t>& args) {
     const uint64_t addr = args[0];
     const uint64_t n = args[1];
@@ -88,7 +88,7 @@ TEST_F(GpuTest, KernelExecutesOverDeviceMemoryWithModeledTime) {
 }
 
 TEST_F(GpuTest, LaunchesSerializeOnEngine) {
-  const auto kid = gpu_->load_kernel("sleep", [](std::vector<uint8_t>&,
+  const auto kid = gpu_->load_kernel("sleep", [](PoolBytes&,
                                                  const std::vector<uint64_t>&) {
     return Duration::micros(50);
   });

@@ -1,0 +1,401 @@
+// Tests for the sharded parallel simulation engine (DESIGN.md §4j).
+//
+// The contract under test has two halves:
+//   * Shard-count invariance — a sharded run fires the canonical (when, src_rack, rack_seq)
+//     event order, so every per-rack observable (latency samples, traffic counters, merged
+//     metrics, span dumps, tax breakdowns) is identical for 1, 2, and 4 shards. The 1-shard
+//     cooperative run is the ground truth the threaded runs must reproduce.
+//   * Run-to-run determinism — a parallel run is byte-stable across repetitions regardless
+//     of thread scheduling: cross-shard events are ordered by their (when, seq) stamp, never
+//     by wall-clock mailbox arrival.
+//
+// The end-to-end differential runs bench_scaleout's 12-node face-verification scenario
+// (3 pods striped over 4 racks) for both the FractOS deployment and the CPU-centric
+// baseline, at every shard count, and compares full run fingerprints.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/face_verify.h"
+#include "src/core/system.h"
+#include "src/sim/metrics.h"
+#include "src/sim/tax_report.h"
+
+namespace fractos {
+namespace {
+
+// --- engine-level invariants ------------------------------------------------------------------
+
+// Events scheduled from four rack namespaces must fire in the canonical order for any shard
+// count — including equal-time events, which order by (src_rack, per-rack issue order).
+std::vector<std::pair<int64_t, int>> coop_firing_order(uint32_t shards) {
+  EventLoop loop;
+  loop.enable_sharding(shards, /*num_racks=*/4, Duration::nanos(100));
+  std::vector<std::pair<int64_t, int>> fired;
+  for (uint32_t r = 0; r < 4; ++r) {
+    RackScope scope(r);
+    for (int i = 0; i < 64; ++i) {
+      const int tag = static_cast<int>(r) * 1000 + i;
+      // Deliberately collapse many events onto few timestamps to exercise tie-breaking.
+      loop.schedule_at(Time::from_ns((i * 7) % 5), [&fired, &loop, tag]() {
+        fired.emplace_back(loop.now().ns(), tag);
+      });
+    }
+  }
+  loop.run();
+  return fired;
+}
+
+TEST(ShardedEngine, CooperativeOrderIsShardCountInvariant) {
+  const auto one = coop_firing_order(1);
+  ASSERT_EQ(one.size(), 256u);
+  EXPECT_EQ(one, coop_firing_order(2));
+  EXPECT_EQ(one, coop_firing_order(4));
+}
+
+// A ring of cross-rack chains driven through post_remote. Each rack records its own firing
+// times (rack-confined state, so the recording itself is race-free under run_parallel).
+struct ChainResult {
+  std::vector<std::vector<int64_t>> per_rack;
+  uint64_t events = 0;
+  int64_t final_now = 0;
+  uint64_t mailbox_hwm = 0;
+};
+
+ChainResult run_chains(uint32_t shards, bool parallel) {
+  constexpr uint32_t kRacks = 4;
+  EventLoop loop;
+  loop.enable_sharding(shards, kRacks, Duration::nanos(100));
+
+  struct Chain {
+    EventLoop* loop;
+    std::vector<std::vector<int64_t>> rec{kRacks};
+    void step(uint32_t rack, int depth) {
+      rec[rack].push_back(loop->now().ns());
+      if (depth == 0) {
+        return;
+      }
+      const uint32_t next = (rack + 1) % kRacks;
+      // 150 ns >= the 100 ns lookahead; distinct chains collide on timestamps on purpose.
+      loop->post_remote(next, loop->now() + Duration::nanos(150),
+                        [this, next, depth]() { step(next, depth - 1); });
+    }
+  };
+  Chain chain{&loop};
+
+  for (uint32_t r = 0; r < kRacks; ++r) {
+    RackScope scope(r);
+    for (int c = 0; c < 3; ++c) {
+      loop.schedule_at(Time::from_ns(r + c), [&chain, r]() { chain.step(r, 200); });
+    }
+  }
+  ChainResult out;
+  out.events = parallel ? loop.run_parallel() : loop.run();
+  out.per_rack = std::move(chain.rec);
+  out.final_now = loop.now().ns();
+  out.mailbox_hwm = loop.mailbox_high_water();
+  return out;
+}
+
+TEST(ShardedEngine, ParallelChainsMatchCooperativeBaseline) {
+  const ChainResult base = run_chains(1, /*parallel=*/false);
+  ASSERT_EQ(base.events, 4u * 3u * 201u);
+  for (const uint32_t shards : {2u, 4u}) {
+    const ChainResult coop = run_chains(shards, /*parallel=*/false);
+    EXPECT_EQ(base.per_rack, coop.per_rack) << shards << " shards, cooperative";
+    const ChainResult par = run_chains(shards, /*parallel=*/true);
+    EXPECT_EQ(base.per_rack, par.per_rack) << shards << " shards, parallel";
+    EXPECT_EQ(base.events, par.events);
+    EXPECT_EQ(base.final_now, par.final_now);
+    // Chains hop between racks on different shards every step, so the windowed run must
+    // have routed events through the cross-shard mailboxes.
+    EXPECT_GT(par.mailbox_hwm, 0u);
+  }
+}
+
+TEST(ShardedEngine, ParallelRunIsDeterministicAcrossRepetitions) {
+  const ChainResult first = run_chains(4, /*parallel=*/true);
+  for (int rep = 0; rep < 9; ++rep) {
+    const ChainResult again = run_chains(4, /*parallel=*/true);
+    ASSERT_EQ(first.per_rack, again.per_rack) << "repetition " << rep;
+    ASSERT_EQ(first.events, again.events);
+    ASSERT_EQ(first.final_now, again.final_now);
+  }
+}
+
+// --- configuration validation ------------------------------------------------------------------
+
+TEST(TopologyValidate, RejectsUnevenFatTree) {
+  const TopologySpec spec = TopologySpec::fat_tree(/*nodes_per_rack=*/8, /*num_spines=*/2);
+  EXPECT_FALSE(spec.validate(16).has_value());
+  EXPECT_FALSE(spec.validate(0).has_value());  // unknown size: shape-only checks
+  const auto err = spec.validate(20);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("does not divide"), std::string::npos);
+  EXPECT_NE(err->find("add 4 node(s)"), std::string::npos);
+
+  TopologySpec no_spines = TopologySpec::fat_tree(8, 2);
+  no_spines.num_spines = 0;
+  ASSERT_TRUE(no_spines.validate().has_value());
+  EXPECT_NE(no_spines.validate()->find("num_spines"), std::string::npos);
+
+  TopologySpec empty_racks = TopologySpec::fat_tree(8, 2);
+  empty_racks.nodes_per_rack = 0;
+  ASSERT_TRUE(empty_racks.validate().has_value());
+
+  EXPECT_FALSE(TopologySpec::single_switch().validate(17).has_value());
+}
+
+TEST(ShardedConfig, ValidateRejectsInconsistentEngineSettings) {
+  SystemConfig flat;
+  flat.engine_shards = 2;
+  flat.engine_racks = 4;
+  ASSERT_TRUE(flat.validate().has_value());
+  EXPECT_NE(flat.validate()->find("fat-tree"), std::string::npos);
+
+  SystemConfig half;
+  half.topology = TopologySpec::fat_tree(3, 2);
+  half.engine_shards = 2;
+  ASSERT_TRUE(half.validate().has_value());
+  EXPECT_NE(half.validate()->find("both be set"), std::string::npos);
+
+  SystemConfig starved;
+  starved.topology = TopologySpec::fat_tree(3, 2);
+  starved.engine_shards = 4;
+  starved.engine_racks = 2;
+  ASSERT_TRUE(starved.validate().has_value());
+  EXPECT_NE(starved.validate()->find("own no rack"), std::string::npos);
+
+  SystemConfig sized;
+  sized.topology = TopologySpec::fat_tree(3, 2);
+  sized.engine_shards = 2;
+  sized.engine_racks = 4;
+  EXPECT_FALSE(sized.validate(12).has_value());
+  ASSERT_TRUE(sized.validate(15).has_value());
+
+  SystemConfig faulty;
+  faulty.topology = TopologySpec::fat_tree(3, 2);
+  faulty.engine_shards = 2;
+  faulty.engine_racks = 4;
+  faulty.faults = FaultPlan{};
+  ASSERT_TRUE(faulty.validate().has_value());
+  EXPECT_NE(faulty.validate()->find("clean fabric"), std::string::npos);
+}
+
+// --- end-to-end differential: bench_scaleout's 12-node face-verify scenario -------------------
+//
+// 3 pods of 4 nodes, resource classes striped across 4 racks (frontends = rack 0, FS =
+// rack 1, storage = rack 2, GPUs = rack 3) — every request crosses the bisection.
+
+constexpr uint32_t kPods = 3;
+constexpr uint32_t kRacks = 4;
+constexpr int kPerPod = 6;
+constexpr int kInflight = 2;
+
+FaceVerifyParams test_params() {
+  FaceVerifyParams p;
+  p.image_bytes = 16 << 10;
+  p.images_per_batch = 2;
+  p.num_batches = 3;
+  p.pool_slots = 2;
+  p.per_image_compute = Duration::micros(120);
+  return p;
+}
+
+// Runs the full scenario at `shards` and returns a fingerprint string covering every
+// observable the differential must pin: event count, final simulated time, per-request
+// latency samples, traffic counters, merged per-rack metrics, and (when traced) the merged
+// span dump plus the disaggregation-tax table of the measured window.
+template <typename App>
+std::string facever_fingerprint(uint32_t shards, bool traced, bool lazy_mesh = false) {
+  SystemConfig cfg;
+  cfg.topology = TopologySpec::fat_tree(kPods, 2);
+  cfg.engine_shards = shards;
+  cfg.engine_racks = kRacks;
+  cfg.lazy_controller_mesh = lazy_mesh;
+  System sys(cfg);
+
+  std::vector<std::unique_ptr<MetricsRegistry>> regs;
+  std::vector<std::unique_ptr<SpanTracer>> tracers;
+  for (uint32_t r = 0; r < kRacks; ++r) {
+    regs.push_back(std::make_unique<MetricsRegistry>());
+    sys.loop().set_rack_metrics(r, regs.back().get());
+    if (traced) {
+      tracers.push_back(std::make_unique<SpanTracer>(uint64_t{r} << 40));
+      sys.loop().set_rack_span_tracer(r, tracers.back().get());
+    }
+  }
+
+  for (const char* role : {"frontend", "fs", "storage", "gpu"}) {
+    for (uint32_t p = 0; p < kPods; ++p) {
+      sys.add_node(std::string(role) + std::to_string(p));
+    }
+  }
+  std::vector<std::unique_ptr<FaceVerifyCluster>> clusters;
+  std::vector<std::unique_ptr<App>> apps;
+  for (uint32_t p = 0; p < kPods; ++p) {
+    auto c = std::make_unique<FaceVerifyCluster>();
+    c->frontend_node = p;
+    c->fs_node = kPods + p;
+    c->storage_node = 2 * kPods + p;
+    c->gpu_node = 3 * kPods + p;
+    c->nvme = std::make_unique<SimNvme>(&sys.loop());
+    c->gpu = std::make_unique<SimGpu>(&sys.net(), c->gpu_node);
+    clusters.push_back(std::move(c));
+  }
+  for (uint32_t p = 0; p < kPods; ++p) {
+    if constexpr (std::is_same_v<App, FaceVerifyFractos>) {
+      apps.push_back(
+          std::make_unique<App>(&sys, clusters[p].get(), Loc::kHost, test_params()));
+    } else {
+      apps.push_back(std::make_unique<App>(&sys, clusters[p].get(), test_params()));
+    }
+    apps.back()->ingest_database();
+  }
+  for (auto& app : apps) {
+    const Result<bool> warm = sys.await(app->verify(0));
+    FRACTOS_CHECK(warm.ok() && warm.value());
+  }
+
+  // Closed-loop measured phase. All completion bookkeeping runs on frontend (rack 0)
+  // events, so the shared vectors below are touched by exactly one shard.
+  std::vector<int> issued(kPods, 0);
+  std::vector<uint32_t> round(kPods, 0);
+  std::vector<int64_t> lat_ns;
+  int done = 0;
+  std::function<void(uint32_t)> next = [&](uint32_t p) {
+    if (issued[p] == kPerPod) {
+      return;
+    }
+    ++issued[p];
+    const uint32_t batch = round[p]++ % test_params().num_batches;
+    const Time t0 = sys.loop().now();
+    apps[p]->verify(batch).on_ready([&, t0, p](Result<bool>&& r) {
+      FRACTOS_CHECK(r.ok() && r.value());
+      lat_ns.push_back((sys.loop().now() - t0).ns());
+      ++done;
+      next(p);
+    });
+  };
+
+  uint64_t trace_root = 0;
+  {
+    RackScope scope(0);  // frontends live in rack 0
+    std::optional<SpanScope> span_scope;
+    if (traced) {
+      trace_root = tracers[0]->start_trace("driver", "measured", sys.loop().now());
+      span_scope.emplace(tracers[0]->context_of(trace_root));
+    }
+    for (uint32_t p = 0; p < kPods; ++p) {
+      for (int i = 0; i < kInflight; ++i) {
+        next(p);
+      }
+    }
+  }
+  const uint64_t fired = sys.loop().run_parallel();
+  FRACTOS_CHECK(done == static_cast<int>(kPods) * kPerPod);
+  if (traced) {
+    tracers[0]->end(trace_root, sys.loop().now());
+  }
+
+  std::string out;
+  out += "events=" + std::to_string(fired) + "\n";
+  out += "steps=" + std::to_string(sys.loop().steps()) + "\n";
+  out += "now_ns=" + std::to_string(sys.loop().now().ns()) + "\n";
+  out += "lat_ns=";
+  for (const int64_t v : lat_ns) {
+    out += std::to_string(v) + ",";
+  }
+  out += "\n";
+  const TrafficCounters& c = sys.net().counters();
+  out += "msgs=" + std::to_string(c.total_messages()) +
+         " bytes=" + std::to_string(c.total_bytes()) +
+         " cross=" + std::to_string(c.total_cross_messages()) + "/" +
+         std::to_string(c.total_cross_bytes()) +
+         " rack_local=" + std::to_string(c.total_rack_local_messages()) + "/" +
+         std::to_string(c.total_rack_local_bytes()) +
+         " cross_rack=" + std::to_string(c.total_cross_rack_messages()) + "/" +
+         std::to_string(c.total_cross_rack_bytes()) + "\n";
+  out += "max_port_queue=" + std::to_string(sys.net().topology().max_port_queue_bytes()) +
+         " ecn=" + std::to_string(sys.net().topology().total_ecn_marks()) + "\n";
+  MetricsRegistry merged;
+  for (const auto& reg : regs) {
+    merged.merge_from(*reg);
+  }
+  out += merged.serialize();
+  if (traced) {
+    std::vector<const SpanTracer*> view;
+    for (const auto& t : tracers) {
+      view.push_back(t.get());
+    }
+    out += serialize_spans(view);
+    out += tax_table({{"measured", fold_tax(view, trace_root)}});
+  }
+  return out;
+}
+
+TEST(ShardedDifferential, FaceVerifyFractosMatchesAcrossShardCounts) {
+  const std::string base = facever_fingerprint<FaceVerifyFractos>(1, /*traced=*/false);
+  EXPECT_EQ(base, facever_fingerprint<FaceVerifyFractos>(2, false));
+  EXPECT_EQ(base, facever_fingerprint<FaceVerifyFractos>(4, false));
+}
+
+TEST(ShardedDifferential, FaceVerifyBaselineMatchesAcrossShardCounts) {
+  const std::string base = facever_fingerprint<FaceVerifyBaseline>(1, /*traced=*/false);
+  EXPECT_EQ(base, facever_fingerprint<FaceVerifyBaseline>(2, false));
+  EXPECT_EQ(base, facever_fingerprint<FaceVerifyBaseline>(4, false));
+}
+
+TEST(ShardedDifferential, TracedRunMatchesAcrossShardCounts) {
+  // Spans and the folded tax table are part of the fingerprint here: rack-namespaced span
+  // ids and the rack-boundary bubbling rule must make traces shard-count-invariant too.
+  const std::string base = facever_fingerprint<FaceVerifyFractos>(1, /*traced=*/true);
+  EXPECT_EQ(base, facever_fingerprint<FaceVerifyFractos>(4, true));
+}
+
+TEST(ShardedDifferential, LazyMeshPreservesWorkloadResults) {
+  // Lazy peer meshing (SystemConfig::lazy_controller_mesh) creates channels on first use
+  // at zero simulated cost. The revocation-cleanup broadcast fans out only to connected
+  // peers, so global message/step totals legitimately shrink; everything the workload can
+  // observe — the measured-window event count and every per-request latency — must not
+  // move.
+  const std::string eager = facever_fingerprint<FaceVerifyFractos>(4, /*traced=*/false);
+  const std::string lazy =
+      facever_fingerprint<FaceVerifyFractos>(4, /*traced=*/false, /*lazy_mesh=*/true);
+  const auto line = [](const std::string& s, const char* key) {
+    const size_t b = s.find(key);
+    EXPECT_NE(b, std::string::npos) << key;
+    return s.substr(b, s.find('\n', b) - b);
+  };
+  EXPECT_EQ(line(eager, "events="), line(lazy, "events="));
+  EXPECT_EQ(line(eager, "lat_ns="), line(lazy, "lat_ns="));
+  EXPECT_EQ(line(eager, "facever.requests"), line(lazy, "facever.requests"));
+  EXPECT_EQ(line(eager, "nvme.reads"), line(lazy, "nvme.reads"));
+}
+
+TEST(ShardedConfig, ValidateRejectsLazyMeshWithReplication) {
+  SystemConfig cfg;
+  cfg.lazy_controller_mesh = true;
+  cfg.replication_group_size = 3;
+  const auto err = cfg.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("lazy_controller_mesh"), std::string::npos) << *err;
+}
+
+TEST(ShardedDifferential, ParallelWorkloadIsByteIdenticalAcrossTenRuns) {
+  const std::string first = facever_fingerprint<FaceVerifyFractos>(4, /*traced=*/false);
+  for (int rep = 0; rep < 9; ++rep) {
+    ASSERT_EQ(first, facever_fingerprint<FaceVerifyFractos>(4, false))
+        << "repetition " << rep;
+  }
+}
+
+}  // namespace
+}  // namespace fractos

@@ -42,7 +42,7 @@ class ServiceEdgeTest : public ::testing::Test {
 TEST_F(ServiceEdgeTest, GpuInvokeWithoutContinuationsInvokesErrorIfAny) {
   SimGpu gpu(&sys_.net(), n1_);
   GpuAdaptor adaptor(&sys_, *c1_, &gpu);
-  adaptor.register_kernel("k", [](std::vector<uint8_t>&, const std::vector<uint64_t>&) {
+  adaptor.register_kernel("k", [](PoolBytes&, const std::vector<uint64_t>&) {
     return Duration::micros(1);
   });
   Process& client = sys_.spawn("client", n0_, *c0_);

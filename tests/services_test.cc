@@ -29,7 +29,7 @@ class GpuServiceTest : public ::testing::Test {
     cg_ = &sys_.add_controller(gpu_node_, Loc::kHost);
     gpu_ = std::make_unique<SimGpu>(&sys_.net(), gpu_node_);
     adaptor_ = std::make_unique<GpuAdaptor>(&sys_, *cg_, gpu_.get());
-    adaptor_->register_kernel("add_k", [](std::vector<uint8_t>& mem,
+    adaptor_->register_kernel("add_k", [](PoolBytes& mem,
                                           const std::vector<uint64_t>& args) {
       // args: in_addr, out_addr, count, k
       const uint64_t in = args[0], out = args[1], n = args[2], k = args[3];

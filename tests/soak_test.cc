@@ -35,7 +35,7 @@ class SoakTest : public ::testing::Test {
     fs_ = FsService::bootstrap(&sys_, fn_, *cf_, block_->process(), block_->mgmt_endpoint());
     gpu_ = std::make_unique<SimGpu>(&sys_.net(), gn_);
     gpu_adaptor_ = std::make_unique<GpuAdaptor>(&sys_, *cg_, gpu_.get());
-    gpu_adaptor_->register_kernel("xor", [](std::vector<uint8_t>& m,
+    gpu_adaptor_->register_kernel("xor", [](PoolBytes& m,
                                             const std::vector<uint64_t>& a) {
       for (uint64_t i = 0; i < a[2]; ++i) {
         m[a[1] + i] = static_cast<uint8_t>(m[a[0] + i] ^ 0x77);
