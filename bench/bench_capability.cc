@@ -235,10 +235,6 @@ ProdRun production_scale(bool hot_path) {
 }
 
 void write_json(const ProdRun& baseline, const ProdRun& hotpath) {
-  const char* path = std::getenv("FRACTOS_BENCH_JSON");
-  if (path == nullptr) {
-    path = "BENCH_capability.json";
-  }
   char buf[1024];
   std::string out = "{\n  \"bench\": \"capability\",\n  \"production_scale\": {\n";
   std::snprintf(buf, sizeof(buf),
@@ -257,14 +253,7 @@ void write_json(const ProdRun& baseline, const ProdRun& hotpath) {
   mode("baseline", baseline, false);
   mode("hotpath", hotpath, true);
   out += "  }\n}\n";
-  FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_capability: cannot open %s\n", path);
-    return;
-  }
-  std::fwrite(out.data(), 1, out.size(), f);
-  std::fclose(f);
-  std::printf("wrote %s\n", path);
+  bench::emit_bench_json("bench_capability", "BENCH_capability.json", out);
 }
 
 }  // namespace

@@ -403,10 +403,6 @@ void append_run_json(std::string& out, const char* key, const RunPoint& rp) {
 
 void write_json(const std::vector<Point>& points, double control_load, double control_boost,
                 uint32_t control_limit, const RunPoint& ungated, const RunPoint& gated) {
-  const char* path = std::getenv("FRACTOS_BENCH_JSON");
-  if (path == nullptr) {
-    path = "BENCH_openloop.json";
-  }
   std::string out = "{\n  \"bench\": \"openloop\",\n  \"points\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
     char head[48];
@@ -428,14 +424,7 @@ void write_json(const std::vector<Point>& points, double control_load, double co
   out += ",\n   ";
   append_run_json(out, "admitted", gated);
   out += "\n  }\n}\n";
-  FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_openloop: cannot open %s\n", path);
-    return;
-  }
-  std::fwrite(out.data(), 1, out.size(), f);
-  std::fclose(f);
-  std::printf("wrote %s\n", path);
+  bench::emit_bench_json("bench_openloop", "BENCH_openloop.json", out);
 }
 
 // The knee: first load factor whose aggregate p99 exceeds 4x the lowest-load aggregate p99

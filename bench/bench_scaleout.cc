@@ -428,10 +428,6 @@ void append_run_json(std::string& out, const char* key, const RunStats& s) {
 void write_json(const std::vector<std::pair<std::string, std::vector<Point>>>& workloads,
                 uint32_t giant_pods, uint32_t giant_shards, const GiantStats& giant_fractos,
                 const GiantStats& giant_baseline) {
-  const char* path = std::getenv("FRACTOS_BENCH_JSON");
-  if (path == nullptr) {
-    path = "BENCH_scaleout.json";
-  }
   std::string out = "{\n  \"bench\": \"scaleout\",\n  \"workloads\": [\n";
   for (size_t w = 0; w < workloads.size(); ++w) {
     out += "    {\"name\": \"" + workloads[w].first + "\", \"points\": [\n";
@@ -460,14 +456,7 @@ void write_json(const std::vector<std::pair<std::string, std::vector<Point>>>& w
   out += ", ";
   append_run_json(out, "baseline", giant_baseline.run);
   out += "}\n}\n";
-  FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_scaleout: cannot open %s\n", path);
-    return;
-  }
-  std::fwrite(out.data(), 1, out.size(), f);
-  std::fclose(f);
-  std::printf("wrote %s\n", path);
+  bench::emit_bench_json("bench_scaleout", "BENCH_scaleout.json", out);
 }
 
 // The headline claim: as the shared bisection saturates, the baseline's tail degrades

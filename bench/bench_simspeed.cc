@@ -295,48 +295,44 @@ ShardPoint shard_soak(uint32_t shards) {
 }
 
 void write_json(const std::vector<SoakResult>& soaks, const std::vector<ShardPoint>& sweep) {
-  const char* path = std::getenv("FRACTOS_BENCH_JSON");
-  if (path == nullptr) {
-    path = "BENCH_simspeed.json";
-  }
-  FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_simspeed: cannot open %s\n", path);
-    return;
-  }
+  char buf[512];
+  std::string out;
   uint64_t total_events = 0;
   double total_ms = 0;
-  std::fprintf(f, "{\n  \"bench\": \"simspeed\",\n  \"soaks\": [\n");
+  out += "{\n  \"bench\": \"simspeed\",\n  \"soaks\": [\n";
   for (size_t i = 0; i < soaks.size(); ++i) {
     const SoakResult& s = soaks[i];
     total_events += s.events;
     total_ms += s.wall_ms;
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"events\": %" PRIu64 ", \"requests\": %" PRIu64
-                 ", \"wall_ms\": %.3f, \"events_per_sec\": %.0f, \"requests_per_sec\": %.0f"
-                 ", \"sim_now_ns\": %" PRId64 ", \"sim_steps\": %" PRIu64 "}%s\n",
-                 s.name.c_str(), s.events, s.requests, s.wall_ms, s.events_per_sec(),
-                 s.requests_per_sec(), s.sim_now_ns, s.sim_steps,
-                 i + 1 < soaks.size() ? "," : "");
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"events\": %" PRIu64 ", \"requests\": %" PRIu64
+                  ", \"wall_ms\": %.3f, \"events_per_sec\": %.0f, \"requests_per_sec\": %.0f"
+                  ", \"sim_now_ns\": %" PRId64 ", \"sim_steps\": %" PRIu64 "}%s\n",
+                  s.name.c_str(), s.events, s.requests, s.wall_ms, s.events_per_sec(),
+                  s.requests_per_sec(), s.sim_now_ns, s.sim_steps,
+                  i + 1 < soaks.size() ? "," : "");
+    out += buf;
   }
   const double base = sweep.empty() || sweep.front().wall_ms <= 0
                           ? 0.0
                           : sweep.front().events_per_sec();
-  std::fprintf(f, "  ],\n  \"cores\": %u,\n  \"shard_sweep\": [\n",
-               std::thread::hardware_concurrency());
+  std::snprintf(buf, sizeof(buf), "  ],\n  \"cores\": %u,\n  \"shard_sweep\": [\n",
+                std::thread::hardware_concurrency());
+  out += buf;
   for (size_t i = 0; i < sweep.size(); ++i) {
     const ShardPoint& p = sweep[i];
     const double speedup = base > 0 ? p.events_per_sec() / base : 0.0;
-    std::fprintf(f,
-                 "    {\"shards\": %u, \"events\": %" PRIu64 ", \"sim_now_ns\": %" PRId64
-                 ", \"wall_ms\": %.3f, \"events_per_sec\": %.0f, \"speedup\": %.2f}%s\n",
-                 p.shards, p.events, p.sim_now_ns, p.wall_ms, p.events_per_sec(), speedup,
-                 i + 1 < sweep.size() ? "," : "");
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"shards\": %u, \"events\": %" PRIu64 ", \"sim_now_ns\": %" PRId64
+                  ", \"wall_ms\": %.3f, \"events_per_sec\": %.0f, \"speedup\": %.2f}%s\n",
+                  p.shards, p.events, p.sim_now_ns, p.wall_ms, p.events_per_sec(), speedup,
+                  i + 1 < sweep.size() ? "," : "");
+    out += buf;
   }
   const double aggregate = total_ms > 0 ? total_events / (total_ms / 1e3) : 0.0;
-  std::fprintf(f, "  ],\n  \"aggregate_events_per_sec\": %.0f\n}\n", aggregate);
-  std::fclose(f);
-  std::printf("wrote %s (aggregate %.0f events/sec)\n", path, aggregate);
+  std::snprintf(buf, sizeof(buf), "  ],\n  \"aggregate_events_per_sec\": %.0f\n}\n", aggregate);
+  out += buf;
+  bench::emit_bench_json("bench_simspeed", "BENCH_simspeed.json", out);
 }
 
 }  // namespace

@@ -30,6 +30,29 @@
 
 namespace fractos {
 
+// Where the far-memory tier resolves remote virtual addresses to fabric locations (the MIND
+// placement axis, DESIGN.md §4k): on the owning node's CPU (a round trip to a host core), on
+// the owning node's SmartNIC (round trip to a slower ARM core, but no host involvement), or
+// inside the ToR switch itself (no round trip past the rack fabric — the match-action table
+// answers in-network at pipeline latency).
+enum class XlatePlacement : uint8_t {
+  kOwnerCpu = 0,
+  kSnic = 1,
+  kTor = 2,
+};
+
+inline const char* xlate_placement_name(XlatePlacement p) {
+  switch (p) {
+    case XlatePlacement::kOwnerCpu:
+      return "owner-cpu";
+    case XlatePlacement::kSnic:
+      return "snic";
+    case XlatePlacement::kTor:
+      return "tor";
+  }
+  return "?";
+}
+
 struct ControllerCosts {
   // Handling a null syscall (validation + reply).
   Duration null_op = Duration::micros(0.58);

@@ -101,7 +101,7 @@ Duration Network::wire_latency(Endpoint a, Endpoint b) const {
 }
 
 Time Network::schedule_transfer(Endpoint src, Endpoint dst, Traffic category,
-                                uint64_t payload_bytes) {
+                                uint64_t payload_bytes, LinkClass cls) {
   const bool cross = src.node != dst.node;
   const uint64_t wire_bytes =
       payload_bytes + params_.header_bytes * segment_count(payload_bytes, params_.mtu_bytes);
@@ -125,7 +125,7 @@ Time Network::schedule_transfer(Endpoint src, Endpoint dst, Traffic category,
   }
 
   if (cross && !topology_.flat()) {
-    return schedule_routed_transfer(src, dst, wire_bytes);
+    return schedule_routed_transfer(src, dst, wire_bytes, cls);
   }
 
   // Flat/local path — the calibrated pre-topology model, bit-identical to the recorded
@@ -162,7 +162,8 @@ Time Network::schedule_transfer(Endpoint src, Endpoint dst, Traffic category,
   return arrival;
 }
 
-Time Network::schedule_routed_transfer(Endpoint src, Endpoint dst, uint64_t wire_bytes) {
+Time Network::schedule_routed_transfer(Endpoint src, Endpoint dst, uint64_t wire_bytes,
+                                       LinkClass cls) {
   const Duration link = topology_.spec().sw.link_oneway;
   const Duration nic_ser = transfer_time(wire_bytes, params_.wire_bandwidth_bpns);
   topology_.route(src, dst, &t_route_scratch);
@@ -193,7 +194,8 @@ Time Network::schedule_routed_transfer(Endpoint src, Endpoint dst, uint64_t wire
     if (hop.sw == nullptr) {
       continue;  // the NIC hop, charged above
     }
-    const Switch::Transit tr = hop.sw->traverse(hop.port, at, wire_bytes);
+    const Switch::Transit tr =
+        hop.sw->traverse(hop.port, at, wire_bytes, cls == LinkClass::kHot);
     if (tr.ecn_marked && ecn_listener_ != nullptr) {
       ecn_listener_(src.node, dst.node);
     }
@@ -228,17 +230,18 @@ bool Network::route_blocked(Endpoint src, Endpoint dst, Time now) {
 }
 
 void Network::transfer_then(Endpoint src, Endpoint dst, Traffic category, uint64_t payload_bytes,
-                            EventLoop::Callback then) {
+                            LinkClass cls, EventLoop::Callback then) {
   if (loop_->sharded() && src.node != dst.node && !topology_.same_rack(src.node, dst.node)) {
-    sharded_cross_rack_transfer(src, dst, category, payload_bytes, std::move(then));
+    sharded_cross_rack_transfer(src, dst, category, payload_bytes, cls, std::move(then));
     return;
   }
-  const Time arrival = schedule_transfer(src, dst, category, payload_bytes);
+  const Time arrival = schedule_transfer(src, dst, category, payload_bytes, cls);
   loop_->schedule_at(arrival, std::move(then));
 }
 
 void Network::sharded_cross_rack_transfer(Endpoint src, Endpoint dst, Traffic category,
-                                          uint64_t payload_bytes, EventLoop::Callback then) {
+                                          uint64_t payload_bytes, LinkClass cls,
+                                          EventLoop::Callback then) {
   const uint64_t wire_bytes =
       payload_bytes + params_.header_bytes * segment_count(payload_bytes, params_.mtu_bytes);
 
@@ -281,8 +284,9 @@ void Network::sharded_cross_rack_transfer(Endpoint src, Endpoint dst, Traffic ca
       t->attr(id, "bytes", std::to_string(wire_bytes));
     }
   }
+  const bool hot = cls == LinkClass::kHot;
   const Switch::Transit tr =
-      topology_.tor(src_rack).traverse(spec.nodes_per_rack + spine, at, wire_bytes);
+      topology_.tor(src_rack).traverse(spec.nodes_per_rack + spine, at, wire_bytes, hot);
   if (t != nullptr) {
     if (tr.queued > Duration::zero()) {
       t->record(n.net, SpanKind::kFabricQueue, n.port_wait, at, at + tr.queued);
@@ -297,7 +301,7 @@ void Network::sharded_cross_rack_transfer(Endpoint src, Endpoint dst, Traffic ca
   const uint32_t dst_local = dst.node % spec.nodes_per_rack;
   loop_->post_remote(
       dst_rack, t_mid,
-      [this, spine, dst_rack, dst_local, wire_bytes, then = std::move(then)]() mutable {
+      [this, spine, dst_rack, dst_local, wire_bytes, hot, then = std::move(then)]() mutable {
         // Destination-rack suffix, running at t_mid on the destination shard: spine egress
         // toward the destination ToR, then the ToR member port down to the node. Spine port
         // r faces rack r's ToR, so port dst_rack is owned by the destination rack too.
@@ -308,7 +312,7 @@ void Network::sharded_cross_rack_transfer(Endpoint src, Endpoint dst, Traffic ca
         const NetNames& n2 = net_names();
         const Time at_spine = loop_->now();
         const Switch::Transit trs =
-            topology_.spine(spine).traverse(dst_rack, at_spine, wire_bytes);
+            topology_.spine(spine).traverse(dst_rack, at_spine, wire_bytes, hot);
         if (t2 != nullptr) {
           if (trs.queued > Duration::zero()) {
             t2->record(n2.net, SpanKind::kFabricQueue, n2.port_wait, at_spine,
@@ -319,7 +323,7 @@ void Network::sharded_cross_rack_transfer(Endpoint src, Endpoint dst, Traffic ca
         }
         const Time at_tor = trs.depart + link2;
         const Switch::Transit trt =
-            topology_.tor(dst_rack).traverse(dst_local, at_tor, wire_bytes);
+            topology_.tor(dst_rack).traverse(dst_local, at_tor, wire_bytes, hot);
         if (t2 != nullptr) {
           if (trt.queued > Duration::zero()) {
             t2->record(n2.net, SpanKind::kFabricQueue, n2.port_wait, at_tor,
@@ -347,7 +351,7 @@ void Network::send(Endpoint src, Endpoint dst, Traffic category, Payload payload
     // the historical schedule_transfer + schedule_at pair on an unsharded loop.
     const uint64_t payload_bytes = payload.size();
     const uint32_t dst_node = dst.node;
-    transfer_then(src, dst, category, payload_bytes,
+    transfer_then(src, dst, category, payload_bytes, LinkClass::kBulk,
                   [this, dst_node, payload = std::move(payload), deliver = std::move(deliver),
                    dropped = std::move(dropped)]() mutable {
                     // Failure is re-checked at delivery: a node that failed while the
@@ -433,7 +437,7 @@ void Network::send(Endpoint src, Endpoint dst, Traffic category, Payload payload
 
 void Network::rdma_read(Endpoint initiator, uint32_t target, const RdmaKey& key, PoolId pool,
                         uint64_t addr, uint64_t size,
-                        std::function<void(Result<Payload>)> done) {
+                        std::function<void(Result<Payload>)> done, LinkClass cls) {
   FRACTOS_CHECK(initiator.node < nodes_.size() && target < nodes_.size());
   if (injector_ != nullptr) {
     const bool blocked = route_blocked(initiator, Endpoint{target, Loc::kHost}, loop_->now());
@@ -447,32 +451,32 @@ void Network::rdma_read(Endpoint initiator, uint32_t target, const RdmaKey& key,
       return;
     }
     if (v.retries > 0) {
-      loop_->schedule_after(v.delay, [this, initiator, target, key, pool, addr, size,
+      loop_->schedule_after(v.delay, [this, initiator, target, key, pool, addr, size, cls,
                                       done = std::move(done)]() mutable {
-        rdma_read_impl(initiator, target, key, pool, addr, size, std::move(done));
+        rdma_read_impl(initiator, target, key, pool, addr, size, std::move(done), cls);
       });
       return;
     }
   }
-  rdma_read_impl(initiator, target, key, pool, addr, size, std::move(done));
+  rdma_read_impl(initiator, target, key, pool, addr, size, std::move(done), cls);
 }
 
 void Network::rdma_read_impl(Endpoint initiator, uint32_t target, const RdmaKey& key,
                              PoolId pool, uint64_t addr, uint64_t size,
-                             std::function<void(Result<Payload>)> done) {
+                             std::function<void(Result<Payload>)> done, LinkClass cls) {
   const Endpoint tgt_ep{target, Loc::kHost};
 
   // Request leg: a header-only work request to the target NIC. Each leg runs through
   // transfer_then, so under a sharded loop every node's state (authorizer, pools) is only
   // ever touched by the rack that owns it.
-  transfer_then(initiator, tgt_ep, Traffic::kData, 0, [this, initiator, target, key, pool, addr,
-                                                       size, tgt_ep,
-                                                       done = std::move(done)]() mutable {
+  transfer_then(initiator, tgt_ep, Traffic::kData, 0, cls,
+                [this, initiator, target, key, pool, addr, size, tgt_ep, cls,
+                 done = std::move(done)]() mutable {
     Node& t = *nodes_[target];
     const Status auth = t.authorize_rdma(key, pool, addr, size, /*is_write=*/false);
     if (!auth.ok()) {
       // NAK: header-only response.
-      transfer_then(tgt_ep, initiator, Traffic::kData, 0,
+      transfer_then(tgt_ep, initiator, Traffic::kData, 0, cls,
                     [done = std::move(done), auth]() mutable { done(auth.error()); });
       return;
     }
@@ -482,7 +486,7 @@ void Network::rdma_read_impl(Endpoint initiator, uint32_t target, const RdmaKey&
     Payload data(std::vector<uint8_t>(mem.begin() + static_cast<ptrdiff_t>(addr),
                                       mem.begin() + static_cast<ptrdiff_t>(addr + size)));
     // Response leg carries the payload.
-    transfer_then(tgt_ep, initiator, Traffic::kData, size,
+    transfer_then(tgt_ep, initiator, Traffic::kData, size, cls,
                   [done = std::move(done), data = std::move(data)]() mutable {
                     done(std::move(data));
                   });
@@ -490,7 +494,8 @@ void Network::rdma_read_impl(Endpoint initiator, uint32_t target, const RdmaKey&
 }
 
 void Network::rdma_write(Endpoint initiator, uint32_t target, const RdmaKey& key, PoolId pool,
-                         uint64_t addr, Payload data, std::function<void(Status)> done) {
+                         uint64_t addr, Payload data, std::function<void(Status)> done,
+                         LinkClass cls) {
   FRACTOS_CHECK(initiator.node < nodes_.size() && target < nodes_.size());
   if (injector_ != nullptr) {
     const bool blocked = route_blocked(initiator, Endpoint{target, Loc::kHost}, loop_->now());
@@ -504,25 +509,26 @@ void Network::rdma_write(Endpoint initiator, uint32_t target, const RdmaKey& key
       return;
     }
     if (v.retries > 0) {
-      loop_->schedule_after(v.delay, [this, initiator, target, key, pool, addr,
+      loop_->schedule_after(v.delay, [this, initiator, target, key, pool, addr, cls,
                                       data = std::move(data), done = std::move(done)]() mutable {
-        rdma_write_impl(initiator, target, key, pool, addr, std::move(data), std::move(done));
+        rdma_write_impl(initiator, target, key, pool, addr, std::move(data), std::move(done),
+                        cls);
       });
       return;
     }
   }
-  rdma_write_impl(initiator, target, key, pool, addr, std::move(data), std::move(done));
+  rdma_write_impl(initiator, target, key, pool, addr, std::move(data), std::move(done), cls);
 }
 
 void Network::rdma_write_impl(Endpoint initiator, uint32_t target, const RdmaKey& key,
                               PoolId pool, uint64_t addr, Payload data,
-                              std::function<void(Status)> done) {
+                              std::function<void(Status)> done, LinkClass cls) {
   const Endpoint tgt_ep{target, Loc::kHost};
   const uint64_t size = data.size();
 
   // Request leg carries the payload (a handle — the bytes move only at the final pool copy).
-  transfer_then(initiator, tgt_ep, Traffic::kData, size,
-                [this, target, key, pool, addr, tgt_ep, initiator, data = std::move(data),
+  transfer_then(initiator, tgt_ep, Traffic::kData, size, cls,
+                [this, target, key, pool, addr, tgt_ep, initiator, cls, data = std::move(data),
                  done = std::move(done)]() mutable {
                   Node& t = *nodes_[target];
                   const Status auth =
@@ -533,7 +539,7 @@ void Network::rdma_write_impl(Endpoint initiator, uint32_t target, const RdmaKey
                                 mem.begin() + static_cast<ptrdiff_t>(addr));
                   }
                   // ACK/NAK: header-only response.
-                  transfer_then(tgt_ep, initiator, Traffic::kData, 0,
+                  transfer_then(tgt_ep, initiator, Traffic::kData, 0, cls,
                                 [done = std::move(done), auth]() mutable { done(auth); });
                 });
 }
@@ -577,12 +583,13 @@ void Network::rdma_third_party_impl(Endpoint initiator, RdmaSide src, RdmaSide d
   const Endpoint dst_ep{dst.node, Loc::kHost};
 
   // Work request to the source NIC.
-  transfer_then(initiator, src_ep, Traffic::kData, 0, [this, initiator, src, dst, size, src_ep,
-                                                       dst_ep, done = std::move(done)]() mutable {
+  transfer_then(initiator, src_ep, Traffic::kData, 0, LinkClass::kBulk,
+                [this, initiator, src, dst, size, src_ep, dst_ep,
+                 done = std::move(done)]() mutable {
     Node& s = *nodes_[src.node];
     Status auth = s.authorize_rdma(src.key, src.pool, src.addr, size, /*is_write=*/false);
     if (!auth.ok()) {
-      transfer_then(src_ep, initiator, Traffic::kData, 0,
+      transfer_then(src_ep, initiator, Traffic::kData, 0, LinkClass::kBulk,
                     [done = std::move(done), auth]() mutable { done(auth); });
       return;
     }
@@ -590,7 +597,7 @@ void Network::rdma_third_party_impl(Endpoint initiator, RdmaSide src, RdmaSide d
     std::vector<uint8_t> data(mem.begin() + static_cast<ptrdiff_t>(src.addr),
                               mem.begin() + static_cast<ptrdiff_t>(src.addr + size));
     // Data leg goes straight to the destination — the initiator never touches it.
-    transfer_then(src_ep, dst_ep, Traffic::kData, size,
+    transfer_then(src_ep, dst_ep, Traffic::kData, size, LinkClass::kBulk,
                   [this, initiator, dst, dst_ep, data = std::move(data),
                    done = std::move(done)]() mutable {
                     Node& t = *nodes_[dst.node];
@@ -601,7 +608,7 @@ void Network::rdma_third_party_impl(Endpoint initiator, RdmaSide src, RdmaSide d
                       std::copy(data.begin(), data.end(),
                                 tmem.begin() + static_cast<ptrdiff_t>(dst.addr));
                     }
-                    transfer_then(dst_ep, initiator, Traffic::kData, 0,
+                    transfer_then(dst_ep, initiator, Traffic::kData, 0, LinkClass::kBulk,
                                   [done = std::move(done), wauth]() mutable { done(wauth); });
                   });
   });

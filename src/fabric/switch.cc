@@ -18,17 +18,27 @@ const PortStats& Switch::port_stats(uint32_t port) const {
   return ports_[port].stats;
 }
 
-Switch::Transit Switch::traverse(uint32_t port, Time enq, uint64_t wire_bytes) {
+Switch::Transit Switch::traverse(uint32_t port, Time enq, uint64_t wire_bytes, bool hot_lane) {
   Port& p = ensure_port(port);
-  const Duration ser = transfer_time(wire_bytes, params_.port_bandwidth_bpns);
-  const Time start = max(enq, p.free_at);
+  // Lane partition (DESIGN.md §4k): with hot_lane_share > 0 each lane owns a private egress
+  // clock and a proportional slice of the line rate — a strict bandwidth partition, not a
+  // priority scheme, so neither class can starve the other. share == 0 collapses to the
+  // single shared clock, bit-identical to the pre-partition model.
+  const double share = params_.hot_lane_share;
+  const bool partitioned = share > 0.0;
+  const double bw =
+      partitioned ? params_.port_bandwidth_bpns * (hot_lane ? share : 1.0 - share)
+                  : params_.port_bandwidth_bpns;
+  Time& free_at = partitioned && hot_lane ? p.hot_free_at : p.free_at;
+  const Duration ser = transfer_time(wire_bytes, bw);
+  const Time start = max(enq, free_at);
 
-  // Backlog already committed to this port when the message reaches it. With PFC, a frame
+  // Backlog already committed to this lane when the message reaches it. With PFC, a frame
   // that would overflow the buffer is held at the upstream hop until the queue drains — the
   // wait is the same either way, but the occupancy we record is the bounded in-queue share.
-  const int64_t backlog_ns = p.free_at > enq ? (p.free_at - enq).ns() : 0;
+  const int64_t backlog_ns = free_at > enq ? (free_at - enq).ns() : 0;
   const uint64_t backlog_bytes =
-      static_cast<uint64_t>(static_cast<double>(backlog_ns) * params_.port_bandwidth_bpns);
+      static_cast<uint64_t>(static_cast<double>(backlog_ns) * bw);
   uint64_t occupancy = backlog_bytes + wire_bytes;
   const bool paused = occupancy > params_.port_buffer_bytes;
   if (paused) {
@@ -40,9 +50,13 @@ Switch::Transit Switch::traverse(uint32_t port, Time enq, uint64_t wire_bytes) {
   t.queued = start - enq;
   t.ecn_marked = occupancy >= params_.ecn_threshold_bytes;
 
-  p.free_at = t.depart;
+  free_at = t.depart;
   p.stats.messages += 1;
   p.stats.bytes += wire_bytes;
+  if (partitioned && hot_lane) {
+    p.stats.hot_messages += 1;
+    p.stats.hot_bytes += wire_bytes;
+  }
   p.stats.queue_wait_ns += t.queued.ns();
   p.stats.max_queue_bytes = std::max(p.stats.max_queue_bytes, occupancy);
   if (t.ecn_marked) {

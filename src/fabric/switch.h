@@ -41,6 +41,14 @@ struct SwitchParams {
 
   // One-way propagation + switch pipeline latency per link traversed.
   Duration link_oneway = Duration::nanos(550);
+
+  // Per-link bandwidth partition between the two traffic classes of the far-memory tier
+  // (DaeMon-style dual-granularity movement, DESIGN.md §4k): the hot lane gets this share of
+  // the port bandwidth for cacheline-sized demand fetches, the bulk lane the remainder for
+  // page-sized prefetch and everything else. 0 (the default) keeps the single shared egress
+  // clock — bit-identical to every recorded bench number — and the lane argument of
+  // traverse() is ignored.
+  double hot_lane_share = 0.0;
 };
 
 // First-class congestion record of one egress port.
@@ -51,6 +59,9 @@ struct PortStats {
   uint64_t pause_events = 0;      // admissions held upstream by PFC backpressure
   uint64_t max_queue_bytes = 0;   // peak bounded occupancy observed at admission
   int64_t queue_wait_ns = 0;      // total head-of-line wait charged at this port
+  // Hot-lane slice of the totals above (only moves when hot_lane_share > 0).
+  uint64_t hot_messages = 0;
+  uint64_t hot_bytes = 0;
 };
 
 class Switch {
@@ -63,12 +74,15 @@ class Switch {
   const SwitchParams& params() const { return params_; }
 
   // One message crossing egress port `port` at time `enq` (arrival at the switch).
+  // `hot_lane` selects the bandwidth partition when hot_lane_share > 0 (ignored otherwise):
+  // each lane owns its own egress clock, so a page-sized prefetch queued on the bulk lane
+  // never heads-of-line a cacheline demand fetch on the hot lane.
   struct Transit {
     Time depart;                    // serialization onto the egress link completes
     Duration queued;                // head-of-line wait (including any upstream pause)
     bool ecn_marked = false;
   };
-  Transit traverse(uint32_t port, Time enq, uint64_t wire_bytes);
+  Transit traverse(uint32_t port, Time enq, uint64_t wire_bytes, bool hot_lane = false);
 
   size_t num_ports() const { return ports_.size(); }
   const PortStats& port_stats(uint32_t port) const;
@@ -89,7 +103,8 @@ class Switch {
 
  private:
   struct Port {
-    Time free_at;
+    Time free_at;      // shared clock (hot_lane_share == 0) or the bulk lane's clock
+    Time hot_free_at;  // hot lane's clock; untouched while hot_lane_share == 0
     PortStats stats;
   };
   Port& ensure_port(uint32_t port);

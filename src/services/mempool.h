@@ -1,0 +1,91 @@
+// The far-memory pool service: the lower tier of the disaggregated memory stack
+// (DESIGN.md §4k). A memory node exports slices of a large RDMA-registered pool as named,
+// capability-protected segments; compute-side clients attach by name and then access the
+// segment with one-sided RDMA through the returned Memory capability — the service is on the
+// control path only (attach/detach), never on the data path, exactly like the paper's
+// adaptors keep Controllers out of bulk transfers.
+//
+// Request conventions:
+//
+//   attach: imm@0 u64 size, imm@8 name, caps = [reply].
+//           reply: imm@0 u64 status (0 ok, 1 exhausted/invalid, 2 size conflict),
+//                  imm@8 u64 addr (segment base within the pool),
+//                  imm@16 u64 size, caps = [Memory capability over the segment].
+//           Attaching an existing name returns the SAME segment (shared far memory by
+//           naming); the requested size must then fit inside it.
+//
+// Segments are bump-allocated, page-aligned, and zero-initialized (PoolBytes never touches
+// RSS for untouched pages, so multi-GiB pools are cheap to model).
+
+#ifndef SRC_SERVICES_MEMPOOL_H_
+#define SRC_SERVICES_MEMPOOL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/system.h"
+
+namespace fractos {
+
+class MemPoolService {
+ public:
+  struct Params {
+    uint64_t segment_align = 4096;
+  };
+
+  // Spawns the pool Process on `node` and registers a fresh `capacity_bytes` RDMA pool there.
+  static std::unique_ptr<MemPoolService> bootstrap(System* sys, uint32_t node,
+                                                   Controller& controller,
+                                                   uint64_t capacity_bytes);
+  static std::unique_ptr<MemPoolService> bootstrap(System* sys, uint32_t node,
+                                                   Controller& controller,
+                                                   uint64_t capacity_bytes, Params params);
+
+  Process& process() { return *proc_; }
+  CapId attach_endpoint() const { return attach_ep_; }
+  uint32_t node() const { return node_; }
+  PoolId pool() const { return pool_; }
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t bytes_reserved() const { return next_addr_; }
+  size_t num_segments() const { return segments_.size(); }
+
+ private:
+  struct Segment {
+    uint64_t addr = 0;
+    uint64_t size = 0;
+    CapId mem = kInvalidCap;
+  };
+
+  MemPoolService(System* sys, uint32_t node, Controller& controller, uint64_t capacity_bytes,
+                 Params params);
+  void handle_attach(Process::Received r);
+  void reply_segment(const Segment& seg, CapId reply);
+
+  System* sys_;
+  Process* proc_;
+  uint32_t node_;
+  Params params_;
+  uint64_t capacity_;
+  uint64_t next_addr_ = 0;
+  PoolId pool_ = 0;
+  CapId attach_ep_ = kInvalidCap;
+  std::unordered_map<std::string, Segment> segments_;
+};
+
+// One attached far-memory segment, from the client's point of view.
+struct FarMemSegment {
+  CapId mem = kInvalidCap;  // Memory capability in the CLIENT's capability space
+  uint64_t addr = 0;        // base within the pool (matches the capability's extent)
+  uint64_t size = 0;
+};
+
+// Client-side helper wrapping the attach wire convention.
+struct MemPoolClient {
+  static Future<Result<FarMemSegment>> attach(Process& proc, CapId attach_ep,
+                                              const std::string& name, uint64_t size);
+};
+
+}  // namespace fractos
+
+#endif  // SRC_SERVICES_MEMPOOL_H_

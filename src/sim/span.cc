@@ -29,6 +29,8 @@ const char* span_kind_name(SpanKind kind) {
       return "fabric-queue";
     case SpanKind::kReplication:
       return "replication";
+    case SpanKind::kFarMem:
+      return "farmem";
   }
   return "?";
 }

@@ -50,6 +50,7 @@ enum class SpanKind : uint8_t {
   kService = 7,      // service-level operation (FS I/O, app verify)
   kFabricQueue = 8,  // head-of-line wait in a switch egress queue (fabric congestion)
   kReplication = 9,  // control-plane replication (log commit waits, leader elections)
+  kFarMem = 10,      // far-memory fault handling (demand fetch / prefetch-wait turnaround)
 };
 
 const char* span_kind_name(SpanKind kind);

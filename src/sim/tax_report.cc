@@ -27,6 +27,8 @@ const char* tax_bucket_name(TaxBucket b) {
       return "fabric.queue";
     case TaxBucket::kReplication:
       return "replication";
+    case TaxBucket::kFarMem:
+      return "farmem";
   }
   return "?";
 }
@@ -45,6 +47,8 @@ TaxBucket tax_bucket_of(SpanKind kind) {
       return TaxBucket::kFabricQueue;
     case SpanKind::kReplication:
       return TaxBucket::kReplication;
+    case SpanKind::kFarMem:
+      return TaxBucket::kFarMem;
     case SpanKind::kDevice:
       return TaxBucket::kDevice;
     case SpanKind::kRequest:

@@ -29,8 +29,9 @@ enum class TaxBucket : uint8_t {
   kOther = 5,        // everything else (process-side logic, protocol gaps)
   kFabricQueue = 6,  // per-hop head-of-line wait in switch egress queues (congestion)
   kReplication = 7,  // control-plane replication (commit waits, elections)
+  kFarMem = 8,       // far-memory fault handling (demand fetch / prefetch-wait turnaround)
 };
-inline constexpr size_t kNumTaxBuckets = 8;
+inline constexpr size_t kNumTaxBuckets = 9;
 
 const char* tax_bucket_name(TaxBucket b);
 TaxBucket tax_bucket_of(SpanKind kind);

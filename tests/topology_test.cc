@@ -295,5 +295,113 @@ TEST(TopologyFaultTest, SpineLinkFlapPartitionsCrossRackTraffic) {
   EXPECT_GT(f.rdma_retransmits, 0u);
 }
 
+// --- sharded-engine lookahead contract and parallel-mode restrictions ----------------------
+
+TEST(TopologySpecTest, MinCrossRackLatencyIsTwoLinkPropagations) {
+  // The sharded engine's lookahead (EventLoop::enable_sharding) is derived from this bound,
+  // so its value is a correctness contract, not a tunable: two one-way link propagations
+  // (NIC->ToR, ToR->spine) before any cross-rack delivery can touch a foreign shard.
+  TopologySpec spec = TopologySpec::fat_tree(2, 2);
+  EXPECT_EQ(spec.min_cross_rack_latency(), spec.sw.link_oneway + spec.sw.link_oneway);
+  EXPECT_GT(spec.min_cross_rack_latency(), Duration::zero());
+
+  SwitchParams slow;
+  slow.link_oneway = Duration::nanos(1'250);
+  TopologySpec wide = TopologySpec::fat_tree(8, 4, slow);
+  EXPECT_EQ(wide.min_cross_rack_latency().ns(), 2'500);
+}
+
+TEST(ShardedRestrictionTest, ValidateRejectsFlatTopologyAndFaultyFabricWithShards) {
+  SystemConfig flat;
+  flat.engine_shards = 2;
+  flat.engine_racks = 2;
+  ASSERT_TRUE(flat.validate().has_value());
+  EXPECT_NE(flat.validate()->find("fat-tree"), std::string::npos);
+
+  SystemConfig faulty;
+  faulty.topology = TopologySpec::fat_tree(2, 2);
+  faulty.engine_shards = 2;
+  faulty.engine_racks = 2;
+  faulty.faults = FaultPlan{};
+  ASSERT_TRUE(faulty.validate().has_value());
+  EXPECT_NE(faulty.validate()->find("clean fabric"), std::string::npos);
+
+  faulty.faults.reset();
+  EXPECT_FALSE(faulty.validate().has_value());
+}
+
+TEST(ShardedRestrictionDeathTest, EcnListenerChecksOnShardedLoop) {
+  EXPECT_DEATH(
+      {
+        EventLoop loop;
+        loop.enable_sharding(1, 2, Duration::nanos(1'100));
+        Network net(&loop, FabricParams{}, TopologySpec::fat_tree(2, 2));
+        net.set_ecn_listener([](uint32_t, uint32_t) {});
+      },
+      "sharded");
+}
+
+TEST(ShardedRestrictionDeathTest, FaultInjectorChecksOnShardedLoop) {
+  EXPECT_DEATH(
+      {
+        EventLoop loop;
+        loop.enable_sharding(1, 2, Duration::nanos(1'100));
+        Network net(&loop, FabricParams{}, TopologySpec::fat_tree(2, 2));
+        net.install_fault_injector(FaultPlan{});
+      },
+      "sharded");
+}
+
+TEST(ShardedRestrictionTest, ClearingEcnListenerIsAllowedOnShardedLoop) {
+  EventLoop loop;
+  loop.enable_sharding(1, 2, Duration::nanos(1'100));
+  Network net(&loop, FabricParams{}, TopologySpec::fat_tree(2, 2));
+  net.set_ecn_listener(nullptr);  // clearing is always safe, even on a sharded loop
+}
+
+// --- hot/bulk lane partition (far-memory tier, DESIGN.md §4k) ------------------------------
+
+TEST(SwitchHotLaneTest, ShareZeroIgnoresLaneArgAndKeepsLaneStatsZero) {
+  // hot_lane_share == 0 (the default) must collapse to the single-clock model so every
+  // recorded bench number stays bit-identical: the lane argument changes nothing.
+  SwitchParams sw;
+  Switch plain(1, "plain", sw);
+  Switch laned(2, "laned", sw);
+  for (int i = 0; i < 8; ++i) {
+    const Time enq = Time::from_ns(i * 100);
+    Switch::Transit a = plain.traverse(0, enq, 4096, false);
+    Switch::Transit b = laned.traverse(0, enq, 4096, true);
+    EXPECT_EQ(a.depart.ns(), b.depart.ns());
+    EXPECT_EQ(a.queued.ns(), b.queued.ns());
+  }
+  EXPECT_EQ(laned.port_stats(0).hot_messages, 0u);
+  EXPECT_EQ(laned.port_stats(0).hot_bytes, 0u);
+  EXPECT_EQ(laned.port_stats(0).messages, 8u);
+}
+
+TEST(SwitchHotLaneTest, PartitionGivesEachLaneItsOwnEgressClock) {
+  SwitchParams sw;
+  sw.hot_lane_share = 0.25;
+  Switch s(1, "tor", sw);
+  // Saturate the bulk lane with a page-sized burst...
+  Switch::Transit bulk = s.traverse(0, Time::from_ns(0), 64 << 10, false);
+  EXPECT_GT(bulk.depart.ns(), 0);
+  // ...then a cacheline on the hot lane: it never waits behind the bulk backlog.
+  Switch::Transit hot = s.traverse(0, Time::from_ns(10), 130, true);
+  EXPECT_EQ(hot.queued.ns(), 0);
+  EXPECT_LT(hot.depart.ns(), bulk.depart.ns());
+  // Strict partition, not priority: the hot lane serializes at share x line rate.
+  EXPECT_EQ(hot.depart.ns() - 10,
+            transfer_time(130, sw.hot_lane_share * sw.port_bandwidth_bpns).ns());
+  // A second bulk frame still queues behind the first on the bulk clock.
+  Switch::Transit bulk2 = s.traverse(0, Time::from_ns(10), 64 << 10, false);
+  EXPECT_GT(bulk2.queued.ns(), 0);
+  const PortStats& st = s.port_stats(0);
+  EXPECT_EQ(st.messages, 3u);
+  EXPECT_EQ(st.bytes, (64u << 10) + 130u + (64u << 10));
+  EXPECT_EQ(st.hot_messages, 1u);
+  EXPECT_EQ(st.hot_bytes, 130u);
+}
+
 }  // namespace
 }  // namespace fractos
